@@ -1,0 +1,288 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Schmidt & Parashar, HPDC 2003, Section 4) at laptop scale. Each
+// benchmark runs the identical experiment code that cmd/squid-bench drives
+// at the paper's full scale (1 000-5 400 nodes, 2*10^5-10^6 keys); here the
+// default factor keeps a full `go test -bench=.` run in minutes.
+//
+// Reported custom metrics follow the paper's: processing-nodes/query,
+// data-nodes/query, messages/query, matches/query. See EXPERIMENTS.md for
+// recorded outputs and the paper-vs-measured comparison.
+package main
+
+import (
+	"io"
+	"testing"
+
+	"squid/internal/experiments"
+)
+
+// benchFactor scales the paper's sweep for benchmark runs: 2% of full
+// scale, i.e. 20-108 nodes and 4 000-20 000 keys per point.
+const benchFactor = 0.02
+
+// reportPoints converts sweep rows into per-query benchmark metrics.
+func reportPoints(b *testing.B, pts []experiments.Point) {
+	b.Helper()
+	var rows int
+	var processing, data, messages, matches, routing int
+	for _, pt := range pts {
+		for _, r := range pt.Rows {
+			rows++
+			processing += r.ProcessingNodes
+			data += r.DataNodes
+			messages += r.Messages
+			matches += r.Matches
+			routing += r.RoutingNodes
+		}
+	}
+	if rows == 0 {
+		return
+	}
+	n := float64(rows)
+	b.ReportMetric(float64(processing)/n, "procNodes/query")
+	b.ReportMetric(float64(data)/n, "dataNodes/query")
+	b.ReportMetric(float64(routing)/n, "routingNodes/query")
+	b.ReportMetric(float64(messages)/n, "messages/query")
+	b.ReportMetric(float64(matches)/n, "matches/query")
+}
+
+func runFigure(b *testing.B, fn func(float64, io.Writer) ([]experiments.Point, error)) {
+	b.Helper()
+	var pts []experiments.Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = fn(benchFactor, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPoints(b, pts)
+}
+
+// BenchmarkFig09_Q1_2D regenerates Figure 9: Q1 queries, 2-D keyword
+// space, five system scales.
+func BenchmarkFig09_Q1_2D(b *testing.B) { runFigure(b, experiments.Fig09) }
+
+// BenchmarkFig10_AllMetrics_2D regenerates Figure 10: all metrics at the
+// two largest 2-D scales.
+func BenchmarkFig10_AllMetrics_2D(b *testing.B) { runFigure(b, experiments.Fig10) }
+
+// BenchmarkFig11_Q2_2D regenerates Figure 11: Q2 queries, 2-D.
+func BenchmarkFig11_Q2_2D(b *testing.B) { runFigure(b, experiments.Fig11) }
+
+// BenchmarkFig12_Q1_3D regenerates Figure 12: Q1 queries, 3-D sweep.
+func BenchmarkFig12_Q1_3D(b *testing.B) { runFigure(b, experiments.Fig12) }
+
+// BenchmarkFig13_AllMetrics_3D regenerates Figure 13: all metrics, 3-D.
+func BenchmarkFig13_AllMetrics_3D(b *testing.B) { runFigure(b, experiments.Fig13) }
+
+// BenchmarkFig14_Q2_3D regenerates Figure 14: Q2 queries, 3-D.
+func BenchmarkFig14_Q2_3D(b *testing.B) { runFigure(b, experiments.Fig14) }
+
+// BenchmarkFig15_Range_KRW regenerates Figure 15: range queries of the
+// form (keyword, range, *), 3-D.
+func BenchmarkFig15_Range_KRW(b *testing.B) { runFigure(b, experiments.Fig15) }
+
+// BenchmarkFig16_AllMetrics_Range regenerates Figure 16: all metrics for
+// range queries at the paper's two scales.
+func BenchmarkFig16_AllMetrics_Range(b *testing.B) { runFigure(b, experiments.Fig16) }
+
+// BenchmarkFig17_Range_RRR regenerates Figure 17: (range, range, range)
+// queries, 3-D.
+func BenchmarkFig17_Range_RRR(b *testing.B) { runFigure(b, experiments.Fig17) }
+
+// BenchmarkFig18_IndexDistribution regenerates Figure 18: keys over 500
+// index-space intervals (the unbalanced baseline distribution).
+func BenchmarkFig18_IndexDistribution(b *testing.B) {
+	var dist experiments.IndexDistribution
+	var err error
+	for i := 0; i < b.N; i++ {
+		dist, err = experiments.Fig18(20_000, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(dist.Gini, "gini")
+	b.ReportMetric(float64(dist.Summary.Max), "maxKeys/interval")
+	b.ReportMetric(dist.Summary.Mean, "meanKeys/interval")
+}
+
+// BenchmarkFig19_LoadBalance regenerates Figure 19: per-node load under
+// join-time sampling alone and with runtime balancing.
+func BenchmarkFig19_LoadBalance(b *testing.B) {
+	var dists experiments.LoadDistributions
+	var err error
+	for i := 0; i < b.N; i++ {
+		dists, err = experiments.Fig19(40, 8_000, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(giniInts(dists.Uniform), "gini-uniform")
+	b.ReportMetric(giniInts(dists.JoinOnly), "gini-joinLB")
+	b.ReportMetric(giniInts(dists.JoinAndRun), "gini-join+runtime")
+}
+
+// BenchmarkAblation_Aggregation quantifies optimization 2 (A1).
+func BenchmarkAblation_Aggregation(b *testing.B) {
+	var rows []experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationAggregation(experiments.Scale{Nodes: 80, Keys: 10_000}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	on, off := 0, 0
+	for _, r := range rows {
+		on += r.On.PayloadHops
+		off += r.Off.PayloadHops
+	}
+	b.ReportMetric(float64(on)/float64(len(rows)), "payloadMsgs-on/query")
+	b.ReportMetric(float64(off)/float64(len(rows)), "payloadMsgs-off/query")
+}
+
+// BenchmarkAblation_Pruning quantifies distributed refinement (A2).
+func BenchmarkAblation_Pruning(b *testing.B) {
+	var rows []experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationPruning(experiments.Scale{Nodes: 80, Keys: 10_000}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	on, off := 0, 0
+	for _, r := range rows {
+		on += r.On.Messages
+		off += r.Off.Messages
+	}
+	b.ReportMetric(float64(on)/float64(len(rows)), "messages-distributed/query")
+	b.ReportMetric(float64(off)/float64(len(rows)), "messages-central/query")
+}
+
+// BenchmarkBaselines_Compare runs Squid vs flooding vs inverted index (A3).
+func BenchmarkBaselines_Compare(b *testing.B) {
+	var rows []experiments.BaselineRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.BaselinesCompare(80, 6_000, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.System {
+		case "squid":
+			b.ReportMetric(float64(r.Messages), "squid-messages")
+		case "flooding (full TTL)":
+			b.ReportMetric(float64(r.Messages), "flood-messages")
+		case "inverted index":
+			b.ReportMetric(float64(r.Messages), "invindex-messages")
+		}
+	}
+}
+
+// BenchmarkBaseline_InverseSFC_CAN runs Squid vs Andrzejak-Xu (A4).
+func BenchmarkBaseline_InverseSFC_CAN(b *testing.B) {
+	var rows []experiments.InverseSFCRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.BaselineInverseSFC(80, 8_000, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.System == "squid (SFC->Chord)" {
+			b.ReportMetric(float64(r.Nodes), "squid-nodes")
+			b.ReportMetric(float64(r.Messages), "squid-messages")
+		} else {
+			b.ReportMetric(float64(r.Nodes), "can-zones")
+			b.ReportMetric(float64(r.Messages), "can-messages")
+		}
+	}
+}
+
+// BenchmarkAblation_LoadBalance sweeps the join sample count and virtual
+// nodes (A5).
+func BenchmarkAblation_LoadBalance(b *testing.B) {
+	var rows []experiments.LoadBalanceRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationLoadBalance(30, 5_000, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Config {
+		case "join sampling J=1":
+			b.ReportMetric(r.Gini, "gini-J1")
+		case "join sampling J=10":
+			b.ReportMetric(r.Gini, "gini-J10")
+		case "J=5 + neighbor runtime LB":
+			b.ReportMetric(r.Gini, "gini-J5+runtime")
+		}
+	}
+}
+
+// BenchmarkAblation_HotSpotCache measures repeated-query cost with the
+// probe cache (A7).
+func BenchmarkAblation_HotSpotCache(b *testing.B) {
+	var rows []experiments.HotSpotRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationHotSpot(experiments.Scale{Nodes: 80, Keys: 10_000}, 3, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rows) >= 2 {
+		b.ReportMetric(float64(rows[0].Probes), "probes-cold")
+		b.ReportMetric(float64(rows[len(rows)-1].Probes), "probes-warm")
+	}
+}
+
+// BenchmarkAblation_CurveChoice compares Hilbert vs Z-order (A6).
+func BenchmarkAblation_CurveChoice(b *testing.B) {
+	var rows []experiments.CurveRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationCurve(experiments.Scale{Nodes: 80, Keys: 10_000}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Curve == "hilbert" {
+			b.ReportMetric(r.AvgClusters, "hilbert-clusters/query")
+			b.ReportMetric(r.AvgMessages, "hilbert-messages/query")
+		} else {
+			b.ReportMetric(r.AvgClusters, "morton-clusters/query")
+			b.ReportMetric(r.AvgMessages, "morton-messages/query")
+		}
+	}
+}
+
+func giniInts(values []int) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), values...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var cum, total float64
+	for i, v := range sorted {
+		cum += float64(v) * float64(2*(i+1)-n-1)
+		total += float64(v)
+	}
+	if total == 0 {
+		return 0
+	}
+	return cum / (float64(n) * total)
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", 0.01, 10, 100, ""); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunSingleFigureTiny(t *testing.T) {
+	if err := run("fig18", 0.01, 10, 2000, ""); err != nil {
+		t.Errorf("fig18: %v", err)
+	}
+	if err := run("a1", 0.01, 30, 2000, ""); err != nil {
+		t.Errorf("a1: %v", err)
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/out.csv"
+	if err := run("fig11", 0.002, 10, 500, path); err != nil {
+		t.Fatalf("fig11 with csv: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "figure,nodes,keys,query") {
+		t.Errorf("csv header missing:\n%s", s[:80])
+	}
+	if !strings.Contains(s, "fig11,") {
+		t.Errorf("csv rows missing")
+	}
+}

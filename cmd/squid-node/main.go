@@ -1,0 +1,172 @@
+// Command squid-node runs one Squid peer over TCP: the same engine the
+// simulator drives, attached to a real network endpoint.
+//
+// Start a ring:
+//
+//	squid-node -listen 127.0.0.1:7001 -create
+//
+// Join it:
+//
+//	squid-node -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+//
+// All peers of one ring must agree on -dims and -bits. Interact with the
+// ring using squidctl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/squid"
+	"squid/internal/transport"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "address to listen on")
+		create    = flag.Bool("create", false, "create a new ring")
+		join      = flag.String("join", "", "address of a ring member to join through")
+		dims      = flag.Int("dims", 2, "keyword space dimensionality")
+		bits      = flag.Int("bits", 32, "bits per keyword dimension")
+		id        = flag.Uint64("id", 0, "node identifier (0: random)")
+		stabilize = flag.Duration("stabilize", 2*time.Second, "stabilization interval")
+		state     = flag.String("state", "", "path for persisted store state (loaded at start, saved on exit)")
+		replicas  = flag.Int("replicas", 0, "successor replicas kept per stored item")
+	)
+	flag.Parse()
+	if err := run(*listen, *create, *join, *dims, *bits, *id, *stabilize, *state, *replicas); err != nil {
+		log.Fatalf("squid-node: %v", err)
+	}
+}
+
+func run(listen string, create bool, join string, dims, bits int, id uint64, stabilizeEvery time.Duration, statePath string, replicas int) error {
+	if create == (join != "") {
+		return fmt.Errorf("pass exactly one of -create or -join")
+	}
+	space, err := keyspace.NewWordSpace(dims, bits)
+	if err != nil {
+		return err
+	}
+	ring := chord.Space{Bits: space.IndexBits()}
+	if id == 0 {
+		id = rand.New(rand.NewSource(time.Now().UnixNano())).Uint64() & ring.Mask()
+	}
+
+	eng := squid.NewEngine(space, squid.Options{Replicas: replicas})
+	node := chord.NewNode(chord.Config{Space: ring, RPCTimeout: 5 * time.Second}, chord.ID(id), eng)
+	eng.Attach(node)
+
+	ep, err := transport.ListenTCP(listen, node)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	node.Start(ep)
+
+	log.Printf("squid-node %x listening on %s (%d-D keyword space, %d-bit axes)",
+		uint64(node.Self().ID), ep.Addr(), dims, bits)
+
+	if statePath != "" {
+		if f, err := os.Open(statePath); err == nil {
+			loadErr := eng.LoadState(f)
+			f.Close()
+			if loadErr != nil {
+				return fmt.Errorf("load state %s: %w", statePath, loadErr)
+			}
+			log.Printf("loaded persisted state from %s", statePath)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if create {
+		if err := node.Invoke(node.Create); err != nil {
+			return err
+		}
+		log.Printf("created new ring")
+	} else {
+		done := make(chan error, 1)
+		if err := node.Invoke(func() {
+			node.Join(transport.Addr(join), func(err error) { done <- err })
+		}); err != nil {
+			return err
+		}
+		if err := <-done; err != nil {
+			return fmt.Errorf("join via %s: %w", join, err)
+		}
+		log.Printf("joined ring via %s", join)
+		if statePath != "" {
+			node.Invoke(func() {
+				if n := eng.ReconcileOwnership(); n > 0 {
+					log.Printf("re-routed %d restored items to their current owners", n)
+				}
+				if replicas > 0 {
+					eng.PushReplicas()
+				}
+			})
+		}
+	}
+
+	ticker := time.NewTicker(stabilizeEvery)
+	defer ticker.Stop()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			node.Invoke(func() {
+				node.CheckPredecessor()
+				node.Stabilize()
+				node.FixFingers()
+			})
+		case s := <-sigc:
+			log.Printf("received %v: leaving ring", s)
+			if statePath != "" {
+				saveState(node, eng, statePath)
+			}
+			left := make(chan struct{})
+			node.Invoke(func() {
+				node.Leave()
+				close(left)
+			})
+			select {
+			case <-left:
+			case <-time.After(3 * time.Second):
+			}
+			return nil
+		}
+	}
+}
+
+// saveState snapshots the engine's store to disk (atomically via a temp
+// file).
+func saveState(node *chord.Node, eng *squid.Engine, path string) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		log.Printf("save state: %v", err)
+		return
+	}
+	done := make(chan error, 1)
+	node.Invoke(func() { done <- eng.SaveState(f) })
+	err = <-done
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		log.Printf("save state: %v", err)
+		os.Remove(tmp)
+		return
+	}
+	log.Printf("state saved to %s", path)
+}

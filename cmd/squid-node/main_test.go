@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	// Neither -create nor -join.
+	if err := run("127.0.0.1:0", false, "", 2, 32, 0, time.Second, "", 0); err == nil {
+		t.Error("missing create/join should fail")
+	}
+	// Both.
+	if err := run("127.0.0.1:0", true, "127.0.0.1:9", 2, 32, 0, time.Second, "", 0); err == nil {
+		t.Error("create+join should fail")
+	}
+	// Bad geometry.
+	if err := run("127.0.0.1:0", true, "", 0, 32, 0, time.Second, "", 0); err == nil {
+		t.Error("bad dims should fail")
+	}
+	// Unreachable seed fails the join.
+	if err := run("127.0.0.1:0", false, "127.0.0.1:1", 2, 32, 7, time.Second, "", 0); err == nil {
+		t.Error("unreachable seed should fail")
+	}
+	// A corrupt state file fails the load before serving starts.
+	f, err := os.CreateTemp(t.TempDir(), "state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("not a gob stream")
+	f.Close()
+	if err := run("127.0.0.1:0", true, "", 2, 32, 7, time.Second, f.Name(), 0); err == nil {
+		t.Error("corrupt state should fail")
+	}
+}

@@ -1,0 +1,300 @@
+// Command squid-sim is an interactive REPL over a simulated Squid
+// network: build a ring, load corpora, publish, query, churn peers and
+// watch load balancing — the fastest way to explore the system's
+// behaviour.
+//
+//	$ go run ./cmd/squid-sim
+//	squid> build 100
+//	squid> load 20000
+//	squid> query (comp*, *)
+//	squid> help
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/loadbalance"
+	"squid/internal/sim"
+	"squid/internal/squid"
+	"squid/internal/stats"
+	"squid/internal/workload"
+)
+
+const helpText = `commands:
+  build <nodes> [dims] [bits]   build a fresh network (default 2-D, 32-bit axes)
+  load <keys>                   preload a synthetic keyword corpus
+  publish <v1,v2,..> [name]     publish one element through a random peer
+  query <query>                 run a flexible query, e.g. (comp*, *) or (10-20, *)
+  keywords <w1> [w2..]          position-free keyword search (combination tuples)
+  join [hex-id]                 protocol-join a new peer (random id if omitted)
+  leave <i>                     peer i leaves voluntarily
+  kill <i>                      peer i fails abruptly
+  stabilize [rounds]            run stabilization rounds (default 3)
+  balance [rounds]              run runtime load balancing (default 5)
+  loads                         show the load distribution
+  peers                         list peers with their loads
+  verify                        check ring and data-placement consistency
+  help                          this text
+  quit`
+
+type session struct {
+	nw  *sim.Network
+	rng *rand.Rand
+}
+
+func main() {
+	fmt.Println("squid-sim — interactive Squid network simulator. Type 'help'.")
+	s := &session{rng: rand.New(rand.NewSource(1))}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("squid> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if line != "" {
+			if err := s.exec(line); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		fmt.Print("squid> ")
+	}
+}
+
+func (s *session) exec(line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		fmt.Println(helpText)
+		return nil
+	case "build":
+		return s.build(args)
+	}
+	if s.nw == nil {
+		return fmt.Errorf("no network yet; use: build <nodes>")
+	}
+	switch cmd {
+	case "load":
+		return s.load(args)
+	case "publish":
+		return s.publish(args)
+	case "query":
+		return s.query(strings.TrimSpace(strings.TrimPrefix(line, "query")))
+	case "keywords":
+		return s.keywords(args)
+	case "join":
+		return s.join(args)
+	case "leave":
+		return s.leave(args, false)
+	case "kill":
+		return s.leave(args, true)
+	case "stabilize":
+		rounds := atoiDefault(args, 0, 3)
+		s.nw.StabilizeAll(rounds)
+		fmt.Printf("ran %d stabilization rounds\n", rounds)
+		return nil
+	case "balance":
+		rounds, err := loadbalance.Balance(s.nw, 2.0, atoiDefault(args, 0, 5))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("balanced in %d rounds; gini now %.3f\n", rounds, stats.Gini(s.nw.LoadVector()))
+		return nil
+	case "loads":
+		v := s.nw.LoadVector()
+		sum := stats.Summarize(v)
+		fmt.Printf("peers=%d keys=%d mean=%.1f max=%d p95=%.0f cov=%.2f gini=%.3f\n",
+			len(v), s.nw.TotalKeys(), sum.Mean, sum.Max, sum.P95, sum.CoV, stats.Gini(v))
+		return nil
+	case "peers":
+		loads := s.nw.LoadVector()
+		for i, p := range s.nw.Peers {
+			fmt.Printf("%3d  id=%016x  keys=%d\n", i, uint64(p.ID()), loads[i])
+		}
+		return nil
+	case "verify":
+		if err := s.nw.VerifyConsistent(); err != nil {
+			return err
+		}
+		fmt.Println("ring and data placement consistent")
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (try 'help')", cmd)
+}
+
+func (s *session) build(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: build <nodes> [dims] [bits]")
+	}
+	nodes, err := strconv.Atoi(args[0])
+	if err != nil {
+		return err
+	}
+	dims, bits := 2, 32
+	if len(args) > 1 {
+		if dims, err = strconv.Atoi(args[1]); err != nil {
+			return err
+		}
+	}
+	if len(args) > 2 {
+		if bits, err = strconv.Atoi(args[2]); err != nil {
+			return err
+		}
+	}
+	space, err := keyspace.NewWordSpace(dims, bits)
+	if err != nil {
+		return err
+	}
+	nw, err := sim.Build(sim.Config{Nodes: nodes, Space: space, Seed: s.rng.Int63()})
+	if err != nil {
+		return err
+	}
+	s.nw = nw
+	fmt.Printf("built %d-peer network over a %d-D, %d-bit keyword space\n", nodes, dims, bits)
+	return nil
+}
+
+func (s *session) load(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: load <keys>")
+	}
+	keys, err := strconv.Atoi(args[0])
+	if err != nil {
+		return err
+	}
+	vocab := workload.NewVocabulary(s.rng.Int63(), maxInt(200, keys/20), 1.2)
+	tuples := workload.KeyTuples(vocab, s.rng.Int63(), keys, s.nw.Space.Dims())
+	if err := s.nw.Preload(workload.Elements(tuples)); err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d tuples (%d distinct index keys); try: query (%s*, *)\n",
+		keys, s.nw.TotalKeys(), vocab.Words[0][:3])
+	return nil
+}
+
+func (s *session) publish(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: publish <v1,v2,..> [name]")
+	}
+	values := strings.Split(args[0], ",")
+	name := "unnamed"
+	if len(args) > 1 {
+		name = strings.Join(args[1:], " ")
+	}
+	via := s.rng.Intn(len(s.nw.Peers))
+	if err := s.nw.Publish(via, squid.Element{Values: values, Data: name}); err != nil {
+		return err
+	}
+	s.nw.Quiesce()
+	fmt.Printf("published %v as %q via peer %d\n", values, name, via)
+	return nil
+}
+
+func (s *session) query(qs string) error {
+	if qs == "" {
+		return fmt.Errorf("usage: query (terms...)")
+	}
+	q, err := keyspace.Parse(qs)
+	if err != nil {
+		return err
+	}
+	res, qm := s.nw.Query(s.rng.Intn(len(s.nw.Peers)), q)
+	if res.Err != nil {
+		return res.Err
+	}
+	fmt.Printf("%d matches  routing=%d processing=%d data=%d messages=%d\n",
+		len(res.Matches), len(qm.RoutingNodes), len(qm.ProcessingNodes), len(qm.DataNodes), qm.Messages())
+	printMatches(res.Matches)
+	return nil
+}
+
+func (s *session) keywords(words []string) error {
+	if len(words) == 0 {
+		return fmt.Errorf("usage: keywords <w1> [w2..]")
+	}
+	p := s.nw.Peers[s.rng.Intn(len(s.nw.Peers))]
+	ch := make(chan squid.Result, 1)
+	p.Node.Invoke(func() {
+		p.Engine.QueryKeywords(words, func(r squid.Result) { ch <- r })
+	})
+	res := <-ch
+	s.nw.Quiesce()
+	if res.Err != nil {
+		return res.Err
+	}
+	fmt.Printf("%d matches\n", len(res.Matches))
+	printMatches(res.Matches)
+	return nil
+}
+
+func printMatches(ms []squid.Element) {
+	for i, m := range ms {
+		if i == 10 {
+			fmt.Printf("  ... and %d more\n", len(ms)-10)
+			return
+		}
+		fmt.Printf("  %-28s %v\n", m.Data, m.Values)
+	}
+}
+
+func (s *session) join(args []string) error {
+	var id chord.ID
+	if len(args) > 0 {
+		v, err := strconv.ParseUint(args[0], 16, 64)
+		if err != nil {
+			return err
+		}
+		id = chord.ID(v)
+	} else {
+		id = chord.ID(s.rng.Uint64() & ((uint64(1) << s.nw.Space.IndexBits()) - 1))
+	}
+	p, err := s.nw.AddPeer(id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("peer %016x joined (%d peers now)\n", uint64(p.ID()), len(s.nw.Peers))
+	return nil
+}
+
+func (s *session) leave(args []string, kill bool) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: %s <peer-index>", map[bool]string{true: "kill", false: "leave"}[kill])
+	}
+	i, err := strconv.Atoi(args[0])
+	if err != nil || i < 0 || i >= len(s.nw.Peers) {
+		return fmt.Errorf("peer index out of range (0..%d)", len(s.nw.Peers)-1)
+	}
+	id := s.nw.Peers[i].ID()
+	if kill {
+		s.nw.KillPeer(i)
+		fmt.Printf("peer %016x failed abruptly; run 'stabilize' to heal\n", uint64(id))
+	} else {
+		s.nw.RemovePeer(i)
+		fmt.Printf("peer %016x left gracefully\n", uint64(id))
+	}
+	return nil
+}
+
+func atoiDefault(args []string, i, def int) int {
+	if i < len(args) {
+		if v, err := strconv.Atoi(args[i]); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

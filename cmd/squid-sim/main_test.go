@@ -1,0 +1,49 @@
+package main
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSessionExec(t *testing.T) {
+	s := &session{rng: rand.New(rand.NewSource(1))}
+	// Commands before build must fail (except build/help).
+	if err := s.exec("query (a, *)"); err == nil {
+		t.Error("query before build should fail")
+	}
+	if err := s.exec("help"); err != nil {
+		t.Error("help should always work")
+	}
+	steps := []string{
+		"build 20",
+		"load 1000",
+		"publish alpha,beta demo-doc",
+		"query (alpha, *)",
+		"keywords alpha",
+		"join",
+		"stabilize 2",
+		"kill 3",
+		"stabilize 4",
+		"verify",
+		"loads",
+		"peers",
+		"balance 2",
+	}
+	for _, cmd := range steps {
+		if err := s.exec(cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+	for _, bad := range []string{
+		"build", "load", "load x", "publish", "query", "keywords",
+		"leave", "leave 999", "kill abc", "nonsense",
+	} {
+		if err := s.exec(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+	if !strings.Contains(helpText, "query") {
+		t.Error("help text incomplete")
+	}
+}

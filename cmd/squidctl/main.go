@@ -1,0 +1,166 @@
+// Command squidctl is the client for live squid-node rings:
+//
+//	squidctl -node 127.0.0.1:7001 publish -values "computer,network" -data report.pdf
+//	squidctl -node 127.0.0.1:7001 query "(comp*, *)"
+//	squidctl -node 127.0.0.1:7001 status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"squid/internal/chord"
+	"squid/internal/squid"
+	"squid/internal/transport"
+)
+
+func main() {
+	var (
+		node    = flag.String("node", "127.0.0.1:7001", "address of any ring member")
+		timeout = flag.Duration("timeout", 10*time.Second, "reply timeout")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: squidctl -node ADDR {publish -values a,b [-data NAME] | unpublish -values a,b [-data NAME] | query QUERY | status}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(transport.Addr(*node), *timeout, args); err != nil {
+		log.Fatalf("squidctl: %v", err)
+	}
+}
+
+// client is a minimal transport handler collecting replies.
+type client struct {
+	results chan any
+}
+
+func (c *client) Deliver(from transport.Addr, msg any) {
+	if m, ok := msg.(chord.AppMsg); ok {
+		msg = m.Payload
+	}
+	select {
+	case c.results <- msg:
+	default:
+	}
+}
+
+func run(node transport.Addr, timeout time.Duration, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing command (want publish, query or status)")
+	}
+	cl := &client{results: make(chan any, 4)}
+	ep, err := transport.ListenTCP("127.0.0.1:0", cl)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+
+	switch args[0] {
+	case "publish":
+		fs := flag.NewFlagSet("publish", flag.ExitOnError)
+		values := fs.String("values", "", "comma-separated keyword values")
+		data := fs.String("data", "", "payload name")
+		fs.Parse(args[1:])
+		if *values == "" {
+			return fmt.Errorf("publish: -values required")
+		}
+		var vals []string
+		for _, v := range strings.Split(*values, ",") {
+			vals = append(vals, strings.TrimSpace(v))
+		}
+		msg := chord.AppMsg{From: ep.Addr(), Payload: squid.ClientPublishMsg{
+			Elem: squid.Element{Values: vals, Data: *data},
+		}}
+		if err := ep.Send(node, msg); err != nil {
+			return err
+		}
+		fmt.Printf("published %v via %s\n", vals, node)
+		// Give the frame time to flush before closing the connection.
+		time.Sleep(100 * time.Millisecond)
+		return nil
+
+	case "unpublish":
+		fs := flag.NewFlagSet("unpublish", flag.ExitOnError)
+		values := fs.String("values", "", "comma-separated keyword values")
+		data := fs.String("data", "", "payload name")
+		fs.Parse(args[1:])
+		if *values == "" {
+			return fmt.Errorf("unpublish: -values required")
+		}
+		var vals []string
+		for _, v := range strings.Split(*values, ",") {
+			vals = append(vals, strings.TrimSpace(v))
+		}
+		msg := chord.AppMsg{From: ep.Addr(), Payload: squid.ClientUnpublishMsg{
+			Elem: squid.Element{Values: vals, Data: *data},
+		}}
+		if err := ep.Send(node, msg); err != nil {
+			return err
+		}
+		fmt.Printf("unpublished %v via %s\n", vals, node)
+		time.Sleep(100 * time.Millisecond)
+		return nil
+
+	case "query":
+		if len(args) < 2 {
+			return fmt.Errorf("query: missing query string")
+		}
+		q := strings.Join(args[1:], " ")
+		msg := chord.AppMsg{From: ep.Addr(), Payload: squid.ClientQueryMsg{
+			Query: q, ReplyTo: ep.Addr(), Token: uint64(time.Now().UnixNano()),
+		}}
+		if err := ep.Send(node, msg); err != nil {
+			return err
+		}
+		select {
+		case got := <-cl.results:
+			res, ok := got.(squid.ClientResultMsg)
+			if !ok {
+				return fmt.Errorf("unexpected reply %T", got)
+			}
+			if res.Err != "" {
+				return fmt.Errorf("query failed: %s", res.Err)
+			}
+			fmt.Printf("%d matches for %s\n", len(res.Matches), q)
+			for _, m := range res.Matches {
+				fmt.Printf("  %-24s %v\n", m.Data, m.Values)
+			}
+			return nil
+		case <-time.After(timeout):
+			return fmt.Errorf("no reply from %s within %v", node, timeout)
+		}
+
+	case "status":
+		if err := ep.Send(node, chord.GetStateMsg{Token: 1, ReplyTo: ep.Addr()}); err != nil {
+			return err
+		}
+		select {
+		case got := <-cl.results:
+			st, ok := got.(chord.StateMsg)
+			if !ok {
+				return fmt.Errorf("unexpected reply %T", got)
+			}
+			fmt.Printf("node   %s\n", st.Self)
+			fmt.Printf("pred   %s\n", st.Pred)
+			for i, s := range st.Succs {
+				fmt.Printf("succ%d  %s\n", i, s)
+			}
+			fmt.Printf("load   %d keys\n", st.Load)
+			return nil
+		case <-time.After(timeout):
+			return fmt.Errorf("no reply from %s within %v", node, timeout)
+		}
+
+	default:
+		return fmt.Errorf("unknown command %q (want publish, unpublish, query or status)", args[0])
+	}
+}

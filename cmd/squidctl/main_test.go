@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run("127.0.0.1:1", time.Second, nil); err == nil {
+		// nil args handled by main's usage path; run requires >=1 arg.
+		t.Skip("run called with empty args is guarded in main")
+	}
+	if err := run("127.0.0.1:1", time.Second, []string{"bogus"}); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+	if err := run("127.0.0.1:1", time.Second, []string{"publish"}); err == nil {
+		t.Error("publish without -values should fail")
+	}
+	if err := run("127.0.0.1:1", time.Second, []string{"query"}); err == nil {
+		t.Error("query without a query string should fail")
+	}
+	// Status against a dead port times out or fails to send.
+	if err := run("127.0.0.1:1", 300*time.Millisecond, []string{"status"}); err == nil {
+		t.Error("status against dead node should fail")
+	}
+}

@@ -1,0 +1,88 @@
+// Faulttolerance: the paper's future-work extension in action — successor
+// replication keeps every document discoverable through abrupt node
+// failures. Publishes a corpus, kills the three most loaded peers one by
+// one, and shows queries staying complete while an unreplicated control
+// network loses data.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+	"squid/internal/workload"
+)
+
+const (
+	peers = 60
+	files = 8_000
+)
+
+func build(replicas int) (*sim.Network, error) {
+	space, err := keyspace.NewWordSpace(2, 32)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := sim.Build(sim.Config{
+		Nodes: peers, Space: space, Seed: 11,
+		Engine: squid.Options{Replicas: replicas},
+	})
+	if err != nil {
+		return nil, err
+	}
+	vocab := workload.NewVocabulary(11, 800, 1.2)
+	tuples := workload.KeyTuples(vocab, 12, files, 2)
+	if err := nw.Preload(workload.Elements(tuples)); err != nil {
+		return nil, err
+	}
+	if replicas > 0 {
+		nw.PushReplicasAll()
+	}
+	return nw, nil
+}
+
+func killHottest(nw *sim.Network) {
+	loads := nw.LoadVector()
+	victim := 0
+	for i, l := range loads {
+		if l > loads[victim] {
+			victim = i
+		}
+	}
+	nw.KillPeer(victim)
+	nw.StabilizeAll(8)
+	nw.PushReplicasAll()
+}
+
+func main() {
+	q := keyspace.MustParse("(*, *)")
+
+	replicated, err := build(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	control, err := build(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("two networks: %d peers, %d files each; one with 2 replicas per item, one without\n\n", peers, files)
+	fmt.Println("failure  replicated-found  control-found")
+	for round := 1; round <= 3; round++ {
+		killHottest(replicated)
+		killHottest(control)
+		r1, _ := replicated.Query(0, q)
+		r2, _ := control.Query(0, q)
+		fmt.Printf("%7d  %16d  %13d\n", round, len(r1.Matches), len(r2.Matches))
+	}
+
+	final, _ := replicated.Query(0, q)
+	if len(final.Matches) != files {
+		log.Fatalf("replicated network lost data: %d/%d", len(final.Matches), files)
+	}
+	fmt.Printf("\nreplicated network survived 3 failures with all %d files intact;\n", files)
+	fmt.Println("the control lost every key the failed peers held.")
+}

@@ -1,0 +1,91 @@
+// Gridresources: the paper's computational-grid motivation — machines
+// described by globally defined numeric attributes (memory, CPU frequency,
+// bandwidth), discovered with range queries like "256-512 MB of memory,
+// any CPU, at least 10 Mbps" (the paper's own example, Section 3.3).
+//
+//	go run ./examples/gridresources
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"squid/internal/keyspace"
+	"squid/internal/sfc"
+	"squid/internal/sim"
+	"squid/internal/squid"
+	"squid/internal/workload"
+)
+
+func main() {
+	const (
+		peers    = 150
+		machines = 20_000
+	)
+	// 3-D attribute space over a Hilbert curve with 21-bit axes (63-bit
+	// index), the paper's 3-D configuration: memory (MB), CPU (MHz),
+	// bandwidth (Mbps), each mapped linearly onto its axis.
+	curve, err := sfc.NewHilbert(3, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	space, err := keyspace.New(curve,
+		keyspace.MustNumericDim("memory", 21, 0, 8192),
+		keyspace.MustNumericDim("cpu", 21, 0, 4000),
+		keyspace.MustNumericDim("bandwidth", 21, 0, 1000),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := sim.Build(sim.Config{Nodes: peers, Space: space, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Register a synthetic machine population clustered around common
+	// hardware configurations.
+	resources := workload.Resources(13, machines)
+	elems := make([]squid.Element, machines)
+	for i, r := range resources {
+		elems[i] = squid.Element{Values: r, Data: fmt.Sprintf("node%05d.grid.example", i)}
+	}
+	if err := nw.Preload(elems); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %d machines on %d index peers\n\n", machines, peers)
+
+	// Range queries straight from the paper: "(256-512 MB, *, 10Mbps-*)".
+	queries := []string{
+		"(256-512, *, 10-*)",       // the paper's example
+		"(1024-*, 2000-*, 100-*)",  // big memory, fast cpu, fast net
+		"(*-256, *, *)",            // small machines
+		"(2048-4096, *, 900-1100)", // gigabit big-memory nodes
+	}
+	fmt.Println("query                           matches  procNodes  dataNodes  messages")
+	for _, qs := range queries {
+		q := keyspace.MustParse(qs)
+		res, qm := nw.Query(0, q)
+		if res.Err != nil {
+			log.Fatalf("%s: %v", qs, res.Err)
+		}
+		fmt.Printf("%-31s %7d  %9d  %9d  %8d\n",
+			qs, len(res.Matches), len(qm.ProcessingNodes), len(qm.DataNodes), qm.Messages())
+		for i, m := range res.Matches {
+			if i == 3 {
+				fmt.Printf("    ... and %d more\n", len(res.Matches)-3)
+				break
+			}
+			fmt.Printf("    %-28s mem=%sMB cpu=%sMHz bw=%sMbps\n", m.Data, m.Values[0], m.Values[1], m.Values[2])
+		}
+	}
+
+	// Completeness holds for ranges too (the paper's key differentiator
+	// over plain DHT resource discovery).
+	check := keyspace.MustParse("(256-512, *, 10-*)")
+	want := len(nw.BruteForceMatches(check))
+	res, _ := nw.Query(5, check)
+	fmt.Printf("\nguarantee check: engine %d vs exhaustive %d matches\n", len(res.Matches), want)
+	if len(res.Matches) != want {
+		log.Fatal("completeness violated!")
+	}
+}

@@ -1,0 +1,69 @@
+// Quickstart: build a small simulated Squid network, publish a few
+// documents, and run the paper's whole query repertoire — exact keywords,
+// partial keywords, wildcards — printing results and per-query costs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+)
+
+func main() {
+	// A 2-D keyword space over a Hilbert curve with 32-bit axes (the
+	// paper's storage-system configuration), on 16 simulated peers.
+	space, err := keyspace.NewWordSpace(2, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := sim.Build(sim.Config{Nodes: 16, Space: space, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Publish documents described by (keyword, keyword) tuples. Publishing
+	// routes each element to the peer owning its curve index.
+	docs := []squid.Element{
+		{Values: []string{"computer", "network"}, Data: "intro-to-networking.pdf"},
+		{Values: []string{"computer", "networks"}, Data: "advanced-networks.pdf"},
+		{Values: []string{"computer", "graphics"}, Data: "rendering.pdf"},
+		{Values: []string{"computation", "theory"}, Data: "automata.pdf"},
+		{Values: []string{"compiler", "design"}, Data: "dragon-book-notes.pdf"},
+		{Values: []string{"database", "systems"}, Data: "transactions.pdf"},
+		{Values: []string{"distributed", "systems"}, Data: "consensus.pdf"},
+		{Values: []string{"network", "security"}, Data: "firewalls.pdf"},
+	}
+	for i, d := range docs {
+		if err := nw.Publish(i%len(nw.Peers), d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	nw.Quiesce()
+	fmt.Printf("published %d documents across %d peers\n\n", len(docs), len(nw.Peers))
+
+	// The paper's query forms: all matches are guaranteed to be found.
+	for _, qs := range []string{
+		"(computer, network)",  // exact: one DHT lookup
+		"(computer, *)",        // wildcard
+		"(comp*, *)",           // partial keyword
+		"(comp*, net*)",        // two partials
+		"(*, systems)",         // wildcard first
+		"(computa-computz, *)", // lexicographic range
+	} {
+		q := keyspace.MustParse(qs)
+		res, qm := nw.Query(0, q)
+		if res.Err != nil {
+			log.Fatalf("%s: %v", qs, res.Err)
+		}
+		fmt.Printf("%-24s -> %d matches  (processing nodes: %d, data nodes: %d, messages: %d)\n",
+			qs, len(res.Matches), len(qm.ProcessingNodes), len(qm.DataNodes), qm.Messages())
+		for _, m := range res.Matches {
+			fmt.Printf("    %-28s %v\n", m.Data, m.Values)
+		}
+	}
+}

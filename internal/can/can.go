@@ -1,0 +1,255 @@
+// Package can implements a Content-Addressable Network overlay
+// (Ratnasamy et al., SIGCOMM 2001): the d-dimensional coordinate space is
+// partitioned into zones, one per node; routing is a greedy walk through
+// zone neighbors. It exists as the substrate of the Andrzejak-Xu
+// inverse-SFC range-query baseline (paper related work [1]), which the
+// benchmarks compare against Squid.
+//
+// The implementation models the overlay's structure and cost (zones,
+// neighbor hops) directly in memory; it is a deterministic analytical
+// simulator rather than a message-passing deployment, which is all the
+// baseline comparison needs.
+package can
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Zone is one node's axis-aligned region of the coordinate space,
+// inclusive on both ends.
+type Zone struct {
+	ID     int
+	Lo, Hi []uint64
+}
+
+// contains reports whether the point lies in the zone.
+func (z *Zone) contains(pt []uint64) bool {
+	for i := range pt {
+		if pt[i] < z.Lo[i] || pt[i] > z.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// overlaps reports whether the zone intersects the box [lo, hi].
+func (z *Zone) overlaps(lo, hi []uint64) bool {
+	for i := range lo {
+		if z.Hi[i] < lo[i] || hi[i] < z.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Network is a CAN overlay over [0,2^bits)^dims.
+type Network struct {
+	dims, bits int
+	zones      []*Zone
+	neighbors  map[int]map[int]bool
+	items      map[int]int // zone -> stored item count
+}
+
+// Build grows a CAN of n zones: each join picks a random point and splits
+// the zone containing it in half along its longest axis (the classic CAN
+// bootstrap).
+func Build(dims, bits, n int, seed int64) (*Network, error) {
+	if dims < 1 || bits < 1 || dims*bits > 64 {
+		return nil, fmt.Errorf("can: invalid geometry %dx%d", dims, bits)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("can: need at least one node")
+	}
+	nw := &Network{
+		dims: dims, bits: bits,
+		neighbors: map[int]map[int]bool{0: {}},
+		items:     map[int]int{},
+	}
+	root := &Zone{ID: 0, Lo: make([]uint64, dims), Hi: make([]uint64, dims)}
+	for i := range root.Hi {
+		root.Hi[i] = (uint64(1) << bits) - 1
+	}
+	nw.zones = []*Zone{root}
+	rng := rand.New(rand.NewSource(seed))
+	pt := make([]uint64, dims)
+	for len(nw.zones) < n {
+		for i := range pt {
+			pt[i] = rng.Uint64() & ((uint64(1) << bits) - 1)
+		}
+		z := nw.Locate(pt)
+		if !nw.split(z) {
+			continue // zone already a single cell; retry elsewhere
+		}
+	}
+	return nw, nil
+}
+
+// split halves zone z along its longest axis, creating a new zone, and
+// repairs the neighbor sets. Returns false if z is a single cell.
+func (nw *Network) split(z *Zone) bool {
+	axis, width := -1, uint64(0)
+	for i := 0; i < nw.dims; i++ {
+		if w := z.Hi[i] - z.Lo[i]; w > width || axis == -1 {
+			axis, width = i, w
+		}
+	}
+	if width == 0 {
+		return false
+	}
+	mid := z.Lo[axis] + width/2
+	nz := &Zone{
+		ID: len(nw.zones),
+		Lo: append([]uint64(nil), z.Lo...),
+		Hi: append([]uint64(nil), z.Hi...),
+	}
+	nz.Lo[axis] = mid + 1
+	z.Hi[axis] = mid
+	nw.zones = append(nw.zones, nz)
+
+	// Rebuild neighbor relations for the two affected zones.
+	nw.neighbors[nz.ID] = map[int]bool{}
+	affected := []int{z.ID}
+	for o := range nw.neighbors[z.ID] {
+		affected = append(affected, o)
+	}
+	// The new zone may neighbor the old zone's former neighbors and the old
+	// zone itself.
+	for _, a := range affected {
+		nw.relink(nz.ID, a)
+	}
+	nw.relink(z.ID, nz.ID)
+	// Old neighbors may no longer touch the shrunken zone.
+	for o := range nw.neighbors[z.ID] {
+		nw.relink(z.ID, o)
+	}
+	return true
+}
+
+// relink sets or clears adjacency between two zones based on geometry.
+func (nw *Network) relink(a, b int) {
+	if a == b {
+		return
+	}
+	za, zb := nw.zones[a], nw.zones[b]
+	if zonesAdjacent(za, zb) {
+		nw.neighbors[a][b] = true
+		nw.neighbors[b][a] = true
+	} else {
+		delete(nw.neighbors[a], b)
+		delete(nw.neighbors[b], a)
+	}
+}
+
+// zonesAdjacent reports whether the zones share a (d-1)-dimensional face.
+func zonesAdjacent(a, b *Zone) bool {
+	touching := -1
+	for i := range a.Lo {
+		overlap := a.Lo[i] <= b.Hi[i] && b.Lo[i] <= a.Hi[i]
+		abut := a.Hi[i]+1 == b.Lo[i] || b.Hi[i]+1 == a.Lo[i]
+		switch {
+		case overlap:
+			// fine: shared extent on this axis
+		case abut:
+			if touching >= 0 {
+				return false // can only abut on one axis
+			}
+			touching = i
+		default:
+			return false
+		}
+	}
+	return touching >= 0
+}
+
+// Size returns the number of zones (nodes).
+func (nw *Network) Size() int { return len(nw.zones) }
+
+// Locate returns the zone containing the point.
+func (nw *Network) Locate(pt []uint64) *Zone {
+	for _, z := range nw.zones {
+		if z.contains(pt) {
+			return z
+		}
+	}
+	return nw.zones[0] // unreachable: zones partition the space
+}
+
+// Add stores an item at the zone containing the point.
+func (nw *Network) Add(pt []uint64) { nw.items[nw.Locate(pt).ID]++ }
+
+// Items returns the item count of a zone.
+func (nw *Network) Items(zoneID int) int { return nw.items[zoneID] }
+
+// Route walks greedily from the zone containing src toward dst, returning
+// the hop count (the CAN O(d·n^(1/d)) path). Each hop picks the neighbor
+// zone closest to the destination point; because zones partition the space
+// into axis-aligned boxes, the neighbor across the face toward the
+// destination is always strictly closer, so the walk terminates.
+func (nw *Network) Route(src, dst []uint64) int {
+	cur := nw.Locate(src)
+	hops := 0
+	for !cur.contains(dst) {
+		best, bestDist := -1, ^uint64(0)
+		for o := range nw.neighbors[cur.ID] {
+			if d := boxDist(nw.zones[o], dst); d < bestDist {
+				best, bestDist = o, d
+			}
+		}
+		if best < 0 || bestDist >= boxDist(cur, dst) {
+			break // isolated or non-progressing (cannot happen on a valid partition)
+		}
+		cur = nw.zones[best]
+		hops++
+		if hops > 4*len(nw.zones) {
+			break // safety net
+		}
+	}
+	return hops
+}
+
+// boxDist is the L1 distance from a point to the zone's box (0 inside).
+func boxDist(z *Zone, pt []uint64) uint64 {
+	var d uint64
+	for i := range pt {
+		switch {
+		case pt[i] < z.Lo[i]:
+			d += z.Lo[i] - pt[i]
+		case pt[i] > z.Hi[i]:
+			d += pt[i] - z.Hi[i]
+		}
+	}
+	return d
+}
+
+// VisitRegion returns the zones intersecting the box [lo, hi] and the
+// number of overlay messages needed to reach them all: one greedy route to
+// the first zone plus a constrained flood along neighbor links inside the
+// region (how CAN resolves a multicast to a region).
+func (nw *Network) VisitRegion(from, lo, hi []uint64) (zones []int, messages int) {
+	entry := nw.Locate(lo)
+	messages = nw.Route(from, lo)
+	seen := map[int]bool{entry.ID: true}
+	queue := []int{entry.ID}
+	zones = append(zones, entry.ID)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for o := range nw.neighbors[cur] {
+			if seen[o] || !nw.zones[o].overlaps(lo, hi) {
+				continue
+			}
+			seen[o] = true
+			messages++
+			queue = append(queue, o)
+			zones = append(zones, o)
+		}
+	}
+	return zones, messages
+}
+
+// Zones exposes the zone list (read-only use).
+func (nw *Network) Zones() []*Zone { return nw.zones }
+
+// NeighborCount returns a zone's degree.
+func (nw *Network) NeighborCount(zoneID int) int { return len(nw.neighbors[zoneID]) }

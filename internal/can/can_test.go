@@ -1,0 +1,141 @@
+package can
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBuildPartitionsSpace(t *testing.T) {
+	nw, err := Build(2, 8, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Size() != 40 {
+		t.Fatalf("size = %d", nw.Size())
+	}
+	// Zones must partition the space: total volume matches and every
+	// sampled point lies in exactly one zone.
+	var volume uint64
+	for _, z := range nw.Zones() {
+		v := uint64(1)
+		for i := range z.Lo {
+			if z.Hi[i] < z.Lo[i] {
+				t.Fatalf("zone %d inverted on axis %d", z.ID, i)
+			}
+			v *= z.Hi[i] - z.Lo[i] + 1
+		}
+		volume += v
+	}
+	if volume != 1<<16 {
+		t.Errorf("zones cover volume %d, want %d", volume, 1<<16)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		pt := []uint64{rng.Uint64() & 255, rng.Uint64() & 255}
+		owners := 0
+		for _, z := range nw.Zones() {
+			if z.contains(pt) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("point %v owned by %d zones", pt, owners)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(0, 8, 4, 1); err == nil {
+		t.Error("0 dims should fail")
+	}
+	if _, err := Build(2, 40, 4, 1); err == nil {
+		t.Error("oversize geometry should fail")
+	}
+	if _, err := Build(2, 8, 0, 1); err == nil {
+		t.Error("0 nodes should fail")
+	}
+}
+
+func TestNeighborsAreAdjacent(t *testing.T) {
+	nw, err := Build(2, 8, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range nw.Zones() {
+		if nw.NeighborCount(z.ID) == 0 && nw.Size() > 1 {
+			t.Errorf("zone %d has no neighbors", z.ID)
+		}
+		for o := range nw.neighbors[z.ID] {
+			if !zonesAdjacent(z, nw.zones[o]) {
+				t.Errorf("zones %d and %d linked but not adjacent", z.ID, o)
+			}
+			if !nw.neighbors[o][z.ID] {
+				t.Errorf("asymmetric neighbor link %d -> %d", z.ID, o)
+			}
+		}
+	}
+}
+
+func TestRouteReachesTarget(t *testing.T) {
+	nw, err := Build(2, 10, 64, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	maxHops := 0
+	for trial := 0; trial < 200; trial++ {
+		src := []uint64{rng.Uint64() & 1023, rng.Uint64() & 1023}
+		dst := []uint64{rng.Uint64() & 1023, rng.Uint64() & 1023}
+		hops := nw.Route(src, dst)
+		if hops > maxHops {
+			maxHops = hops
+		}
+	}
+	// CAN path length is O(d n^{1/d}) = O(2*8) here; allow generous slack.
+	if maxHops > 40 {
+		t.Errorf("max hops %d too large for 64 zones", maxHops)
+	}
+	if maxHops == 0 {
+		t.Error("all routes were local; suspicious")
+	}
+}
+
+func TestVisitRegionCoversExactly(t *testing.T) {
+	nw, err := Build(2, 8, 50, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := []uint64{40, 100}
+	hi := []uint64{90, 130}
+	zones, msgs := nw.VisitRegion([]uint64{0, 0}, lo, hi)
+	visited := map[int]bool{}
+	for _, z := range zones {
+		visited[z] = true
+	}
+	for _, z := range nw.Zones() {
+		if z.overlaps(lo, hi) != visited[z.ID] {
+			t.Errorf("zone %d overlap=%v visited=%v", z.ID, z.overlaps(lo, hi), visited[z.ID])
+		}
+	}
+	if msgs < len(zones)-1 {
+		t.Errorf("messages %d cannot reach %d zones", msgs, len(zones))
+	}
+}
+
+func TestAddAndItems(t *testing.T) {
+	nw, err := Build(2, 8, 10, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		nw.Add([]uint64{rng.Uint64() & 255, rng.Uint64() & 255})
+	}
+	for _, z := range nw.Zones() {
+		total += nw.Items(z.ID)
+	}
+	if total != 300 {
+		t.Errorf("items lost: %d", total)
+	}
+}

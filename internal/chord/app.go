@@ -1,0 +1,52 @@
+package chord
+
+import "squid/internal/transport"
+
+// Item is a stored (key, value) pair handed between nodes when ring
+// ownership changes (joins, departures, load balancing).
+type Item struct {
+	Key   ID
+	Value any
+}
+
+// App is the application layered on a ring node — for Squid, the query
+// engine and its local store. All upcalls run in the node's delivery
+// goroutine, so implementations may call the owning Node's methods directly
+// and need no locking of per-node state.
+type App interface {
+	// Deliver handles an application payload routed to this node as the
+	// successor of key.
+	Deliver(from transport.Addr, key ID, payload any)
+	// HandoverOut removes and returns the locally stored items whose keys
+	// lie in the arc (a, b]; they are being transferred to a new owner.
+	HandoverOut(a, b ID) []Item
+	// HandoverIn ingests items transferred from another node.
+	HandoverIn(items []Item)
+	// Load reports the node's current storage load (number of keys), used
+	// by the load-balancing protocols.
+	Load() int
+}
+
+// ArcWatcher is an optional App extension: implementations are notified
+// whenever the node's predecessor — and therefore its owned arc — changes.
+// Squid's replication uses this to promote replicas of keys the node has
+// just become responsible for (after a predecessor failed).
+type ArcWatcher interface {
+	ArcChanged(oldPred, newPred NodeRef)
+}
+
+// NopApp is an App that stores nothing and drops deliveries; useful for
+// overlay-only tests and tools.
+type NopApp struct{}
+
+// Deliver drops the payload.
+func (NopApp) Deliver(transport.Addr, ID, any) {}
+
+// HandoverOut returns nothing.
+func (NopApp) HandoverOut(ID, ID) []Item { return nil }
+
+// HandoverIn drops the items.
+func (NopApp) HandoverIn([]Item) {}
+
+// Load reports zero.
+func (NopApp) Load() int { return 0 }

@@ -1,0 +1,209 @@
+package chord
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"squid/internal/transport"
+)
+
+// TestConcurrentJoins starts many nodes joining through the same seed at
+// once. Concurrent admissions race (ownership moves mid-join, requests are
+// forwarded or nacked); after stabilization the ring must contain every
+// successfully joined node exactly once, in order, with no lost data
+// (there is none yet) and correct neighbors.
+func TestConcurrentJoins(t *testing.T) {
+	net := transport.NewInproc()
+	space := MustSpace(16)
+	seedApp := newKVApp(space)
+	seed := NewNode(Config{Space: space}, 1, seedApp)
+	ep, err := net.Listen("seed", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.Start(ep)
+	seed.Invoke(seed.Create)
+	net.Quiesce()
+
+	const joiners = 24
+	rng := rand.New(rand.NewSource(4))
+	nodes := []*Node{seed}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var failed int
+	for i := 0; i < joiners; i++ {
+		n := NewNode(Config{Space: space}, ID(rng.Uint64()&0xffff), newKVApp(space))
+		nep, err := net.Listen(transport.Addr(fmt.Sprintf("j%d", i)), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Start(nep)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			done := make(chan error, 1)
+			n.Invoke(func() { n.Join("seed", func(e error) { done <- e }) })
+			if e := <-done; e != nil {
+				// Concurrent churn can legitimately refuse a join (stale
+				// owner beyond the hop bound, or an id collision); count it.
+				mu.Lock()
+				failed++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			nodes = append(nodes, n)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	net.Quiesce()
+
+	if len(nodes) < joiners/2 {
+		t.Fatalf("only %d/%d joins succeeded (%d refused)", len(nodes)-1, joiners, failed)
+	}
+	t.Logf("%d joins succeeded, %d refused", len(nodes)-1, failed)
+
+	// Stabilize until consistent.
+	for round := 0; round < 30; round++ {
+		for _, n := range nodes {
+			n := n
+			n.Invoke(func() {
+				n.CheckPredecessor()
+				n.Stabilize()
+				n.FixFingers()
+			})
+		}
+		net.Quiesce()
+	}
+
+	// Verify ring order.
+	sorted := append([]*Node(nil), nodes...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Self().ID < sorted[j-1].Self().ID; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for i, n := range sorted {
+		next := sorted[(i+1)%len(sorted)]
+		prev := sorted[(i+len(sorted)-1)%len(sorted)]
+		st := make(chan [2]NodeRef, 1)
+		n.Invoke(func() { st <- [2]NodeRef{n.Pred(), n.Succ()} })
+		got := <-st
+		if got[1].Addr != next.Self().Addr {
+			t.Errorf("node %s succ=%s want %s", n.Self(), got[1], next.Self())
+		}
+		if got[0].Addr != prev.Self().Addr {
+			t.Errorf("node %s pred=%s want %s", n.Self(), got[0], prev.Self())
+		}
+	}
+
+	// Routing resolves to the oracle owner for random keys.
+	for trial := 0; trial < 60; trial++ {
+		key := ID(rng.Uint64() & 0xffff)
+		want := sorted[0]
+		bestDist := space.Dist(key, sorted[0].Self().ID)
+		for _, n := range sorted[1:] {
+			if d := space.Dist(key, n.Self().ID); d < bestDist {
+				want, bestDist = n, d
+			}
+		}
+		src := nodes[rng.Intn(len(nodes))]
+		ch := make(chan FoundMsg, 1)
+		src.Invoke(func() {
+			src.FindSuccessor(key, 0, func(m FoundMsg, err error) { ch <- m })
+		})
+		if got := <-ch; got.Owner.Addr != want.Self().Addr {
+			t.Errorf("successor(%d) = %s, want %s", key, got.Owner, want.Self())
+		}
+	}
+}
+
+// TestSimultaneousLeaves makes several non-adjacent nodes leave at the
+// same time; the ring must splice itself back together.
+func TestSimultaneousLeaves(t *testing.T) {
+	ids := []uint64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	r := newTestRing(t, 12, ids)
+	n0 := r.nodes[0]
+	for k := uint64(0); k < 4096; k += 64 {
+		key := ID(k)
+		n0.Invoke(func() { n0.Route(key, "x", 0) })
+	}
+	r.net.Quiesce()
+	keysBefore := 0
+	for _, app := range r.apps {
+		keysBefore += app.Load()
+	}
+
+	// Nodes at indices 1, 4, 7 leave concurrently (non-adjacent ids 200,
+	// 500, 800).
+	for _, i := range []int{1, 4, 7} {
+		n := r.nodes[i]
+		n.Invoke(n.Leave)
+	}
+	r.net.Quiesce()
+
+	var live []*Node
+	for i, n := range r.nodes {
+		if i != 1 && i != 4 && i != 7 {
+			live = append(live, n)
+		}
+	}
+	for round := 0; round < 10; round++ {
+		for _, n := range live {
+			n := n
+			n.Invoke(func() { n.CheckPredecessor(); n.Stabilize(); n.FixFingers() })
+		}
+		r.net.Quiesce()
+	}
+	r.verifyRing(live)
+
+	keysAfter := 0
+	for _, n := range live {
+		keysAfter += r.apps[n.Self().Addr].Load()
+	}
+	if keysAfter != keysBefore {
+		t.Errorf("simultaneous leaves lost keys: %d -> %d", keysBefore, keysAfter)
+	}
+}
+
+// TestRPCTimeouts exercises the timer path: finds and state probes against
+// a black-hole peer must fail with ErrTimeout rather than leak.
+func TestRPCTimeouts(t *testing.T) {
+	net := transport.NewInproc()
+	space := MustSpace(10)
+	// A handler that swallows everything: the black hole.
+	_, err := net.Listen("hole", transport.HandlerFunc(func(transport.Addr, any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(Config{Space: space, RPCTimeout: 30 * 1e6}, 5, nil) // 30ms
+	ep, err := net.Listen("n", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start(ep)
+	n.Invoke(n.Create)
+	net.Quiesce()
+
+	// Install the black hole as successor so probes go nowhere.
+	n.Invoke(func() {
+		n.InstallRing(NodeRef{ID: 1, Addr: "hole"}, []NodeRef{{ID: 6, Addr: "hole"}}, nil)
+	})
+	net.Quiesce()
+
+	errs := make(chan error, 2)
+	n.Invoke(func() {
+		// Target 8 is outside the node's own arc (1, 5], so the find must
+		// be forwarded into the black hole.
+		n.FindSuccessor(8, 0, func(m FoundMsg, err error) { errs <- err })
+		n.GetStateOf("hole", func(st StateMsg, err error) { errs <- err })
+	})
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err == nil {
+			t.Errorf("request %d against black hole should time out", i)
+		}
+	}
+}

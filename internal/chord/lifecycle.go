@@ -1,0 +1,243 @@
+package chord
+
+import (
+	"fmt"
+
+	"squid/internal/transport"
+)
+
+// Join makes the node a member of the ring reachable through seed. done is
+// called (in the node's goroutine) with nil on success, ErrJoinRefused on an
+// identifier collision, or a transport/timeout error. The join cost is
+// O(log N) messages to locate the admission point (paper Section 3.2) plus
+// the eager finger-table construction.
+func (n *Node) Join(seed transport.Addr, done func(error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	if n.running {
+		done(fmt.Errorf("chord: node %s already in a ring", n.self))
+		return
+	}
+	if n.joinDone != nil {
+		done(fmt.Errorf("chord: node %s join already in progress", n.self))
+		return
+	}
+	n.joinDone = done
+	tok := n.token()
+	n.pendingFinds[tok] = &pendingCall[FoundMsg]{cb: func(m FoundMsg, err error) {
+		if err != nil {
+			n.finishJoin(err)
+			return
+		}
+		if m.Owner.ID == n.self.ID {
+			n.finishJoin(fmt.Errorf("%w: identifier %x already taken", ErrJoinRefused, uint64(n.self.ID)))
+			return
+		}
+		if !n.send(m.Owner.Addr, JoinReqMsg{New: n.self}) {
+			n.finishJoin(transport.ErrUnreachable)
+		}
+	}}
+	if !n.send(seed, FindMsg{Target: n.self.ID, Token: tok, ReplyTo: n.self.Addr, Hops: 1}) {
+		delete(n.pendingFinds, tok)
+		n.finishJoin(transport.ErrUnreachable)
+	}
+}
+
+func (n *Node) finishJoin(err error) {
+	if n.joinDone == nil {
+		return
+	}
+	done := n.joinDone
+	n.joinDone = nil
+	done(err)
+}
+
+func (n *Node) handleJoinReq(m JoinReqMsg) {
+	if !n.running {
+		return
+	}
+	if m.New.ID == n.self.ID {
+		n.send(m.New.Addr, JoinNackMsg{Reason: "identifier collision"})
+		return
+	}
+	if !n.Owns(m.New.ID) {
+		// Ownership moved (concurrent join); route the request onward to the
+		// current owner, bounding detours like any other routed message.
+		if m.Hops >= n.maxHops() {
+			n.send(m.New.Addr, JoinNackMsg{Reason: "ring unstable, retry"})
+			return
+		}
+		m.Hops++
+		n.forwardToward(m.New.ID, m)
+		return
+	}
+	if !n.pred.IsZero() && m.New.ID == n.pred.ID && m.New.Addr != n.pred.Addr {
+		n.send(m.New.Addr, JoinNackMsg{Reason: "identifier collision with predecessor"})
+		return
+	}
+	oldPred := n.pred
+	items := n.app.HandoverOut(oldPred.ID, m.New.ID)
+	n.setPred(m.New)
+	succs := n.trimSuccs(append([]NodeRef{n.self}, n.succs...))
+	if !n.send(m.New.Addr, JoinAckMsg{Pred: oldPred, Succs: succs, Items: items}) {
+		// The joiner vanished between request and admission: reclaim.
+		n.setPred(oldPred)
+		n.app.HandoverIn(items)
+		return
+	}
+	if oldPred.Addr == n.self.Addr {
+		// We were a singleton; the joiner is now both pred and succ.
+		n.succs = n.trimSuccs([]NodeRef{m.New, n.self})
+	} else if !oldPred.IsZero() {
+		n.send(oldPred.Addr, SuccChangedMsg{NewSucc: m.New})
+	}
+}
+
+func (n *Node) handleJoinAck(m JoinAckMsg) {
+	if n.running || n.joinDone == nil {
+		return
+	}
+	if m.Pred.Addr == "" {
+		m.Pred = NodeRef{}
+	}
+	n.setPred(m.Pred)
+	n.succs = n.trimSuccs(m.Succs)
+	for i := range n.fingers {
+		n.fingers[i] = n.succs[0]
+	}
+	n.app.HandoverIn(m.Items)
+	n.running = true
+	// Eagerly resolve the finger table; correctness does not depend on it
+	// (stabilization repairs fingers), only routing speed.
+	n.RebuildFingers()
+	n.finishJoin(nil)
+}
+
+func (n *Node) handleJoinNack(m JoinNackMsg) {
+	if n.running {
+		return
+	}
+	n.finishJoin(fmt.Errorf("%w: %s", ErrJoinRefused, m.Reason))
+}
+
+// RebuildFingers issues FindSuccessor for every finger target and installs
+// the answers as they arrive.
+func (n *Node) RebuildFingers() {
+	for i := 0; i < n.cfg.Space.Bits; i++ {
+		i := i
+		target := n.cfg.Space.Add(n.self.ID, uint64(1)<<uint(i))
+		n.FindSuccessor(target, 0, func(m FoundMsg, err error) {
+			if err == nil && !m.Owner.IsZero() {
+				n.fingers[i] = m.Owner
+			}
+		})
+	}
+}
+
+// Leave removes the node from the ring voluntarily, handing its stored
+// items to its successor and splicing its neighbors together (paper:
+// departure costs O(log N) messages to repair affected finger tables, which
+// stabilization performs lazily).
+func (n *Node) Leave() {
+	if !n.running {
+		return
+	}
+	n.running = false
+	succ := n.Succ()
+	if succ.Addr == n.self.Addr {
+		return // singleton: nothing to hand over
+	}
+	items := n.app.HandoverOut(n.pred.ID, n.self.ID)
+	n.send(succ.Addr, LeaveMsg{Leaving: n.self, Pred: n.pred, Items: items})
+	if !n.pred.IsZero() && n.pred.Addr != n.self.Addr {
+		n.send(n.pred.Addr, SuccChangedMsg{NewSucc: succ})
+	}
+}
+
+func (n *Node) handleLeave(m LeaveMsg) {
+	n.app.HandoverIn(m.Items)
+	if n.pred.Addr == m.Leaving.Addr {
+		n.setPred(m.Pred)
+	}
+	n.dropDead(m.Leaving)
+}
+
+func (n *Node) handleSuccChanged(m SuccChangedMsg) {
+	if m.NewSucc.IsZero() {
+		return
+	}
+	if m.NewSucc.Addr == n.self.Addr {
+		n.succs = n.trimSuccs([]NodeRef{n.self})
+		return
+	}
+	n.succs = n.trimSuccs(append([]NodeRef{m.NewSucc}, n.succs...))
+}
+
+// Stabilize runs one round of Chord's stabilization: learn the successor's
+// predecessor, adopt it if it sits between, refresh the successor list and
+// notify the successor of our existence. Run periodically.
+func (n *Node) Stabilize() {
+	if !n.running {
+		return
+	}
+	succ := n.Succ()
+	if succ.Addr == n.self.Addr {
+		return
+	}
+	n.getState(succ.Addr, func(st StateMsg, err error) {
+		if err != nil {
+			n.dropDead(succ)
+			return
+		}
+		cur := n.Succ()
+		if x := st.Pred; !x.IsZero() && x.Addr != n.self.Addr && n.cfg.Space.BetweenOpen(x.ID, n.self.ID, cur.ID) {
+			n.succs = n.trimSuccs(append([]NodeRef{x, cur}, st.Succs...))
+		} else {
+			n.succs = n.trimSuccs(append([]NodeRef{cur}, st.Succs...))
+		}
+		n.send(n.Succ().Addr, NotifyMsg{Candidate: n.self})
+	})
+}
+
+func (n *Node) handleNotify(m NotifyMsg) {
+	if !n.running || m.Candidate.Addr == n.self.Addr {
+		return
+	}
+	if n.pred.IsZero() || n.pred.Addr == n.self.Addr ||
+		n.cfg.Space.BetweenOpen(m.Candidate.ID, n.pred.ID, n.self.ID) {
+		n.setPred(m.Candidate)
+	}
+}
+
+// FixFingers refreshes one finger table entry per call, cycling through the
+// table — Chord's periodic finger repair ("each node periodically runs a
+// stabilization algorithm where it chooses a random entry in its finger
+// table, checks for its state, and updates it", paper Section 3.2).
+func (n *Node) FixFingers() {
+	if !n.running {
+		return
+	}
+	i := n.fixNext
+	n.fixNext = (n.fixNext + 1) % n.cfg.Space.Bits
+	target := n.cfg.Space.Add(n.self.ID, uint64(1)<<uint(i))
+	n.FindSuccessor(target, 0, func(m FoundMsg, err error) {
+		if err == nil && !m.Owner.IsZero() {
+			n.fingers[i] = m.Owner
+		}
+	})
+}
+
+// CheckPredecessor probes the predecessor and clears it if unreachable, so
+// a later Notify can install a live one.
+func (n *Node) CheckPredecessor() {
+	if !n.running || n.pred.IsZero() || n.pred.Addr == n.self.Addr {
+		return
+	}
+	pred := n.pred
+	n.getState(pred.Addr, func(st StateMsg, err error) {
+		if err != nil && n.pred.Addr == pred.Addr {
+			n.setPred(NodeRef{})
+		}
+	})
+}

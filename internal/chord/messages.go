@@ -1,0 +1,151 @@
+package chord
+
+import (
+	"fmt"
+
+	"squid/internal/transport"
+)
+
+// NodeRef names a ring node: its identifier and transport address. The zero
+// value means "unknown".
+type NodeRef struct {
+	ID   ID
+	Addr transport.Addr
+}
+
+// IsZero reports whether the reference is unset.
+func (r NodeRef) IsZero() bool { return r.Addr == "" }
+
+// String renders the reference as "id@addr".
+func (r NodeRef) String() string {
+	if r.IsZero() {
+		return "<none>"
+	}
+	return fmt.Sprintf("%x@%s", uint64(r.ID), r.Addr)
+}
+
+// Protocol messages. All are sent through the transport and registered for
+// gob so the same protocol runs over TCP.
+
+// FindMsg asks the ring to locate successor(Target). It is routed greedily
+// via finger tables; the owner replies to ReplyTo with a FoundMsg carrying
+// Token. Hops counts forwards; Trace tags the originating operation for
+// metrics (0 = untraced).
+type FindMsg struct {
+	Target  ID
+	Token   uint64
+	ReplyTo transport.Addr
+	Hops    int
+	Trace   uint64
+}
+
+// FoundMsg answers a FindMsg: Owner is successor(Target), Pred the owner's
+// predecessor at reply time. Trace carries the originating FindMsg's trace
+// tag for metrics.
+type FoundMsg struct {
+	Token uint64
+	Owner NodeRef
+	Pred  NodeRef
+	Hops  int
+	Trace uint64
+}
+
+// RouteMsg carries an application payload to successor(Key); the owner's
+// App.Deliver receives it.
+type RouteMsg struct {
+	Key     ID
+	From    transport.Addr
+	Payload any
+	Hops    int
+	Trace   uint64
+}
+
+// JoinReqMsg asks the owner of New.ID to admit New as its predecessor. Hops
+// counts forwards when ownership moved mid-join.
+type JoinReqMsg struct {
+	New  NodeRef
+	Hops int
+}
+
+// JoinAckMsg admits a joiner: Pred is its new predecessor, Succs its new
+// successor list (starting with the admitting node), Items the keys it now
+// owns.
+type JoinAckMsg struct {
+	Pred  NodeRef
+	Succs []NodeRef
+	Items []Item
+}
+
+// JoinNackMsg refuses a join (identifier collision).
+type JoinNackMsg struct {
+	Reason string
+}
+
+// NotifyMsg tells a node that Candidate believes it is the node's
+// predecessor (Chord's stabilization notify).
+type NotifyMsg struct {
+	Candidate NodeRef
+}
+
+// GetStateMsg asks a node for its predecessor and successor list
+// (stabilization probe). The reply is a StateMsg with the same Token.
+type GetStateMsg struct {
+	Token   uint64
+	ReplyTo transport.Addr
+}
+
+// StateMsg reports a node's neighbor state.
+type StateMsg struct {
+	Token uint64
+	Self  NodeRef
+	Pred  NodeRef
+	Succs []NodeRef
+	Load  int
+}
+
+// LeaveMsg announces a voluntary departure to the successor, transferring
+// the leaver's items and naming its predecessor so the ring closes.
+type LeaveMsg struct {
+	Leaving NodeRef
+	Pred    NodeRef
+	Items   []Item
+}
+
+// SuccChangedMsg tells a predecessor that its successor is now NewSucc
+// (sent by a leaving node and during joins).
+type SuccChangedMsg struct {
+	NewSucc NodeRef
+}
+
+// AppMsg wraps an application payload sent directly to a known peer
+// (bypassing ring routing); the receiving node hands Payload to its App.
+// Squid's aggregation optimization uses this to ship a batched sub-query
+// to the owner it just probed.
+type AppMsg struct {
+	From    transport.Addr
+	Payload any
+}
+
+// invokeMsg injects a closure into the node's delivery goroutine. It never
+// crosses the wire: Invoke sends it only to the node's own address, which
+// both transports deliver locally.
+type invokeMsg struct {
+	fn func()
+}
+
+func init() {
+	transport.Register(FindMsg{})
+	transport.Register(FoundMsg{})
+	transport.Register(RouteMsg{})
+	transport.Register(JoinReqMsg{})
+	transport.Register(JoinAckMsg{})
+	transport.Register(JoinNackMsg{})
+	transport.Register(NotifyMsg{})
+	transport.Register(GetStateMsg{})
+	transport.Register(StateMsg{})
+	transport.Register(LeaveMsg{})
+	transport.Register(SuccChangedMsg{})
+	transport.Register(AppMsg{})
+	transport.Register([]Item{})
+	transport.Register(NodeRef{})
+}

@@ -1,0 +1,489 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"squid/internal/transport"
+)
+
+// Config tunes a ring node.
+type Config struct {
+	// Space is the identifier ring geometry.
+	Space Space
+	// SuccListLen is the successor-list length kept for fault tolerance
+	// (default 4).
+	SuccListLen int
+	// RPCTimeout bounds how long pending find/state requests wait for a
+	// reply before failing (0 disables timeouts; the in-process simulator
+	// relies on reliable delivery instead).
+	RPCTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuccListLen <= 0 {
+		c.SuccListLen = 4
+	}
+	return c
+}
+
+// ErrJoinRefused reports that the ring refused a join (identifier
+// collision).
+var ErrJoinRefused = errors.New("chord: join refused")
+
+// ErrTimeout reports that an operation's reply did not arrive in time.
+var ErrTimeout = errors.New("chord: operation timed out")
+
+// ErrLookupFailed reports that a lookup was dropped by the ring, typically
+// because churn left a transient routing loop; retry after stabilization.
+var ErrLookupFailed = errors.New("chord: lookup failed (ring unstable)")
+
+// Node is one Chord peer.
+//
+// Concurrency contract: a Node's state is confined to its delivery
+// goroutine. Every method except Self, Invoke and Deliver must be called
+// from that goroutine — i.e. from an App upcall, from a callback passed to
+// one of the Node's own async methods, or from a closure passed to Invoke.
+type Node struct {
+	cfg  Config
+	self NodeRef
+	app  App
+	ep   transport.Endpoint
+
+	pred    NodeRef
+	succs   []NodeRef
+	fingers []NodeRef
+	fixNext int
+
+	nextToken     uint64
+	pendingFinds  map[uint64]*pendingCall[FoundMsg]
+	pendingStates map[uint64]*pendingCall[StateMsg]
+	joinDone      func(error)
+
+	running bool
+}
+
+type pendingCall[T any] struct {
+	cb    func(T, error)
+	timer *time.Timer
+}
+
+// NewNode creates a node with the given identifier. app may be nil (NopApp).
+func NewNode(cfg Config, id ID, app App) *Node {
+	cfg = cfg.withDefaults()
+	if app == nil {
+		app = NopApp{}
+	}
+	return &Node{
+		cfg:           cfg,
+		self:          NodeRef{ID: cfg.Space.Fold(uint64(id))},
+		app:           app,
+		fingers:       make([]NodeRef, cfg.Space.Bits),
+		pendingFinds:  make(map[uint64]*pendingCall[FoundMsg]),
+		pendingStates: make(map[uint64]*pendingCall[StateMsg]),
+	}
+}
+
+// Start attaches the node to its endpoint. It must be called before the
+// node sends or receives any traffic (Listen on the transport with the node
+// as handler, then Start with the returned endpoint).
+func (n *Node) Start(ep transport.Endpoint) {
+	n.ep = ep
+	n.self.Addr = ep.Addr()
+}
+
+// Self returns the node's own reference. Safe from any goroutine: the
+// reference is immutable after Start.
+func (n *Node) Self() NodeRef { return n.self }
+
+// Space returns the ring geometry.
+func (n *Node) Space() Space { return n.cfg.Space }
+
+// App returns the application attached to the node.
+func (n *Node) App() App { return n.app }
+
+// Invoke schedules fn to run in the node's delivery goroutine. Safe from
+// any goroutine; this is how external drivers call the goroutine-confined
+// API.
+func (n *Node) Invoke(fn func()) error {
+	return n.ep.Send(n.self.Addr, invokeMsg{fn: fn})
+}
+
+// Deliver implements transport.Handler; it dispatches protocol messages.
+func (n *Node) Deliver(from transport.Addr, msg any) {
+	switch m := msg.(type) {
+	case invokeMsg:
+		m.fn()
+	case FindMsg:
+		n.handleFind(m)
+	case FoundMsg:
+		n.handleFound(m)
+	case RouteMsg:
+		n.handleRoute(m)
+	case JoinReqMsg:
+		n.handleJoinReq(m)
+	case JoinAckMsg:
+		n.handleJoinAck(m)
+	case JoinNackMsg:
+		n.handleJoinNack(m)
+	case NotifyMsg:
+		n.handleNotify(m)
+	case GetStateMsg:
+		n.handleGetState(m)
+	case StateMsg:
+		n.handleState(m)
+	case LeaveMsg:
+		n.handleLeave(m)
+	case SuccChangedMsg:
+		n.handleSuccChanged(m)
+	case AppMsg:
+		n.app.Deliver(m.From, n.self.ID, m.Payload)
+	}
+}
+
+// SendApp sends an application payload directly to the peer at to,
+// bypassing ring routing; it arrives at that peer's App.Deliver. Reports
+// whether the transport accepted the message.
+func (n *Node) SendApp(to transport.Addr, payload any) bool {
+	return n.send(to, AppMsg{From: n.self.Addr, Payload: payload})
+}
+
+// Running reports whether the node is an active ring member.
+func (n *Node) Running() bool { return n.running }
+
+// Pred returns the current predecessor (zero if unknown).
+func (n *Node) Pred() NodeRef { return n.pred }
+
+// Succ returns the current immediate successor (self on a singleton ring).
+func (n *Node) Succ() NodeRef {
+	if len(n.succs) == 0 {
+		return n.self
+	}
+	return n.succs[0]
+}
+
+// SuccList returns a copy of the successor list.
+func (n *Node) SuccList() []NodeRef { return append([]NodeRef(nil), n.succs...) }
+
+// Fingers returns a copy of the finger table.
+func (n *Node) Fingers() []NodeRef { return append([]NodeRef(nil), n.fingers...) }
+
+// Create initializes the node as the first member of a new ring.
+func (n *Node) Create() {
+	n.setPred(n.self)
+	n.succs = []NodeRef{n.self}
+	for i := range n.fingers {
+		n.fingers[i] = n.self
+	}
+	n.running = true
+}
+
+// InstallRing overwrites the node's neighbor state directly. It is the
+// oracle-bootstrap hook used by the simulator to construct large static
+// rings without running O(N log^2 N) join messages, exactly as the paper's
+// simulator does; the protocol paths (Join/Leave/Stabilize) remain the
+// source of truth for dynamic behaviour.
+func (n *Node) InstallRing(pred NodeRef, succs, fingers []NodeRef) {
+	n.setPred(pred)
+	n.succs = append([]NodeRef(nil), succs...)
+	if len(n.succs) == 0 {
+		n.succs = []NodeRef{n.self}
+	}
+	copy(n.fingers, fingers)
+	for i := range n.fingers {
+		if n.fingers[i].IsZero() {
+			n.fingers[i] = n.succs[0]
+		}
+	}
+	n.running = true
+}
+
+// Owns reports whether this node is the successor of key, i.e. key lies in
+// (pred, self].
+func (n *Node) Owns(key ID) bool {
+	if n.pred.IsZero() {
+		return true
+	}
+	return n.cfg.Space.Between(key, n.pred.ID, n.self.ID)
+}
+
+// maxHops bounds how many times a routed message may be forwarded. A
+// consistent ring resolves any target within Space.Bits hops; the slack
+// absorbs detours around failures. Messages exceeding it are dropped (finds
+// reply with a zero Owner) — transient routing loops during churn must not
+// live forever, or stabilization could never catch up.
+func (n *Node) maxHops() int { return 3*n.cfg.Space.Bits + 32 }
+
+// setPred updates the predecessor, notifying an ArcWatcher application of
+// the ownership change.
+func (n *Node) setPred(p NodeRef) {
+	if n.pred == p {
+		return
+	}
+	old := n.pred
+	n.pred = p
+	if aw, ok := n.app.(ArcWatcher); ok {
+		aw.ArcChanged(old, p)
+	}
+}
+
+// token issues a correlation token for request/reply exchanges.
+func (n *Node) token() uint64 {
+	n.nextToken++
+	return n.nextToken
+}
+
+// send transmits msg, reporting whether the destination accepted it.
+func (n *Node) send(to transport.Addr, msg any) bool {
+	return n.ep.Send(to, msg) == nil
+}
+
+// closestPreceding returns the live candidate most closely preceding
+// target from the finger table and successor list (Chord's
+// closest_preceding_node).
+func (n *Node) closestPreceding(target ID) NodeRef {
+	sp := n.cfg.Space
+	best := NodeRef{}
+	bestDist := uint64(0)
+	consider := func(c NodeRef) {
+		if c.IsZero() || c.ID == n.self.ID {
+			return
+		}
+		if !sp.BetweenOpen(c.ID, n.self.ID, target) {
+			return
+		}
+		if d := sp.Dist(n.self.ID, c.ID); best.IsZero() || d > bestDist {
+			best, bestDist = c, d
+		}
+	}
+	for _, f := range n.fingers {
+		consider(f)
+	}
+	for _, s := range n.succs {
+		consider(s)
+	}
+	if best.IsZero() {
+		return n.Succ()
+	}
+	return best
+}
+
+// forwardToward sends msg one hop toward successor(target), skipping dead
+// candidates. It reports whether the message was handed to someone.
+func (n *Node) forwardToward(target ID, msg any) bool {
+	// Primary candidate, then progressively safer fallbacks.
+	tried := map[transport.Addr]bool{n.self.Addr: true}
+	try := func(c NodeRef) bool {
+		if c.IsZero() || tried[c.Addr] {
+			return false
+		}
+		tried[c.Addr] = true
+		if n.send(c.Addr, msg) {
+			return true
+		}
+		n.dropDead(c)
+		return false
+	}
+	if sp := n.cfg.Space; sp.Between(target, n.self.ID, n.Succ().ID) {
+		if try(n.Succ()) {
+			return true
+		}
+	}
+	if try(n.closestPreceding(target)) {
+		return true
+	}
+	// Fall back through the successor list.
+	for _, s := range n.SuccList() {
+		if try(s) {
+			return true
+		}
+	}
+	// Last resort: any live finger.
+	for _, f := range n.Fingers() {
+		if try(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// dropDead removes a dead reference from the node's neighbor state.
+func (n *Node) dropDead(dead NodeRef) {
+	if n.pred.Addr == dead.Addr {
+		n.setPred(NodeRef{})
+	}
+	kept := n.succs[:0]
+	for _, s := range n.succs {
+		if s.Addr != dead.Addr {
+			kept = append(kept, s)
+		}
+	}
+	n.succs = kept
+	if len(n.succs) == 0 {
+		n.succs = []NodeRef{n.self}
+	}
+	for i, f := range n.fingers {
+		if f.Addr == dead.Addr {
+			n.fingers[i] = n.succs[0]
+		}
+	}
+}
+
+// Route delivers payload to App.Deliver on successor(key). trace tags the
+// message for per-operation metrics (0 = untraced).
+func (n *Node) Route(key ID, payload any, trace uint64) {
+	n.handleRoute(RouteMsg{Key: n.cfg.Space.Fold(uint64(key)), From: n.self.Addr, Payload: payload, Trace: trace})
+}
+
+func (n *Node) handleRoute(m RouteMsg) {
+	if n.Owns(m.Key) {
+		n.app.Deliver(m.From, m.Key, m.Payload)
+		return
+	}
+	if m.Hops >= n.maxHops() {
+		return // transient routing loop; drop rather than spin forever
+	}
+	m.Hops++
+	n.forwardToward(m.Key, m)
+}
+
+// FindSuccessor resolves successor(target) and calls cb with the owner (and
+// the owner's predecessor, which Squid's aggregation optimization uses to
+// batch sub-queries). On timeout or routing failure cb receives ErrTimeout.
+func (n *Node) FindSuccessor(target ID, trace uint64, cb func(FoundMsg, error)) {
+	target = n.cfg.Space.Fold(uint64(target))
+	if n.Owns(target) {
+		cb(FoundMsg{Owner: n.self, Pred: n.pred}, nil)
+		return
+	}
+	tok := n.token()
+	pc := &pendingCall[FoundMsg]{cb: cb}
+	if n.cfg.RPCTimeout > 0 {
+		pc.timer = time.AfterFunc(n.cfg.RPCTimeout, func() {
+			n.Invoke(func() {
+				if _, ok := n.pendingFinds[tok]; ok {
+					delete(n.pendingFinds, tok)
+					cb(FoundMsg{}, ErrTimeout)
+				}
+			})
+		})
+	}
+	n.pendingFinds[tok] = pc
+	msg := FindMsg{Target: target, Token: tok, ReplyTo: n.self.Addr, Hops: 1, Trace: trace}
+	if !n.forwardToward(target, msg) {
+		delete(n.pendingFinds, tok)
+		if pc.timer != nil {
+			pc.timer.Stop()
+		}
+		cb(FoundMsg{}, ErrTimeout)
+	}
+}
+
+func (n *Node) handleFind(m FindMsg) {
+	if n.Owns(m.Target) {
+		n.send(m.ReplyTo, FoundMsg{Token: m.Token, Owner: n.self, Pred: n.pred, Hops: m.Hops, Trace: m.Trace})
+		return
+	}
+	if m.Hops >= n.maxHops() {
+		// Routing loop during churn: fail the lookup so the caller can
+		// retry after stabilization repairs the ring.
+		n.send(m.ReplyTo, FoundMsg{Token: m.Token, Hops: m.Hops, Trace: m.Trace})
+		return
+	}
+	m.Hops++
+	n.forwardToward(m.Target, m)
+}
+
+func (n *Node) handleFound(m FoundMsg) {
+	pc, ok := n.pendingFinds[m.Token]
+	if !ok {
+		return
+	}
+	delete(n.pendingFinds, m.Token)
+	if pc.timer != nil {
+		pc.timer.Stop()
+	}
+	if m.Owner.IsZero() {
+		pc.cb(m, ErrLookupFailed)
+		return
+	}
+	pc.cb(m, nil)
+}
+
+// getState asks peer for its neighbor state.
+func (n *Node) getState(peer transport.Addr, cb func(StateMsg, error)) {
+	tok := n.token()
+	pc := &pendingCall[StateMsg]{cb: cb}
+	if n.cfg.RPCTimeout > 0 {
+		pc.timer = time.AfterFunc(n.cfg.RPCTimeout, func() {
+			n.Invoke(func() {
+				if _, ok := n.pendingStates[tok]; ok {
+					delete(n.pendingStates, tok)
+					cb(StateMsg{}, ErrTimeout)
+				}
+			})
+		})
+	}
+	n.pendingStates[tok] = pc
+	if !n.send(peer, GetStateMsg{Token: tok, ReplyTo: n.self.Addr}) {
+		delete(n.pendingStates, tok)
+		if pc.timer != nil {
+			pc.timer.Stop()
+		}
+		cb(StateMsg{}, transport.ErrUnreachable)
+	}
+}
+
+// GetStateOf exposes the state probe for drivers and the load-balancing
+// protocols.
+func (n *Node) GetStateOf(peer transport.Addr, cb func(StateMsg, error)) {
+	n.getState(peer, cb)
+}
+
+func (n *Node) handleGetState(m GetStateMsg) {
+	n.send(m.ReplyTo, StateMsg{
+		Token: m.Token,
+		Self:  n.self,
+		Pred:  n.pred,
+		Succs: n.SuccList(),
+		Load:  n.app.Load(),
+	})
+}
+
+func (n *Node) handleState(m StateMsg) {
+	pc, ok := n.pendingStates[m.Token]
+	if !ok {
+		return
+	}
+	delete(n.pendingStates, m.Token)
+	if pc.timer != nil {
+		pc.timer.Stop()
+	}
+	pc.cb(m, nil)
+}
+
+// trimSuccs bounds a successor list to the configured length, dropping
+// self-references that would shadow real successors.
+func (n *Node) trimSuccs(list []NodeRef) []NodeRef {
+	out := make([]NodeRef, 0, n.cfg.SuccListLen)
+	seen := map[transport.Addr]bool{}
+	for _, s := range list {
+		if s.IsZero() || seen[s.Addr] {
+			continue
+		}
+		seen[s.Addr] = true
+		out = append(out, s)
+		if len(out) == n.cfg.SuccListLen {
+			break
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, n.self)
+	}
+	return out
+}
+
+func (n *Node) String() string {
+	return fmt.Sprintf("chord.Node(%s pred=%s succ=%s)", n.self, n.pred, n.Succ())
+}

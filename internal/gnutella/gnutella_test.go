@@ -1,0 +1,84 @@
+package gnutella
+
+import (
+	"fmt"
+	"testing"
+
+	"squid/internal/keyspace"
+	"squid/internal/squid"
+)
+
+func buildFloodNet(t *testing.T, n, degree int) *Network {
+	t.Helper()
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := Build(space, n, degree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestFloodFullTTLFindsEverything(t *testing.T) {
+	nw := buildFloodNet(t, 50, 4)
+	want := 0
+	for i := 0; i < 200; i++ {
+		vals := []string{"computer", "network"}
+		if i%3 == 0 {
+			vals = []string{"data", "storage"}
+			want++
+		}
+		nw.Publish(i%len(nw.Peers), squid.Element{Values: vals, Data: fmt.Sprintf("d%d", i)})
+	}
+	res := nw.Query(0, keyspace.MustParse("(data, *)"), len(nw.Peers))
+	if len(res.Matches) != want {
+		t.Errorf("full flood found %d, want %d", len(res.Matches), want)
+	}
+	if res.Visited != len(nw.Peers) {
+		t.Errorf("full flood visited %d of %d peers", res.Visited, len(nw.Peers))
+	}
+	if res.Messages < len(nw.Peers)-1 {
+		t.Errorf("implausibly few messages: %d", res.Messages)
+	}
+}
+
+func TestFloodSmallTTLMissesMatches(t *testing.T) {
+	// The defining weakness flooding has and Squid fixes: recall depends on
+	// the TTL radius.
+	nw := buildFloodNet(t, 80, 3)
+	for i := 0; i < 80; i++ {
+		nw.Publish(i, squid.Element{Values: []string{"grid", "node"}, Data: fmt.Sprintf("d%d", i)})
+	}
+	full := nw.Query(0, keyspace.MustParse("(grid, *)"), 80)
+	short := nw.Query(0, keyspace.MustParse("(grid, *)"), 2)
+	if len(full.Matches) != 80 {
+		t.Fatalf("full flood found %d", len(full.Matches))
+	}
+	if len(short.Matches) >= len(full.Matches) {
+		t.Errorf("TTL-2 flood should miss matches: %d vs %d", len(short.Matches), len(full.Matches))
+	}
+	if short.Messages >= full.Messages {
+		t.Errorf("TTL-2 should send fewer messages: %d vs %d", short.Messages, full.Messages)
+	}
+}
+
+func TestFloodDuplicateSuppression(t *testing.T) {
+	nw := buildFloodNet(t, 30, 6)
+	res := nw.Query(5, keyspace.MustParse("(x*, *)"), 30)
+	// With duplicate suppression, total messages are bounded by edges*2.
+	if res.Messages > 30*6*2 {
+		t.Errorf("messages %d exceed edge bound", res.Messages)
+	}
+	if res.Visited != 30 {
+		t.Errorf("visited %d", res.Visited)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	space, _ := keyspace.NewWordSpace(2, 16)
+	if _, err := Build(space, 0, 3, 1); err == nil {
+		t.Error("0 peers should fail")
+	}
+}

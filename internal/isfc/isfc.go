@@ -1,0 +1,135 @@
+// Package isfc implements the Andrzejak-Xu inverse-SFC range-query index
+// over CAN — the one other SFC-based P2P discovery system the paper cites
+// (related work [1], "Scalable, efficient range queries for grid
+// information services", P2P 2002).
+//
+// Where Squid maps the d-dimensional keyword space *forward* onto a
+// 1-dimensional Chord ring, Andrzejak-Xu do the opposite: a single
+// resource attribute (e.g. memory) is treated as a position on a Hilbert
+// curve and mapped *inverse* into CAN's d-dimensional zone space. A range
+// of attribute values is a curve segment, which decomposes into aligned
+// subcubes (digital causality again); the query visits every CAN zone
+// intersecting those subcubes.
+//
+// The benchmark compares this against Squid restricted to one attribute
+// dimension, reproducing the paper's architectural argument: Squid
+// generalizes the same curve trick to multiple attributes on any overlay.
+package isfc
+
+import (
+	"fmt"
+
+	"squid/internal/can"
+	"squid/internal/sfc"
+)
+
+// Index is an inverse-SFC attribute index over a CAN overlay.
+type Index struct {
+	can   *can.Network
+	curve sfc.Hilbert
+	dims  int
+	bits  int
+}
+
+// New builds the index: attribute values live in [0, 2^(dims*bits)) and
+// are placed into the CAN by Hilbert decoding.
+func New(network *can.Network, dims, bits int) (*Index, error) {
+	h, err := sfc.NewHilbert(dims, bits)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{can: network, curve: h, dims: dims, bits: bits}, nil
+}
+
+// ValueBits returns the width of attribute values.
+func (ix *Index) ValueBits() int { return ix.dims * ix.bits }
+
+// Add stores an attribute value: decode to a d-dimensional point, place in
+// the owning zone.
+func (ix *Index) Add(value uint64) {
+	pt := make([]uint64, ix.dims)
+	ix.curve.Decode(value, pt)
+	ix.can.Add(pt)
+}
+
+// RangeCost reports the overlay cost of resolving the attribute range
+// [lo, hi] from a random start point: the distinct zones visited and the
+// messages used (greedy route to each subcube region plus the constrained
+// flood within it).
+type RangeCost struct {
+	Zones    int
+	Messages int
+	Subcubes int
+}
+
+// Query resolves [lo, hi] (inclusive attribute values) starting from the
+// zone owning the from value.
+func (ix *Index) Query(from, lo, hi uint64) (RangeCost, error) {
+	if lo > hi {
+		return RangeCost{}, fmt.Errorf("isfc: inverted range [%d, %d]", lo, hi)
+	}
+	max := uint64(1)<<(ix.dims*ix.bits) - 1
+	if hi > max {
+		hi = max
+	}
+	start := make([]uint64, ix.dims)
+	ix.curve.Decode(from, start)
+
+	cost := RangeCost{}
+	seen := map[int]bool{}
+	boxLo := make([]uint64, ix.dims)
+	boxHi := make([]uint64, ix.dims)
+	pt := make([]uint64, ix.dims)
+	for _, cl := range AlignedBlocks(lo, hi, ix.dims, ix.bits) {
+		cost.Subcubes++
+		// The subcube of a curve block: decode its lowest index, truncate.
+		span := cl.Span(ix.curve)
+		ix.curve.Decode(span.Lo, pt)
+		shift := uint(ix.bits - cl.Level)
+		for i := range pt {
+			boxLo[i] = (pt[i] >> shift) << shift
+			boxHi[i] = boxLo[i] | (uint64(1)<<shift - 1)
+		}
+		zones, msgs := ix.can.VisitRegion(start, boxLo, boxHi)
+		cost.Messages += msgs
+		for _, z := range zones {
+			if !seen[z] {
+				seen[z] = true
+				cost.Zones++
+			}
+		}
+	}
+	return cost, nil
+}
+
+// AlignedBlocks decomposes the inclusive index interval [lo, hi] into the
+// minimal sequence of curve-aligned blocks (prefix, level) — each a whole
+// subcube by digital causality. This is the classic segment-tree style
+// greedy: repeatedly take the largest aligned block starting at lo that
+// fits.
+func AlignedBlocks(lo, hi uint64, dims, bits int) []sfc.Cluster {
+	var out []sfc.Cluster
+	fanShift := uint(dims)
+	for {
+		// Largest block size 2^(dims*l) with lo aligned and fitting in range.
+		shift := uint(0)
+		for int(shift+fanShift) <= dims*bits && shift+fanShift < 64 {
+			next := shift + fanShift
+			size := uint64(1) << next
+			if lo&(size-1) != 0 {
+				break
+			}
+			if size-1 > hi-lo {
+				break
+			}
+			shift = next
+		}
+		level := bits - int(shift)/dims
+		out = append(out, sfc.Cluster{Prefix: lo >> shift, Level: level})
+		blockEnd := lo | (uint64(1)<<shift - 1)
+		if blockEnd >= hi {
+			return out
+		}
+		lo = blockEnd + 1
+	}
+}

@@ -1,0 +1,22 @@
+// Package keyspace models the multidimensional keyword space of the paper
+// (Schmidt & Parashar, HPDC 2003, Section 3.1): data elements are described
+// by a tuple of keywords or attribute values, each tuple is a point in a
+// d-dimensional discrete cube, and queries (exact keywords, partial keywords,
+// wildcards, numeric ranges) are regions of that cube.
+//
+// A Space combines one Dimension codec per axis with a space-filling curve:
+//
+//   - WordDim encodes words lexicographically ("the keywords can be viewed as
+//     base-n numbers"): strings over [a-z0-9] become base-37 integers (0 is
+//     the end-of-string sentinel, so "comp" < "compute" < "computer" and the
+//     prefix comp* is exactly one contiguous coordinate interval), scaled to
+//     fill the axis. Words longer than the axis can discriminate are
+//     truncated; exactness is preserved because data nodes re-filter matches
+//     against the original strings (Space.Matches).
+//   - NumericDim encodes attribute values (memory, bandwidth, cost, ...)
+//     linearly between configured bounds, making range queries contiguous
+//     coordinate intervals.
+//
+// Space.Index places a data element on the curve; Space.Region translates a
+// Query into the sfc.Region that the distributed query engine refines.
+package keyspace

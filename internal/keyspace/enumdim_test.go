@@ -1,0 +1,159 @@
+package keyspace
+
+import (
+	"testing"
+
+	"squid/internal/sfc"
+)
+
+var osValues = []string{"linux", "freebsd", "darwin", "windows", "solaris"}
+
+func TestEnumDimBasics(t *testing.T) {
+	d := MustEnumDim("os", 16, osValues)
+	if d.Name() != "os" || d.Bits() != 16 {
+		t.Error("accessors wrong")
+	}
+	if got := d.Values(); len(got) != 5 || got[2] != "darwin" {
+		t.Errorf("Values = %v", got)
+	}
+
+	// Encoding is ordered and case/space-insensitive.
+	var prev uint64
+	for i, v := range osValues {
+		c, err := d.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && c <= prev {
+			t.Errorf("categories not ordered: %q at %d after %d", v, c, prev)
+		}
+		prev = c
+		c2, err := d.Encode("  " + string(v[0]-32) + v[1:] + " ")
+		if err != nil || c2 != c {
+			t.Errorf("case folding failed for %q", v)
+		}
+	}
+	if _, err := d.Encode("plan9"); err == nil {
+		t.Error("unknown category should fail")
+	}
+}
+
+func TestEnumDimErrors(t *testing.T) {
+	if _, err := NewEnumDim("x", 0, osValues); err == nil {
+		t.Error("0 bits should fail")
+	}
+	if _, err := NewEnumDim("x", 16, nil); err == nil {
+		t.Error("no values should fail")
+	}
+	if _, err := NewEnumDim("x", 2, osValues); err == nil {
+		t.Error("5 categories need >2 bits")
+	}
+	if _, err := NewEnumDim("x", 16, []string{"a", "A"}); err == nil {
+		t.Error("case-duplicate values should fail")
+	}
+	if _, err := NewEnumDim("x", 16, []string{"a", ""}); err == nil {
+		t.Error("empty value should fail")
+	}
+}
+
+func TestEnumDimIntervalAndMatches(t *testing.T) {
+	d := MustEnumDim("os", 16, osValues)
+
+	// Exact: each category's interval contains its own coordinate only.
+	for i, v := range osValues {
+		iv, err := d.Interval(Exact(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, w := range osValues {
+			c, _ := d.Encode(w)
+			if iv.Contains(c) != (i == j) {
+				t.Errorf("Exact(%s) interval vs %s wrong", v, w)
+			}
+			if d.Matches(Exact(v), w) != (i == j) {
+				t.Errorf("Exact(%s) matches %s wrong", v, w)
+			}
+		}
+	}
+
+	// Range over declaration order.
+	iv, err := d.Interval(Range("freebsd", "windows"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range osValues {
+		c, _ := d.Encode(v)
+		want := i >= 1 && i <= 3
+		if iv.Contains(c) != want {
+			t.Errorf("range interval vs %s wrong", v)
+		}
+		if d.Matches(Range("freebsd", "windows"), v) != want {
+			t.Errorf("range matches %s wrong", v)
+		}
+	}
+	if _, err := d.Interval(Range("windows", "freebsd")); err == nil {
+		t.Error("inverted category range should fail")
+	}
+
+	// Prefix.
+	if !d.Matches(Prefix("lin"), "linux") || d.Matches(Prefix("lin"), "darwin") {
+		t.Error("prefix matches wrong")
+	}
+	pv, err := d.Interval(Prefix("lin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := d.Encode("linux")
+	if !pv.Contains(c) {
+		t.Error("prefix interval misses linux")
+	}
+	if _, err := d.Interval(Prefix("zzz")); err == nil {
+		t.Error("prefix matching nothing should fail")
+	}
+
+	// Wildcard covers the whole axis.
+	wv, _ := d.Interval(Wildcard())
+	if wv.Lo != 0 || wv.Hi != (1<<16)-1 {
+		t.Errorf("wildcard interval = %v", wv)
+	}
+	if !d.Matches(Wildcard(), "solaris") || d.Matches(Wildcard(), "plan9") {
+		t.Error("wildcard matches wrong")
+	}
+}
+
+// TestEnumDimInSpace runs the soundness check with a mixed enum/numeric
+// space — the paper's grid resource scenario with an OS-type attribute.
+func TestEnumDimInSpace(t *testing.T) {
+	s := MustNew(sfc.MustHilbert(3, 16),
+		MustEnumDim("os", 16, osValues),
+		MustNumericDim("memory", 16, 0, 4096),
+		MustNumericDim("cpu", 16, 0, 4000),
+	)
+	values := []string{"linux", "512", "2400"}
+	idx, err := s.Index(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Query{
+		{Exact("linux"), Range("256", "1024"), Wildcard()},
+		{Range("linux", "darwin"), Wildcard(), Range("2000", "3000")},
+		{Prefix("li"), Wildcard(), Wildcard()},
+	} {
+		if !s.Matches(q, values) {
+			t.Errorf("%s should match %v", q, values)
+			continue
+		}
+		region, err := s.Region(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := make([]uint64, 3)
+		s.Curve().Decode(idx, pt)
+		if !region.ContainsPoint(pt) {
+			t.Errorf("%s region excludes the matching resource", q)
+		}
+	}
+	if s.Matches(Query{Exact("windows")}, values) {
+		t.Error("wrong OS should not match")
+	}
+}

@@ -1,0 +1,79 @@
+package keyspace_test
+
+import (
+	"fmt"
+
+	"squid/internal/keyspace"
+	"squid/internal/sfc"
+)
+
+// ExampleParse shows the paper's query syntax.
+func ExampleParse() {
+	for _, s := range []string{
+		"(computer, network)",
+		"(comp*, *)",
+		"(256-512, *, 10-*)",
+	} {
+		q, err := keyspace.Parse(s)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Printf("%s exact=%v\n", q, q.IsExact())
+	}
+	// Output:
+	// (computer, network) exact=true
+	// (comp*, *) exact=false
+	// (256-512, *, 10-*) exact=false
+}
+
+// ExampleSpace_Index maps a keyword tuple to its DHT key.
+func ExampleSpace_Index() {
+	space, _ := keyspace.NewWordSpace(2, 16)
+	idx, _ := space.Index([]string{"computer", "network"})
+	idx2, _ := space.Index([]string{"computer", "networks"})
+	// Lexicographically close tuples land close on the curve — the
+	// locality the whole system is built on.
+	diff := int64(idx) - int64(idx2)
+	if diff < 0 {
+		diff = -diff
+	}
+	fmt.Println("indices within 1% of the space:", diff < 1<<32/100)
+	// Output:
+	// indices within 1% of the space: true
+}
+
+// ExampleSpace_Region translates a flexible query into a curve region and
+// checks an element against it.
+func ExampleSpace_Region() {
+	space, _ := keyspace.NewWordSpace(2, 16)
+	q := keyspace.MustParse("(comp*, net*)")
+	region, _ := space.Region(q)
+
+	pt, _ := space.Point([]string{"computer", "network"})
+	fmt.Println("computer/network inside:", region.ContainsPoint(pt))
+	fmt.Println("matches exactly:", space.Matches(q, []string{"computer", "network"}))
+	fmt.Println("matches wrong prefix:", space.Matches(q, []string{"data", "network"}))
+	// Output:
+	// computer/network inside: true
+	// matches exactly: true
+	// matches wrong prefix: false
+}
+
+// ExampleNew builds the paper's grid-resource space: numeric and
+// categorical attributes on a Hilbert curve.
+func ExampleNew() {
+	space, _ := keyspace.New(sfc.MustHilbert(3, 16),
+		keyspace.MustNumericDim("memoryMB", 16, 0, 8192),
+		keyspace.MustNumericDim("cpuMHz", 16, 0, 4000),
+		keyspace.MustEnumDim("os", 16, []string{"linux", "freebsd", "darwin"}),
+	)
+	q := keyspace.MustParse("(256-512, *, linux)")
+	fmt.Println("512MB linux matches:", space.Matches(q, []string{"512", "2400", "linux"}))
+	fmt.Println("128MB linux matches:", space.Matches(q, []string{"128", "2400", "linux"}))
+	fmt.Println("512MB darwin matches:", space.Matches(q, []string{"512", "2400", "darwin"}))
+	// Output:
+	// 512MB linux matches: true
+	// 128MB linux matches: false
+	// 512MB darwin matches: false
+}

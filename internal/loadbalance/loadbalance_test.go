@@ -1,0 +1,202 @@
+package loadbalance
+
+import (
+	"math/rand"
+	"testing"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/stats"
+	"squid/internal/workload"
+)
+
+// skewedNetwork builds a network whose data is Zipf-skewed, so the
+// SFC-preserved locality concentrates keys on few arcs (the paper's
+// Fig. 18 situation).
+func skewedNetwork(t testing.TB, nodes, keys int) *sim.Network {
+	t.Helper()
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sim.Build(sim.Config{Nodes: nodes, Space: space, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := workload.NewVocabulary(11, 400, 1.3)
+	tuples := workload.KeyTuples(vocab, 13, keys, 2)
+	if err := nw.Preload(workload.Elements(tuples)); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestProbeLoadsAndChooseBest(t *testing.T) {
+	nw := skewedNetwork(t, 20, 2000)
+	member := nw.Peers[0].Node
+	rng := rand.New(rand.NewSource(1))
+	candidates := make([]chord.ID, 8)
+	for i := range candidates {
+		candidates[i] = chord.ID(rng.Uint64() & ((1 << 32) - 1))
+	}
+	ch := make(chan []CandidateLoad, 1)
+	member.Invoke(func() { ProbeLoads(member, candidates, func(l []CandidateLoad) { ch <- l }) })
+	loads := <-ch
+	nw.Quiesce()
+	if len(loads) != 8 {
+		t.Fatalf("got %d probe results", len(loads))
+	}
+	for i, c := range loads {
+		if c.Load < 0 {
+			t.Errorf("probe %d failed", i)
+		}
+		// Verify against the oracle owner's actual load.
+		owner := nw.SuccessorOf(uint64(c.ID))
+		if c.Owner.Addr != owner.Addr() {
+			t.Errorf("probe %d owner %s, oracle %s", i, c.Owner, owner.Node.Self())
+		}
+	}
+	best, ok := ChooseBest(loads)
+	if !ok {
+		t.Fatal("ChooseBest failed")
+	}
+	bestLoad := -1
+	for _, c := range loads {
+		if c.ID == best {
+			bestLoad = c.Load
+		}
+	}
+	for _, c := range loads {
+		if c.Load > bestLoad {
+			t.Errorf("ChooseBest missed a hotter arc: %d > %d", c.Load, bestLoad)
+		}
+	}
+	if _, ok := ChooseBest(nil); ok {
+		t.Error("empty ChooseBest should fail")
+	}
+	if _, ok := ChooseBest([]CandidateLoad{{Load: -1}}); ok {
+		t.Error("all-failed ChooseBest should fail")
+	}
+}
+
+// TestSampledJoinBeatsUniform grows two networks from a single seed node
+// holding all keys: one with uniformly random joins, one with the paper's
+// join-time sampling. Sampling must yield a visibly better balance.
+func TestSampledJoinBeatsUniform(t *testing.T) {
+	const grow = 30
+	build := func(sampled bool) []int {
+		nw := skewedNetwork(t, 1, 4000)
+		// Distinct tuples may collide on index keys (axis truncation), so
+		// the conserved quantity is the initial distinct-key count.
+		keys := nw.TotalKeys()
+		rng := rand.New(rand.NewSource(21))
+		randID := func() chord.ID { return chord.ID(rng.Uint64() & ((1 << 32) - 1)) }
+		for i := 0; i < grow; i++ {
+			var err error
+			if sampled {
+				_, err = SampledJoin(nw, 8, randID)
+			} else {
+				_, err = nw.AddPeer(randID())
+			}
+			if err != nil {
+				t.Fatalf("grow %d: %v", i, err)
+			}
+		}
+		if got := nw.TotalKeys(); got != keys {
+			t.Fatalf("keys lost during growth: %d -> %d", keys, got)
+		}
+		return nw.LoadVector()
+	}
+	uniform := stats.Gini(build(false))
+	sampled := stats.Gini(build(true))
+	t.Logf("gini uniform=%.3f sampled=%.3f", uniform, sampled)
+	if sampled >= uniform {
+		t.Errorf("sampled join gini %.3f should beat uniform %.3f", sampled, uniform)
+	}
+}
+
+func TestNeighborBalanceImprovesAndPreservesData(t *testing.T) {
+	nw := skewedNetwork(t, 30, 5000)
+	before := stats.Gini(nw.LoadVector())
+	keysBefore := nw.TotalKeys()
+
+	rounds, err := Balance(nw, 2.0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := stats.Gini(nw.LoadVector())
+	t.Logf("gini %.3f -> %.3f in %d rounds", before, after, rounds)
+	if after >= before {
+		t.Errorf("balancing did not improve gini: %.3f -> %.3f", before, after)
+	}
+	if got := nw.TotalKeys(); got != keysBefore {
+		t.Errorf("balancing lost keys: %d -> %d", keysBefore, got)
+	}
+	if err := nw.VerifyConsistent(); err != nil {
+		t.Fatalf("ring inconsistent after balancing: %v", err)
+	}
+	// Queries remain complete after relocations.
+	q := keyspace.MustParse("(a*, *)")
+	want := len(nw.BruteForceMatches(q))
+	res, _ := nw.Query(0, q)
+	if res.Err != nil || len(res.Matches) != want {
+		t.Errorf("query after balancing: got %d want %d err %v", len(res.Matches), want, res.Err)
+	}
+}
+
+func TestVirtualPool(t *testing.T) {
+	nw := skewedNetwork(t, 40, 4000)
+	vp, err := NewVirtualPool(nw, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewVirtualPool(nw, 0); err == nil {
+		t.Error("zero hosts should fail")
+	}
+
+	hl := vp.HostLoads()
+	if len(hl) != 10 {
+		t.Fatalf("host loads = %v", hl)
+	}
+	total := 0
+	for _, l := range hl {
+		total += l
+	}
+	if total != nw.TotalKeys() {
+		t.Errorf("host loads sum %d != total keys %d", total, nw.TotalKeys())
+	}
+
+	// Split every virtual node above twice the mean.
+	mean := total / len(nw.Peers)
+	peersBefore := len(nw.Peers)
+	splits := vp.Split(2 * mean)
+	if splits == 0 {
+		t.Log("no virtual node exceeded the split threshold (acceptable for this seed)")
+	}
+	if len(nw.Peers) != peersBefore+splits {
+		t.Errorf("peer count %d after %d splits of %d", len(nw.Peers), splits, peersBefore)
+	}
+	if nw.TotalKeys() != total {
+		t.Errorf("splits lost keys")
+	}
+
+	// Migration flattens host loads without touching the ring.
+	ringBefore := len(nw.Peers)
+	giniBefore := stats.Gini(vp.HostLoads())
+	moves := vp.MigrateAll(100)
+	giniAfter := stats.Gini(vp.HostLoads())
+	t.Logf("host gini %.3f -> %.3f in %d moves", giniBefore, giniAfter, moves)
+	if len(nw.Peers) != ringBefore {
+		t.Error("migration must not change the ring")
+	}
+	if moves > 0 && giniAfter >= giniBefore {
+		t.Errorf("migration did not improve host balance: %.3f -> %.3f", giniBefore, giniAfter)
+	}
+	if got := len(vp.SortedHostLoads()); got != 10 {
+		t.Errorf("sorted host loads = %d", got)
+	}
+	if len(vp.Assignment()) < len(nw.Peers) {
+		t.Errorf("assignment map incomplete")
+	}
+}

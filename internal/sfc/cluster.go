@@ -1,0 +1,157 @@
+package sfc
+
+import "fmt"
+
+// Cluster identifies a contiguous segment of the curve by digital causality:
+// all indices whose first Level*Dims bits equal Prefix. Level 0 with Prefix 0
+// is the whole curve; Level == Bits identifies a single cell.
+//
+// Clusters are the unit of work of the distributed query engine: a peer that
+// receives a cluster either owns its whole span (and scans its local store)
+// or refines it one level and forwards the children (paper Section 3.4.2).
+type Cluster struct {
+	Prefix uint64
+	Level  int
+}
+
+// Span returns the inclusive index interval covered by the cluster on a
+// curve with the given geometry.
+func (cl Cluster) Span(c Curve) Interval {
+	return spanOf(cl.Prefix, uint(c.IndexBits()-c.Dims()*cl.Level))
+}
+
+// String renders the cluster as "prefix/level".
+func (cl Cluster) String() string { return fmt.Sprintf("%x/%d", cl.Prefix, cl.Level) }
+
+// spanOf returns the index interval [prefix<<shift, prefix<<shift + 2^shift - 1].
+func spanOf(prefix uint64, shift uint) Interval {
+	if shift >= 64 {
+		return Interval{0, ^uint64(0)}
+	}
+	lo := prefix << shift
+	return Interval{lo, lo | (uint64(1)<<shift - 1)}
+}
+
+// Refined is a child cluster produced by RefineStep. Complete indicates the
+// child's subcube lies entirely inside the query region, so no further
+// refinement can prune anything below it: every point in its span matches.
+type Refined struct {
+	Cluster
+	Complete bool
+}
+
+// RefineStep performs one level of the recursive refinement of the paper's
+// query tree (Figs. 6-7): it expands cl into its 2^Dims children in curve
+// order and keeps only those whose subcube intersects the region. It returns
+// nil when cl is already at full resolution.
+//
+// The children's spans partition cl's span in increasing index order, so the
+// result is sorted by span.
+func RefineStep(c Curve, cl Cluster, r Region) []Refined {
+	k := c.Bits()
+	if cl.Level >= k {
+		return nil
+	}
+	d := c.Dims()
+	childLevel := cl.Level + 1
+	shift := uint(d * (k - childLevel)) // index bits below a child prefix
+	coordShift := uint(k - childLevel)  // coordinate bits below a child's subcube
+	fan := 1 << d
+	pt := make([]uint64, d)
+	cell := make([]uint64, d)
+	var out []Refined
+	for g := 0; g < fan; g++ {
+		prefix := cl.Prefix<<d | uint64(g)
+		// The subcube of a cluster is recovered by decoding any index in its
+		// span (the lowest is convenient) and truncating the coordinates to
+		// childLevel bits.
+		c.Decode(spanOf(prefix, shift).Lo, pt)
+		for i, v := range pt {
+			cell[i] = v >> coordShift
+		}
+		if !r.overlapsCube(cell, coordShift) {
+			continue
+		}
+		out = append(out, Refined{
+			Cluster:  Cluster{Prefix: prefix, Level: childLevel},
+			Complete: r.coversCube(cell, coordShift),
+		})
+	}
+	return out
+}
+
+// Clusters computes the exact decomposition of a region into maximal
+// contiguous curve segments — the "clusters" of the paper's Figs. 3 and 5.
+// The result is sorted, disjoint and non-adjacent.
+//
+// The walk descends the refinement tree depth-first in curve order, emitting
+// whole spans as soon as a subcube is entirely inside the region; adjacent
+// spans are merged on the fly. Cost is proportional to the boundary of the
+// region, not its volume.
+func Clusters(c Curve, r Region) []Interval {
+	if r.Empty() || len(r) != c.Dims() {
+		return nil
+	}
+	var acc []Interval
+	emit := func(iv Interval) {
+		if n := len(acc); n > 0 && acc[n-1].Hi != ^uint64(0) && acc[n-1].Hi+1 == iv.Lo {
+			acc[n-1].Hi = iv.Hi
+			return
+		}
+		acc = append(acc, iv)
+	}
+	var walk func(cl Cluster)
+	walk = func(cl Cluster) {
+		for _, ch := range RefineStep(c, cl, r) {
+			if ch.Complete || ch.Level == c.Bits() {
+				emit(ch.Span(c))
+				continue
+			}
+			walk(ch.Cluster)
+		}
+	}
+	root := Cluster{}
+	if r.coversCube(make([]uint64, c.Dims()), uint(c.Bits())) {
+		return []Interval{root.Span(c)}
+	}
+	walk(root)
+	return acc
+}
+
+// CoarseClusters decomposes the region level by level, stopping before the
+// number of clusters would exceed maxClusters (or full resolution is
+// reached). The result is an over-approximation: every matching index is
+// covered, but covered spans may contain non-matching indices. This is how a
+// query initiator bounds the number of initial cluster messages (the exact
+// pruning then happens distributedly, on the peers that own the spans).
+//
+// maxClusters < 2^Dims is raised to 2^Dims so at least one refinement step
+// can complete. The returned clusters are sorted by span.
+func CoarseClusters(c Curve, r Region, maxClusters int) []Refined {
+	if r.Empty() || len(r) != c.Dims() {
+		return nil
+	}
+	if fan := 1 << c.Dims(); maxClusters < fan {
+		maxClusters = fan
+	}
+	frontier := []Refined{{Cluster: Cluster{}, Complete: r.coversCube(make([]uint64, c.Dims()), uint(c.Bits()))}}
+	for {
+		next := make([]Refined, 0, len(frontier)*2)
+		done := true
+		for _, cl := range frontier {
+			if cl.Complete || cl.Level == c.Bits() {
+				next = append(next, cl)
+				continue
+			}
+			done = false
+			next = append(next, RefineStep(c, cl.Cluster, r)...)
+		}
+		if len(next) > maxClusters {
+			return frontier
+		}
+		frontier = next
+		if done {
+			return frontier
+		}
+	}
+}

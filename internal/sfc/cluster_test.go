@@ -1,0 +1,288 @@
+package sfc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// bruteClusters computes the exact cluster decomposition by scanning every
+// index of the (small) space. Ground truth for Clusters.
+func bruteClusters(c Curve, r Region) []Interval {
+	var out []Interval
+	pt := make([]uint64, c.Dims())
+	total := uint64(1) << c.IndexBits()
+	inRun := false
+	for idx := uint64(0); idx < total; idx++ {
+		c.Decode(idx, pt)
+		if r.ContainsPoint(pt) {
+			if inRun {
+				out[len(out)-1].Hi = idx
+			} else {
+				out = append(out, Interval{idx, idx})
+				inRun = true
+			}
+		} else {
+			inRun = false
+		}
+	}
+	return out
+}
+
+func TestClustersMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range []Curve{MustHilbert(2, 5), MustHilbert(3, 3), MustMorton(2, 5)} {
+		for trial := 0; trial < 60; trial++ {
+			r := randomRegion(rng, c.Dims(), c.Bits())
+			got := Clusters(c, r)
+			want := bruteClusters(c, r)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s trial %d: region %v\n got %v\nwant %v", c.Name(), trial, r, got, want)
+			}
+		}
+	}
+}
+
+func TestClustersPaperFigure5(t *testing.T) {
+	// Paper Fig. 5(a): on a 2-D base-2 space, a query fixing one coordinate
+	// ("(0, *)" style: a 1-cell-wide column) crosses the curve several times,
+	// producing multiple clusters; Fig. 5(b): an aligned square region
+	// ("(1*, *)") is a single cluster.
+	h := MustHilbert(2, 3)
+
+	column := NewRegion([][]Interval{{{0, 0}}, {{0, 7}}}) // (000, *)
+	colClusters := Clusters(h, column)
+	if len(colClusters) < 2 {
+		t.Errorf("column query should fragment into multiple clusters, got %v", colClusters)
+	}
+	total := uint64(0)
+	for _, iv := range colClusters {
+		total += iv.Count()
+	}
+	if total != 8 {
+		t.Errorf("column clusters cover %d cells, want 8", total)
+	}
+
+	square := NewRegion([][]Interval{{{4, 7}}, {{0, 7}}}) // (1*, *): right half
+	sqClusters := Clusters(h, square)
+	if len(sqClusters) != 1 {
+		t.Errorf("aligned half-space should be one cluster, got %v", sqClusters)
+	}
+	if sqClusters[0].Count() != 32 {
+		t.Errorf("half-space cluster covers %d cells, want 32", sqClusters[0].Count())
+	}
+}
+
+func TestClustersFullAndEmpty(t *testing.T) {
+	h := MustHilbert(2, 4)
+	full := Clusters(h, FullRegion(2, 4))
+	if len(full) != 1 || full[0] != (Interval{0, 255}) {
+		t.Errorf("full region = %v", full)
+	}
+	empty := Clusters(h, NewRegion([][]Interval{{}, {{0, 3}}}))
+	if empty != nil {
+		t.Errorf("empty region = %v", empty)
+	}
+	if got := Clusters(h, NewRegion([][]Interval{{{0, 1}}})); got != nil {
+		t.Errorf("dims mismatch should yield nil, got %v", got)
+	}
+}
+
+func TestClusterSpan(t *testing.T) {
+	h := MustHilbert(2, 4) // 8 index bits
+	cases := []struct {
+		cl   Cluster
+		want Interval
+	}{
+		{Cluster{0, 0}, Interval{0, 255}},
+		{Cluster{0, 1}, Interval{0, 63}},
+		{Cluster{3, 1}, Interval{192, 255}},
+		{Cluster{5, 2}, Interval{80, 95}},
+		{Cluster{255, 4}, Interval{255, 255}},
+	}
+	for _, c := range cases {
+		if got := c.cl.Span(h); got != c.want {
+			t.Errorf("Span(%v) = %v, want %v", c.cl, got, c.want)
+		}
+	}
+	h64 := MustHilbert(2, 32)
+	if got := (Cluster{0, 0}).Span(h64); got != (Interval{0, ^uint64(0)}) {
+		t.Errorf("64-bit root span = %v", got)
+	}
+}
+
+func TestRefineStepPartitionsParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := MustHilbert(2, 5)
+	r := FullRegion(2, 5) // no pruning: children must exactly partition parent
+	for trial := 0; trial < 50; trial++ {
+		level := rng.Intn(5)
+		prefix := rng.Uint64() % (1 << uint(2*level))
+		parent := Cluster{prefix, level}
+		kids := RefineStep(h, parent, r)
+		if len(kids) != 4 {
+			t.Fatalf("full region: %d children, want 4", len(kids))
+		}
+		span := parent.Span(h)
+		next := span.Lo
+		for _, k := range kids {
+			ks := k.Span(h)
+			if ks.Lo != next {
+				t.Fatalf("child spans not contiguous: got %v at expected lo %d", ks, next)
+			}
+			if !k.Complete {
+				t.Fatalf("full region children must be Complete")
+			}
+			next = ks.Hi + 1
+		}
+		if next != span.Hi+1 {
+			t.Fatalf("children do not cover parent: ended at %d, want %d", next, span.Hi+1)
+		}
+	}
+}
+
+func TestRefineStepPrunesExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	h := MustHilbert(2, 4)
+	pt := make([]uint64, 2)
+	for trial := 0; trial < 80; trial++ {
+		r := randomRegion(rng, 2, 4)
+		level := rng.Intn(4)
+		prefix := rng.Uint64() % (1 << uint(2*level))
+		kids := RefineStep(h, Cluster{prefix, level}, r)
+		kept := map[uint64]Refined{}
+		for _, k := range kids {
+			kept[k.Prefix] = k
+		}
+		// Every child subcube: pruned iff it has no matching point; Complete
+		// iff every point matches.
+		for g := uint64(0); g < 4; g++ {
+			child := Cluster{prefix<<2 | g, level + 1}
+			span := child.Span(h)
+			any, all := false, true
+			for idx := span.Lo; idx <= span.Hi; idx++ {
+				h.Decode(idx, pt)
+				if r.ContainsPoint(pt) {
+					any = true
+				} else {
+					all = false
+				}
+			}
+			k, ok := kept[child.Prefix]
+			if ok != any {
+				t.Fatalf("trial %d: child %v kept=%v but hasMatches=%v (region %v)", trial, child, ok, any, r)
+			}
+			if ok && k.Complete != all {
+				t.Fatalf("trial %d: child %v Complete=%v but allMatch=%v", trial, child, k.Complete, all)
+			}
+		}
+	}
+}
+
+func TestRefineStepAtLeafReturnsNil(t *testing.T) {
+	h := MustHilbert(2, 3)
+	if got := RefineStep(h, Cluster{5, 3}, FullRegion(2, 3)); got != nil {
+		t.Errorf("refining a leaf returned %v", got)
+	}
+}
+
+func TestCoarseClustersCoverAllMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	h := MustHilbert(2, 5)
+	pt := make([]uint64, 2)
+	for trial := 0; trial < 60; trial++ {
+		r := randomRegion(rng, 2, 5)
+		for _, budget := range []int{1, 4, 10, 100, 1 << 12} {
+			coarse := CoarseClusters(h, r, budget)
+			fan := 1 << 2
+			limit := budget
+			if limit < fan {
+				limit = fan
+			}
+			if len(coarse) > limit {
+				t.Fatalf("budget %d: %d clusters", budget, len(coarse))
+			}
+			// Every matching index must be covered by some coarse cluster.
+			total := uint64(1) << h.IndexBits()
+			for idx := uint64(0); idx < total; idx++ {
+				h.Decode(idx, pt)
+				if !r.ContainsPoint(pt) {
+					continue
+				}
+				covered := false
+				for _, cl := range coarse {
+					if cl.Span(h).Contains(idx) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Fatalf("budget %d: matching index %d not covered (region %v, clusters %v)", budget, idx, r, coarse)
+				}
+			}
+		}
+	}
+}
+
+func TestCoarseClustersExactWhenBudgetLarge(t *testing.T) {
+	h := MustHilbert(2, 4)
+	r := NewRegion([][]Interval{{{3, 3}}, {{0, 15}}})
+	coarse := CoarseClusters(h, r, 1<<30)
+	// With an unlimited budget the coarse decomposition reaches full
+	// resolution: merged spans must equal the exact clusters.
+	var merged []Interval
+	for _, cl := range coarse {
+		iv := cl.Span(h)
+		if n := len(merged); n > 0 && merged[n-1].Hi+1 == iv.Lo {
+			merged[n-1].Hi = iv.Hi
+		} else {
+			merged = append(merged, iv)
+		}
+	}
+	if want := Clusters(h, r); !reflect.DeepEqual(merged, want) {
+		t.Errorf("coarse/full mismatch:\n got %v\nwant %v", merged, want)
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	if got := (Cluster{0x2b, 3}).String(); got != "2b/3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestClusterCountsGrowWithDims reproduces the paper's observation (Section
+// 4.1.2) that the same query shape fragments into more clusters in 3D than 2D.
+func TestClusterCountsGrowWithDims(t *testing.T) {
+	h2 := MustHilbert(2, 6)
+	h3 := MustHilbert(3, 6)
+	// Query fixing the first coordinate to one value, rest wildcards.
+	r2 := NewRegion([][]Interval{{{17, 17}}, {{0, 63}}})
+	r3 := NewRegion([][]Interval{{{17, 17}}, {{0, 63}}, {{0, 63}}})
+	c2 := len(Clusters(h2, r2))
+	c3 := len(Clusters(h3, r3))
+	if c3 <= c2 {
+		t.Errorf("expected more clusters in 3D: 2D=%d 3D=%d", c2, c3)
+	}
+}
+
+func BenchmarkClusters2D(b *testing.B) {
+	h := MustHilbert(2, 16)
+	r := NewRegion([][]Interval{{{1000, 1200}}, {{0, 1<<16 - 1}}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Clusters(h, r)
+	}
+}
+
+func BenchmarkRefineStep3D(b *testing.B) {
+	h := MustHilbert(3, 21)
+	r := NewRegion([][]Interval{{{5000, 6000}}, {{0, 1<<21 - 1}}, {{100, 100}}})
+	cl := Cluster{3, 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = RefineStep(h, cl, r)
+	}
+}

@@ -1,0 +1,267 @@
+package sfc
+
+import "fmt"
+
+// Curve is a bijection between points of the discrete cube [0,2^Bits)^Dims
+// and indices in [0, 2^(Dims*Bits)).
+//
+// Implementations must be safe for concurrent use; both curves in this
+// package are stateless values.
+type Curve interface {
+	// Dims returns the dimensionality d of the cube.
+	Dims() int
+	// Bits returns the number of bits k per coordinate.
+	Bits() int
+	// IndexBits returns d*k, the number of significant bits in an index.
+	IndexBits() int
+	// Encode maps a point to its index on the curve. The point must have
+	// Dims coordinates, each < 2^Bits; Encode panics otherwise.
+	Encode(pt []uint64) uint64
+	// Decode maps an index back to the point it encodes, storing the
+	// coordinates into pt, which must have length Dims.
+	Decode(idx uint64, pt []uint64)
+	// Name identifies the curve family ("hilbert" or "morton").
+	Name() string
+}
+
+// validate checks the (dims, bits) pair shared by both curve constructors.
+func validate(dims, bits int) error {
+	if dims < 1 {
+		return fmt.Errorf("sfc: dims must be >= 1, got %d", dims)
+	}
+	if bits < 1 {
+		return fmt.Errorf("sfc: bits must be >= 1, got %d", bits)
+	}
+	if dims*bits > 64 {
+		return fmt.Errorf("sfc: dims*bits must be <= 64, got %d*%d=%d", dims, bits, dims*bits)
+	}
+	return nil
+}
+
+// Hilbert is the d-dimensional Hilbert curve with k bits per dimension.
+// The zero value is not valid; use NewHilbert.
+type Hilbert struct {
+	dims, bits int
+}
+
+// NewHilbert returns the Hilbert curve over [0,2^bits)^dims.
+// dims*bits must not exceed 64 so indices fit in a uint64.
+func NewHilbert(dims, bits int) (Hilbert, error) {
+	if err := validate(dims, bits); err != nil {
+		return Hilbert{}, err
+	}
+	return Hilbert{dims: dims, bits: bits}, nil
+}
+
+// MustHilbert is NewHilbert that panics on invalid parameters; intended for
+// package-level variables and tests.
+func MustHilbert(dims, bits int) Hilbert {
+	h, err := NewHilbert(dims, bits)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Dims returns the dimensionality of the cube.
+func (h Hilbert) Dims() int { return h.dims }
+
+// Bits returns the bits per coordinate.
+func (h Hilbert) Bits() int { return h.bits }
+
+// IndexBits returns the number of significant bits in a curve index.
+func (h Hilbert) IndexBits() int { return h.dims * h.bits }
+
+// Name returns "hilbert".
+func (h Hilbert) Name() string { return "hilbert" }
+
+// maxCurveDims bounds the scratch arrays used by Encode/Decode so they can
+// live on the stack. dims*bits <= 64 and bits >= 1 already imply dims <= 64.
+const maxCurveDims = 64
+
+// Encode maps a point to its Hilbert index.
+//
+// The implementation is Skilling's transpose algorithm (J. Skilling,
+// "Programming the Hilbert curve", AIP Conf. Proc. 707, 2004): the
+// coordinates are converted in place to the "transposed" Hilbert form and
+// then bit-interleaved into a single integer, most significant bit first.
+func (h Hilbert) Encode(pt []uint64) uint64 {
+	h.check(pt)
+	var x [maxCurveDims]uint64
+	n := copy(x[:h.dims], pt)
+	axesToTranspose(x[:n], h.bits)
+	return interleave(x[:n], h.bits)
+}
+
+// Decode maps a Hilbert index back to the point it encodes.
+func (h Hilbert) Decode(idx uint64, pt []uint64) {
+	if len(pt) != h.dims {
+		panic(fmt.Sprintf("sfc: Decode target has %d coords, curve has %d dims", len(pt), h.dims))
+	}
+	var x [maxCurveDims]uint64
+	deinterleave(idx, x[:h.dims], h.bits)
+	transposeToAxes(x[:h.dims], h.bits)
+	copy(pt, x[:h.dims])
+}
+
+func (h Hilbert) check(pt []uint64) {
+	if len(pt) != h.dims {
+		panic(fmt.Sprintf("sfc: point has %d coords, curve has %d dims", len(pt), h.dims))
+	}
+	if h.bits == 64 {
+		return
+	}
+	limit := uint64(1) << h.bits
+	for i, c := range pt {
+		if c >= limit {
+			panic(fmt.Sprintf("sfc: coordinate %d = %d out of range [0,%d)", i, c, limit))
+		}
+	}
+}
+
+// axesToTranspose converts coordinates to the transposed Hilbert
+// representation in place (Skilling's forward transform).
+func axesToTranspose(x []uint64, bits int) {
+	n := len(x)
+	m := uint64(1) << (bits - 1)
+	// Inverse undo of the "excess work" rotations.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p // invert low bits of x[0]
+			} else {
+				t := (x[0] ^ x[i]) & p // exchange low bits of x[0] and x[i]
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint64
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes converts the transposed Hilbert representation back to
+// coordinates in place (Skilling's inverse transform).
+func transposeToAxes(x []uint64, bits int) {
+	n := len(x)
+	big := uint64(2) << (bits - 1)
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint64(2); q != big; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// interleave packs the transposed form into a single index: bit b of
+// dimension i lands at index bit (b*n + (n-1-i)), i.e. the curve's most
+// significant refinement decision comes first.
+func interleave(x []uint64, bits int) uint64 {
+	n := len(x)
+	var idx uint64
+	for b := bits - 1; b >= 0; b-- {
+		for i := 0; i < n; i++ {
+			idx = idx<<1 | (x[i]>>uint(b))&1
+		}
+	}
+	return idx
+}
+
+// deinterleave is the inverse of interleave.
+func deinterleave(idx uint64, x []uint64, bits int) {
+	n := len(x)
+	for i := range x {
+		x[i] = 0
+	}
+	shift := uint(n*bits - 1)
+	for b := bits - 1; b >= 0; b-- {
+		for i := 0; i < n; i++ {
+			x[i] = x[i]<<1 | (idx>>shift)&1
+			shift--
+		}
+	}
+}
+
+// Morton is the Z-order curve: plain bit interleaving with no rotation.
+// It is cheaper than Hilbert but clusters regions into more, shorter curve
+// segments; it exists for the curve-choice ablation (DESIGN.md A6).
+type Morton struct {
+	dims, bits int
+}
+
+// NewMorton returns the Z-order curve over [0,2^bits)^dims.
+func NewMorton(dims, bits int) (Morton, error) {
+	if err := validate(dims, bits); err != nil {
+		return Morton{}, err
+	}
+	return Morton{dims: dims, bits: bits}, nil
+}
+
+// MustMorton is NewMorton that panics on invalid parameters.
+func MustMorton(dims, bits int) Morton {
+	m, err := NewMorton(dims, bits)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Dims returns the dimensionality of the cube.
+func (m Morton) Dims() int { return m.dims }
+
+// Bits returns the bits per coordinate.
+func (m Morton) Bits() int { return m.bits }
+
+// IndexBits returns the number of significant bits in a curve index.
+func (m Morton) IndexBits() int { return m.dims * m.bits }
+
+// Name returns "morton".
+func (m Morton) Name() string { return "morton" }
+
+// Encode maps a point to its Z-order index.
+func (m Morton) Encode(pt []uint64) uint64 {
+	if len(pt) != m.dims {
+		panic(fmt.Sprintf("sfc: point has %d coords, curve has %d dims", len(pt), m.dims))
+	}
+	var x [maxCurveDims]uint64
+	copy(x[:m.dims], pt)
+	return interleave(x[:m.dims], m.bits)
+}
+
+// Decode maps a Z-order index back to its point.
+func (m Morton) Decode(idx uint64, pt []uint64) {
+	if len(pt) != m.dims {
+		panic(fmt.Sprintf("sfc: Decode target has %d coords, curve has %d dims", len(pt), m.dims))
+	}
+	deinterleave(idx, pt, m.bits)
+}
+
+var (
+	_ Curve = Hilbert{}
+	_ Curve = Morton{}
+)

@@ -1,0 +1,328 @@
+package sfc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// enumerate calls fn with every point of the cube, in lexicographic order.
+func enumerate(dims, bits int, fn func(pt []uint64)) {
+	pt := make([]uint64, dims)
+	limit := uint64(1) << bits
+	var rec func(i int)
+	rec = func(i int) {
+		if i == dims {
+			fn(pt)
+			return
+		}
+		for v := uint64(0); v < limit; v++ {
+			pt[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+func testBijection(t *testing.T, c Curve) {
+	t.Helper()
+	total := uint64(1) << c.IndexBits()
+	seen := make([]bool, total)
+	back := make([]uint64, c.Dims())
+	enumerate(c.Dims(), c.Bits(), func(pt []uint64) {
+		idx := c.Encode(pt)
+		if idx >= total {
+			t.Fatalf("%s: Encode(%v) = %d out of range [0,%d)", c.Name(), pt, idx, total)
+		}
+		if seen[idx] {
+			t.Fatalf("%s: index %d produced twice (second point %v)", c.Name(), idx, pt)
+		}
+		seen[idx] = true
+		c.Decode(idx, back)
+		for i := range pt {
+			if back[i] != pt[i] {
+				t.Fatalf("%s: Decode(Encode(%v)) = %v", c.Name(), pt, back)
+			}
+		}
+	})
+}
+
+func TestHilbertBijectionExhaustive(t *testing.T) {
+	for _, geo := range []struct{ d, k int }{
+		{1, 1}, {1, 8}, {2, 1}, {2, 2}, {2, 4}, {2, 6}, {3, 1}, {3, 3}, {3, 4}, {4, 3}, {5, 2},
+	} {
+		testBijection(t, MustHilbert(geo.d, geo.k))
+	}
+}
+
+func TestMortonBijectionExhaustive(t *testing.T) {
+	for _, geo := range []struct{ d, k int }{
+		{2, 4}, {2, 6}, {3, 3}, {3, 4}, {4, 3},
+	} {
+		testBijection(t, MustMorton(geo.d, geo.k))
+	}
+}
+
+// TestHilbertAdjacency verifies the defining property of the Hilbert curve:
+// consecutive indices map to points at L1 distance exactly 1.
+func TestHilbertAdjacency(t *testing.T) {
+	for _, geo := range []struct{ d, k int }{
+		{2, 4}, {2, 6}, {3, 3}, {3, 4}, {4, 2},
+	} {
+		h := MustHilbert(geo.d, geo.k)
+		prev := make([]uint64, geo.d)
+		cur := make([]uint64, geo.d)
+		h.Decode(0, prev)
+		total := uint64(1) << h.IndexBits()
+		for idx := uint64(1); idx < total; idx++ {
+			h.Decode(idx, cur)
+			dist := uint64(0)
+			for i := range cur {
+				d := cur[i] - prev[i]
+				if cur[i] < prev[i] {
+					d = prev[i] - cur[i]
+				}
+				dist += d
+			}
+			if dist != 1 {
+				t.Fatalf("d=%d k=%d: indices %d,%d map to %v,%v (L1 distance %d, want 1)",
+					geo.d, geo.k, idx-1, idx, prev, cur, dist)
+			}
+			copy(prev, cur)
+		}
+	}
+}
+
+// TestHilbertDigitalCausality verifies that all points of a level-l subcube
+// share the first l*d index bits (the property the whole query engine relies
+// on, paper Section 3.1.1).
+func TestHilbertDigitalCausality(t *testing.T) {
+	h := MustHilbert(2, 6)
+	pt := make([]uint64, 2)
+	for level := 1; level <= 6; level++ {
+		shift := uint(2 * (6 - level))
+		coordShift := uint(6 - level)
+		// Group every point by its subcube and check index prefixes agree.
+		prefixes := map[[2]uint64]uint64{}
+		enumerate(2, 6, func(p []uint64) {
+			copy(pt, p)
+			idx := h.Encode(pt)
+			cell := [2]uint64{pt[0] >> coordShift, pt[1] >> coordShift}
+			prefix := idx >> shift
+			if prev, ok := prefixes[cell]; ok {
+				if prev != prefix {
+					t.Fatalf("level %d: subcube %v has index prefixes %x and %x", level, cell, prev, prefix)
+				}
+			} else {
+				prefixes[cell] = prefix
+			}
+		})
+		// Distinct subcubes must have distinct prefixes (bijection at the
+		// subcube granularity).
+		seen := map[uint64]bool{}
+		for _, p := range prefixes {
+			if seen[p] {
+				t.Fatalf("level %d: prefix %x shared by two subcubes", level, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestHilbertRoundTripQuick property-tests round trips on large geometries
+// that cannot be enumerated.
+func TestHilbertRoundTripQuick(t *testing.T) {
+	for _, geo := range []struct{ d, k int }{
+		{2, 32}, {3, 21}, {4, 16}, {6, 10}, {1, 64}, {2, 31},
+	} {
+		h := MustHilbert(geo.d, geo.k)
+		mask := maxCoord(geo.k)
+		f := func(raw []uint64) bool {
+			pt := make([]uint64, geo.d)
+			for i := range pt {
+				if i < len(raw) {
+					pt[i] = raw[i] & mask
+				}
+			}
+			idx := h.Encode(pt)
+			back := make([]uint64, geo.d)
+			h.Decode(idx, back)
+			for i := range pt {
+				if back[i] != pt[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("d=%d k=%d: %v", geo.d, geo.k, err)
+		}
+	}
+}
+
+// TestHilbertIndexRangeQuick checks that encoded indices stay within
+// [0, 2^(d*k)) for non-degenerate geometries.
+func TestHilbertIndexRangeQuick(t *testing.T) {
+	h := MustHilbert(3, 15)
+	limit := uint64(1) << h.IndexBits()
+	mask := maxCoord(15)
+	f := func(a, b, c uint64) bool {
+		return h.Encode([]uint64{a & mask, b & mask, c & mask}) < limit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMortonMatchesManualInterleave pins the Morton bit layout: dimension 0
+// owns the most significant bit of each d-bit group.
+func TestMortonMatchesManualInterleave(t *testing.T) {
+	m := MustMorton(2, 8)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 1000; trial++ {
+		x := uint64(rng.Intn(256))
+		y := uint64(rng.Intn(256))
+		var want uint64
+		for b := 7; b >= 0; b-- {
+			want = want<<1 | (x>>uint(b))&1
+			want = want<<1 | (y>>uint(b))&1
+		}
+		if got := m.Encode([]uint64{x, y}); got != want {
+			t.Fatalf("Encode(%d,%d) = %b, want %b", x, y, got, want)
+		}
+	}
+}
+
+// TestHilbertLocalityBeatsMorton quantifies locality preservation: the mean
+// L1 distance in space between curve neighbors must be exactly 1 for Hilbert
+// and strictly larger for Morton.
+func TestHilbertLocalityBeatsMorton(t *testing.T) {
+	h := MustHilbert(2, 6)
+	m := MustMorton(2, 6)
+	meanJump := func(c Curve) float64 {
+		prev := make([]uint64, 2)
+		cur := make([]uint64, 2)
+		c.Decode(0, prev)
+		total := uint64(1) << c.IndexBits()
+		sum := 0.0
+		for idx := uint64(1); idx < total; idx++ {
+			c.Decode(idx, cur)
+			for i := range cur {
+				if cur[i] > prev[i] {
+					sum += float64(cur[i] - prev[i])
+				} else {
+					sum += float64(prev[i] - cur[i])
+				}
+			}
+			copy(prev, cur)
+		}
+		return sum / float64(total-1)
+	}
+	hj, mj := meanJump(h), meanJump(m)
+	if hj != 1 {
+		t.Errorf("hilbert mean neighbor jump = %v, want 1", hj)
+	}
+	if mj <= hj {
+		t.Errorf("morton mean neighbor jump = %v, expected > hilbert's %v", mj, hj)
+	}
+}
+
+func TestCurveConstructorErrors(t *testing.T) {
+	cases := []struct{ d, k int }{
+		{0, 4}, {-1, 4}, {2, 0}, {2, -3}, {2, 33}, {65, 1}, {9, 8},
+	}
+	for _, c := range cases {
+		if _, err := NewHilbert(c.d, c.k); err == nil {
+			t.Errorf("NewHilbert(%d,%d): expected error", c.d, c.k)
+		}
+		if _, err := NewMorton(c.d, c.k); err == nil {
+			t.Errorf("NewMorton(%d,%d): expected error", c.d, c.k)
+		}
+	}
+	if _, err := NewHilbert(2, 32); err != nil {
+		t.Errorf("NewHilbert(2,32): %v", err)
+	}
+	if _, err := NewHilbert(1, 64); err != nil {
+		t.Errorf("NewHilbert(1,64): %v", err)
+	}
+}
+
+func TestCurveAccessors(t *testing.T) {
+	h := MustHilbert(3, 21)
+	if h.Dims() != 3 || h.Bits() != 21 || h.IndexBits() != 63 || h.Name() != "hilbert" {
+		t.Errorf("accessors: %d %d %d %q", h.Dims(), h.Bits(), h.IndexBits(), h.Name())
+	}
+	m := MustMorton(2, 16)
+	if m.Dims() != 2 || m.Bits() != 16 || m.IndexBits() != 32 || m.Name() != "morton" {
+		t.Errorf("accessors: %d %d %d %q", m.Dims(), m.Bits(), m.IndexBits(), m.Name())
+	}
+}
+
+func TestEncodePanicsOnBadInput(t *testing.T) {
+	h := MustHilbert(2, 4)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("wrong dims", func() { h.Encode([]uint64{1}) })
+	mustPanic("coord too large", func() { h.Encode([]uint64{16, 0}) })
+	mustPanic("decode wrong dims", func() { h.Decode(0, make([]uint64, 3)) })
+	m := MustMorton(2, 4)
+	mustPanic("morton wrong dims", func() { m.Encode([]uint64{1, 2, 3}) })
+	mustPanic("morton decode wrong dims", func() { m.Decode(0, make([]uint64, 1)) })
+}
+
+// TestHilbert64BitFullSpace exercises the d*k == 64 boundary where shifts
+// and masks are most fragile.
+func TestHilbert64BitFullSpace(t *testing.T) {
+	for _, geo := range []struct{ d, k int }{{2, 32}, {4, 16}, {8, 8}, {1, 64}} {
+		h := MustHilbert(geo.d, geo.k)
+		rng := rand.New(rand.NewSource(42))
+		pt := make([]uint64, geo.d)
+		back := make([]uint64, geo.d)
+		mask := maxCoord(geo.k)
+		for trial := 0; trial < 500; trial++ {
+			for i := range pt {
+				pt[i] = rng.Uint64() & mask
+			}
+			h.Decode(h.Encode(pt), back)
+			for i := range pt {
+				if back[i] != pt[i] {
+					t.Fatalf("d=%d k=%d: round trip failed for %v -> %v", geo.d, geo.k, pt, back)
+				}
+			}
+		}
+		// Extremes.
+		for i := range pt {
+			pt[i] = mask
+		}
+		h.Decode(h.Encode(pt), back)
+		for i := range pt {
+			if back[i] != mask {
+				t.Fatalf("d=%d k=%d: max corner round trip failed", geo.d, geo.k)
+			}
+		}
+	}
+}
+
+func BenchmarkHilbertEncode2D32(b *testing.B) {
+	h := MustHilbert(2, 32)
+	pt := []uint64{123456789, 987654321}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Encode(pt)
+	}
+}
+
+func BenchmarkHilbertDecode3D21(b *testing.B) {
+	h := MustHilbert(3, 21)
+	pt := make([]uint64, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Decode(uint64(i)*2654435761, pt)
+	}
+}

@@ -1,0 +1,24 @@
+// Package sfc implements d-dimensional space-filling curves and the
+// region-to-cluster decomposition that Squid's query engine is built on.
+//
+// A curve maps points in the discrete cube [0,2^k)^d bijectively to indices
+// in [0, 2^(d*k)). The Hilbert curve (the curve used by the paper) is
+// locality preserving: points that are close on the curve are close in the
+// cube. Both the Hilbert curve and, for comparison, the Z-order (Morton)
+// curve are provided behind the Curve interface.
+//
+// The package also implements the recursive machinery of the paper's query
+// engine (Schmidt & Parashar, HPDC 2003, Section 3.4):
+//
+//   - Region: a hyper-rectangular (per-dimension union of intervals) subset
+//     of the cube, produced from a keyword/wildcard/range query.
+//   - Clusters: the decomposition of a Region into maximal contiguous curve
+//     segments ("clusters" in the paper's terminology).
+//   - RefineStep: one level of the recursive refinement tree (paper Figs. 6-7),
+//     the unit of work a peer performs when it receives a cluster it does not
+//     fully own.
+//
+// Digital causality — all indices within the level-l subcube containing a
+// point share their first l*d bits — is what lets clusters be identified by
+// (prefix, level) pairs and refined independently on different peers.
+package sfc

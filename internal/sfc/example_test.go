@@ -1,0 +1,56 @@
+package sfc_test
+
+import (
+	"fmt"
+
+	"squid/internal/sfc"
+)
+
+// ExampleHilbert_Encode shows the basic point→index mapping.
+func ExampleHilbert_Encode() {
+	h := sfc.MustHilbert(2, 2) // 4x4 grid, 16 cells
+	// Walk the whole curve: consecutive indices are adjacent cells.
+	pt := make([]uint64, 2)
+	for idx := uint64(0); idx < 4; idx++ {
+		h.Decode(idx, pt)
+		fmt.Printf("index %d -> (%d,%d)\n", idx, pt[0], pt[1])
+	}
+	fmt.Println("encode(1,1) =", h.Encode([]uint64{1, 1}))
+	// Output:
+	// index 0 -> (0,0)
+	// index 1 -> (1,0)
+	// index 2 -> (1,1)
+	// index 3 -> (0,1)
+	// encode(1,1) = 2
+}
+
+// ExampleClusters reproduces the paper's Figure 5: a column query crosses
+// the curve several times (many clusters), an aligned square is one
+// contiguous segment.
+func ExampleClusters() {
+	h := sfc.MustHilbert(2, 3) // 8x8 grid
+
+	column := sfc.NewRegion([][]sfc.Interval{{{Lo: 0, Hi: 0}}, {{Lo: 0, Hi: 7}}})
+	fmt.Println("column (0,*):", len(sfc.Clusters(h, column)), "clusters")
+
+	square := sfc.NewRegion([][]sfc.Interval{{{Lo: 4, Hi: 7}}, {{Lo: 0, Hi: 7}}})
+	fmt.Println("half-space (1*,*):", len(sfc.Clusters(h, square)), "cluster(s)")
+	// Output:
+	// column (0,*): 3 clusters
+	// half-space (1*,*): 1 cluster(s)
+}
+
+// ExampleRefineStep shows one step of the paper's recursive query
+// refinement (Figs. 6-7): the query (11,*) on a base-2 2-D space.
+func ExampleRefineStep() {
+	h := sfc.MustHilbert(2, 2)
+	// x fixed to 11 (=3), y free: the rightmost column.
+	region := sfc.NewRegion([][]sfc.Interval{{{Lo: 3, Hi: 3}}, {{Lo: 0, Hi: 3}}})
+	for _, child := range sfc.RefineStep(h, sfc.Cluster{}, region) {
+		span := child.Span(h)
+		fmt.Printf("cluster %s covers indices [%d,%d]\n", child.Cluster, span.Lo, span.Hi)
+	}
+	// Output:
+	// cluster 2/1 covers indices [8,11]
+	// cluster 3/1 covers indices [12,15]
+}

@@ -1,0 +1,72 @@
+package sfc
+
+import "testing"
+
+// FuzzHilbertRoundTrip checks encode/decode bijectivity on arbitrary
+// coordinates across several geometries.
+func FuzzHilbertRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(2), uint64(3))
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0))
+	f.Add(uint64(1)<<32, uint64(1)<<21, uint64(12345))
+	f.Fuzz(func(t *testing.T, a, b, c uint64) {
+		for _, geo := range []struct{ d, k int }{{2, 32}, {3, 21}, {4, 16}, {1, 64}} {
+			h := MustHilbert(geo.d, geo.k)
+			mask := maxCoord(geo.k)
+			pt := make([]uint64, geo.d)
+			raw := []uint64{a, b, c, a ^ b}
+			for i := range pt {
+				pt[i] = raw[i%len(raw)] & mask
+			}
+			idx := h.Encode(pt)
+			back := make([]uint64, geo.d)
+			h.Decode(idx, back)
+			for i := range pt {
+				if back[i] != pt[i] {
+					t.Fatalf("d=%d k=%d: %v -> %d -> %v", geo.d, geo.k, pt, idx, back)
+				}
+			}
+			// Morton must round-trip on the same input too.
+			m := MustMorton(geo.d, geo.k)
+			m.Decode(m.Encode(pt), back)
+			for i := range pt {
+				if back[i] != pt[i] {
+					t.Fatalf("morton d=%d k=%d: %v", geo.d, geo.k, pt)
+				}
+			}
+		}
+	})
+}
+
+// FuzzRefineStepSound checks that for arbitrary regions and clusters,
+// refinement children partition the parent span and never leak outside it.
+func FuzzRefineStepSound(f *testing.F) {
+	f.Add(uint64(0), uint64(15), uint64(3), uint64(12), uint64(2), 1)
+	f.Add(uint64(5), uint64(5), uint64(0), uint64(31), uint64(0), 0)
+	f.Fuzz(func(t *testing.T, lo1, hi1, lo2, hi2, prefix uint64, level int) {
+		h := MustHilbert(2, 5)
+		if level < 0 {
+			level = -level
+		}
+		level %= 5
+		prefix &= (uint64(1) << (2 * level)) - 1
+		r := NewRegion([][]Interval{
+			{{lo1 & 31, hi1 & 31}},
+			{{lo2 & 31, hi2 & 31}},
+		})
+		cl := Cluster{Prefix: prefix, Level: level}
+		parent := cl.Span(h)
+		prev := parent.Lo
+		for _, k := range RefineStep(h, cl, r) {
+			s := k.Span(h)
+			if s.Lo < parent.Lo || s.Hi > parent.Hi {
+				t.Fatalf("child %v escapes parent %v", s, parent)
+			}
+			if s.Lo < prev {
+				t.Fatalf("children out of order")
+			}
+			prev = s.Hi
+		}
+		_ = Clusters(h, r) // must not panic
+	})
+}

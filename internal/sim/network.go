@@ -1,0 +1,414 @@
+// Package sim builds and drives simulated Squid networks: N peers with
+// goroutine mailboxes over the in-process transport, oracle ring bootstrap
+// and bulk data preload (as the paper's simulator does for its static
+// experiments), protocol-level churn, and the paper's per-query metrics.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/sfc"
+	"squid/internal/squid"
+	"squid/internal/transport"
+)
+
+// Config describes a simulated network.
+type Config struct {
+	// Nodes is the initial network size.
+	Nodes int
+	// Space is the keyword space shared by all peers.
+	Space *keyspace.Space
+	// Seed drives all randomness (node identifiers).
+	Seed int64
+	// SuccListLen is each node's successor-list length (default 4).
+	SuccListLen int
+	// Engine configures every peer's Squid engine; its Sink is overridden
+	// with the network's metrics collector.
+	Engine squid.Options
+}
+
+// Peer is one simulated participant.
+type Peer struct {
+	Node   *chord.Node
+	Engine *squid.Engine
+}
+
+// ID returns the peer's ring identifier.
+func (p *Peer) ID() chord.ID { return p.Node.Self().ID }
+
+// Addr returns the peer's transport address.
+func (p *Peer) Addr() transport.Addr { return p.Node.Self().Addr }
+
+// Network is a simulated Squid deployment.
+type Network struct {
+	cfg     Config
+	Inproc  *transport.Inproc
+	Space   *keyspace.Space
+	Metrics *Metrics
+	// Peers is sorted by ring identifier.
+	Peers []*Peer
+
+	rng     *rand.Rand
+	nextIdx int
+}
+
+// Build constructs a network of cfg.Nodes peers with uniformly random
+// identifiers, installs a consistent ring directly (oracle bootstrap — no
+// join messages), and wires metrics. Use AddPeer/RemovePeer/KillPeer for
+// protocol-level dynamics afterwards.
+func Build(cfg Config) (*Network, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("sim: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.Space == nil {
+		return nil, fmt.Errorf("sim: nil keyword space")
+	}
+	nw := &Network{
+		cfg:     cfg,
+		Inproc:  transport.NewInproc(),
+		Space:   cfg.Space,
+		Metrics: NewMetrics(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	nw.Inproc.SetObserver(nw.Metrics.Observe)
+
+	space := chord.Space{Bits: cfg.Space.IndexBits()}
+	ids := nw.uniqueIDs(cfg.Nodes, space)
+	for _, id := range ids {
+		p, err := nw.newPeer(chord.ID(id))
+		if err != nil {
+			return nil, err
+		}
+		nw.Peers = append(nw.Peers, p)
+	}
+	nw.sortPeers()
+	nw.installRing()
+	return nw, nil
+}
+
+// BuildWithIDs is Build with explicit node identifiers (tests).
+func BuildWithIDs(cfg Config, ids []uint64) (*Network, error) {
+	if cfg.Space == nil {
+		return nil, fmt.Errorf("sim: nil keyword space")
+	}
+	nw := &Network{
+		cfg:     cfg,
+		Inproc:  transport.NewInproc(),
+		Space:   cfg.Space,
+		Metrics: NewMetrics(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	nw.Inproc.SetObserver(nw.Metrics.Observe)
+	for _, id := range ids {
+		p, err := nw.newPeer(chord.ID(id))
+		if err != nil {
+			return nil, err
+		}
+		nw.Peers = append(nw.Peers, p)
+	}
+	nw.sortPeers()
+	nw.installRing()
+	return nw, nil
+}
+
+func (nw *Network) uniqueIDs(n int, space chord.Space) []uint64 {
+	seen := make(map[uint64]bool, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		id := nw.rng.Uint64() & space.Mask()
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (nw *Network) newPeer(id chord.ID) (*Peer, error) {
+	opts := nw.cfg.Engine
+	opts.Sink = nw.Metrics
+	eng := squid.NewEngine(nw.Space, opts)
+	node := chord.NewNode(chord.Config{
+		Space:       chord.Space{Bits: nw.Space.IndexBits()},
+		SuccListLen: nw.cfg.SuccListLen,
+	}, id, eng)
+	eng.Attach(node)
+	addr := transport.Addr(fmt.Sprintf("p%d", nw.nextIdx))
+	nw.nextIdx++
+	ep, err := nw.Inproc.Listen(addr, node)
+	if err != nil {
+		return nil, err
+	}
+	node.Start(ep)
+	nw.Metrics.RegisterAddr(addr, id)
+	return &Peer{Node: node, Engine: eng}, nil
+}
+
+func (nw *Network) sortPeers() {
+	sort.Slice(nw.Peers, func(i, j int) bool { return nw.Peers[i].ID() < nw.Peers[j].ID() })
+}
+
+// installRing writes consistent pred/succ/finger state into every peer
+// directly.
+func (nw *Network) installRing() {
+	n := len(nw.Peers)
+	succLen := nw.cfg.SuccListLen
+	if succLen <= 0 {
+		succLen = 4
+	}
+	space := chord.Space{Bits: nw.Space.IndexBits()}
+	for i, p := range nw.Peers {
+		pred := nw.Peers[(i+n-1)%n].Node.Self()
+		var succs []chord.NodeRef
+		for k := 1; k <= succLen && k < n+1; k++ {
+			succs = append(succs, nw.Peers[(i+k)%n].Node.Self())
+		}
+		if len(succs) == 0 {
+			succs = []chord.NodeRef{p.Node.Self()}
+		}
+		fingers := make([]chord.NodeRef, space.Bits)
+		for b := 0; b < space.Bits; b++ {
+			target := space.Add(p.ID(), uint64(1)<<uint(b))
+			fingers[b] = nw.successorPeer(target).Node.Self()
+		}
+		p := p
+		done := make(chan struct{})
+		p.Node.Invoke(func() {
+			p.Node.InstallRing(pred, succs, fingers)
+			close(done)
+		})
+		<-done
+	}
+}
+
+// successorPeer returns the live peer owning the given identifier.
+func (nw *Network) successorPeer(id chord.ID) *Peer {
+	i := sort.Search(len(nw.Peers), func(i int) bool { return nw.Peers[i].ID() >= id })
+	if i == len(nw.Peers) {
+		i = 0
+	}
+	return nw.Peers[i]
+}
+
+// SuccessorOf exposes the oracle owner of a curve index.
+func (nw *Network) SuccessorOf(idx uint64) *Peer { return nw.successorPeer(chord.ID(idx)) }
+
+// Quiesce waits for the network to go idle.
+func (nw *Network) Quiesce() { nw.Inproc.Quiesce() }
+
+// Preload bulk-inserts elements at their owners directly (no routing
+// messages), grouping by owner for efficiency. This mirrors the paper's
+// simulator setup of 2*10^5..10^6 pre-placed keys.
+func (nw *Network) Preload(elems []squid.Element) error {
+	groups := make(map[*Peer][]squid.Element)
+	for _, e := range elems {
+		idx, err := nw.Space.Index(e.Values)
+		if err != nil {
+			return err
+		}
+		owner := nw.successorPeer(chord.ID(idx))
+		groups[owner] = append(groups[owner], e)
+	}
+	for p, batch := range groups {
+		p, batch := p, batch
+		if err := p.Node.Invoke(func() {
+			for _, e := range batch {
+				_ = p.Engine.StoreDirect(e)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	nw.Quiesce()
+	return nil
+}
+
+// Publish routes an element through the overlay from the given peer.
+func (nw *Network) Publish(via int, elem squid.Element) error {
+	p := nw.Peers[via]
+	errCh := make(chan error, 1)
+	if err := p.Node.Invoke(func() { errCh <- p.Engine.Publish(elem) }); err != nil {
+		return err
+	}
+	return <-errCh
+}
+
+// Query runs a flexible query from the given peer, waits for its complete
+// result, and returns it with the query's cost metrics.
+func (nw *Network) Query(via int, q keyspace.Query) (squid.Result, QueryMetrics) {
+	p := nw.Peers[via]
+	resCh := make(chan squid.Result, 1)
+	qidCh := make(chan uint64, 1)
+	p.Node.Invoke(func() {
+		qidCh <- p.Engine.Query(q, func(r squid.Result) { resCh <- r })
+	})
+	qid := <-qidCh
+	res := <-resCh
+	nw.Quiesce() // let trailing replies settle so counts are exact
+	return res, nw.Metrics.ForQuery(qid)
+}
+
+// BruteForceMatches scans every peer's store directly — the ground truth
+// for the "all matches are found" guarantee.
+func (nw *Network) BruteForceMatches(q keyspace.Query) []squid.Element {
+	var out []squid.Element
+	for _, p := range nw.Peers {
+		p := p
+		done := make(chan []squid.Element, 1)
+		p.Node.Invoke(func() {
+			var local []squid.Element
+			st := p.Engine.LocalStore()
+			st.ScanSpan(fullSpan(nw.Space.IndexBits()), func(_ uint64, e squid.Element) {
+				if nw.Space.Matches(q, e.Values) {
+					local = append(local, e)
+				}
+			})
+			done <- local
+		})
+		out = append(out, <-done...)
+	}
+	return out
+}
+
+// fullSpan is the whole index space as a scan interval.
+func fullSpan(bits int) sfc.Interval {
+	if bits >= 64 {
+		return sfc.Interval{Lo: 0, Hi: ^uint64(0)}
+	}
+	return sfc.Interval{Lo: 0, Hi: (uint64(1) << bits) - 1}
+}
+
+// LoadVector returns the number of stored keys per peer, in ring order —
+// the paper's Fig. 19 load-distribution data.
+func (nw *Network) LoadVector() []int {
+	out := make([]int, len(nw.Peers))
+	for i, p := range nw.Peers {
+		p := p
+		ch := make(chan int, 1)
+		p.Node.Invoke(func() { ch <- p.Engine.LocalStore().Keys() })
+		out[i] = <-ch
+	}
+	return out
+}
+
+// AddPeer joins a new peer with the given identifier through the protocol
+// (seeded at a random existing peer) and returns it.
+func (nw *Network) AddPeer(id chord.ID) (*Peer, error) {
+	p, err := nw.newPeer(id)
+	if err != nil {
+		return nil, err
+	}
+	seed := nw.Peers[nw.rng.Intn(len(nw.Peers))]
+	errCh := make(chan error, 1)
+	p.Node.Invoke(func() { p.Node.Join(seed.Addr(), func(e error) { errCh <- e }) })
+	if err := <-errCh; err != nil {
+		nw.Inproc.Kill(p.Addr())
+		return nil, err
+	}
+	nw.Quiesce()
+	nw.Peers = append(nw.Peers, p)
+	nw.sortPeers()
+	return p, nil
+}
+
+// RemovePeer makes the peer at index i (in current ring order) leave
+// voluntarily.
+func (nw *Network) RemovePeer(i int) {
+	p := nw.Peers[i]
+	done := make(chan struct{})
+	p.Node.Invoke(func() { p.Node.Leave(); close(done) })
+	<-done
+	nw.Quiesce()
+	nw.Inproc.Kill(p.Addr())
+	nw.Peers = append(nw.Peers[:i], nw.Peers[i+1:]...)
+}
+
+// KillPeer fails the peer at index i abruptly (no handover).
+func (nw *Network) KillPeer(i int) {
+	p := nw.Peers[i]
+	nw.Inproc.Kill(p.Addr())
+	nw.Peers = append(nw.Peers[:i], nw.Peers[i+1:]...)
+}
+
+// StabilizeAll runs the given number of stabilization rounds on every
+// peer (stabilize + finger fix + predecessor check), quiescing between
+// rounds.
+func (nw *Network) StabilizeAll(rounds int) {
+	for r := 0; r < rounds; r++ {
+		for _, p := range nw.Peers {
+			p := p
+			p.Node.Invoke(func() {
+				p.Node.CheckPredecessor()
+				p.Node.Stabilize()
+				p.Node.FixFingers()
+			})
+		}
+		nw.Quiesce()
+	}
+}
+
+// PushReplicasAll makes every peer push replicas of its store to its
+// successors (run after Preload when the engines have Replicas > 0).
+func (nw *Network) PushReplicasAll() {
+	for _, p := range nw.Peers {
+		p := p
+		p.Node.Invoke(p.Engine.PushReplicas)
+	}
+	nw.Quiesce()
+}
+
+// VerifyConsistent checks that every peer's predecessor and successor
+// match the oracle ring order and that every stored key lies within its
+// holder's arc. It returns the first inconsistency found, or nil. Useful in
+// tests after churn: queries are only guaranteed complete on a consistent
+// ring with correctly placed data.
+func (nw *Network) VerifyConsistent() error {
+	n := len(nw.Peers)
+	type snap struct {
+		pred, succ chord.NodeRef
+		keys       []uint64
+	}
+	for i, p := range nw.Peers {
+		p := p
+		ch := make(chan snap, 1)
+		p.Node.Invoke(func() {
+			var keys []uint64
+			p.Engine.LocalStore().ScanSpan(fullSpan(nw.Space.IndexBits()), func(k uint64, _ squid.Element) {
+				if len(keys) == 0 || keys[len(keys)-1] != k {
+					keys = append(keys, k)
+				}
+			})
+			ch <- snap{pred: p.Node.Pred(), succ: p.Node.Succ(), keys: keys}
+		})
+		st := <-ch
+		wantPred := nw.Peers[(i+n-1)%n].Node.Self()
+		wantSucc := nw.Peers[(i+1)%n].Node.Self()
+		if st.pred.Addr != wantPred.Addr {
+			return fmt.Errorf("sim: peer %s pred=%s want %s", p.Node.Self(), st.pred, wantPred)
+		}
+		if st.succ.Addr != wantSucc.Addr {
+			return fmt.Errorf("sim: peer %s succ=%s want %s", p.Node.Self(), st.succ, wantSucc)
+		}
+		space := chord.Space{Bits: nw.Space.IndexBits()}
+		for _, k := range st.keys {
+			if !space.Between(chord.ID(k), wantPred.ID, p.ID()) {
+				return fmt.Errorf("sim: peer %s holds key %x outside its arc (%x, %x]",
+					p.Node.Self(), k, uint64(wantPred.ID), uint64(p.ID()))
+			}
+		}
+	}
+	return nil
+}
+
+// TotalKeys sums stored keys across peers.
+func (nw *Network) TotalKeys() int {
+	total := 0
+	for _, n := range nw.LoadVector() {
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,97 @@
+package squid_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+)
+
+func benchNetwork(b *testing.B, nodes, elems int) *sim.Network {
+	b.Helper()
+	space, err := keyspace.NewWordSpace(2, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := sim.Build(sim.Config{Nodes: nodes, Space: space, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	batch := make([]squid.Element, elems)
+	for i := range batch {
+		batch[i] = squid.Element{
+			Values: []string{testVocab[rng.Intn(len(testVocab))], testVocab[rng.Intn(len(testVocab))]},
+			Data:   fmt.Sprintf("doc%d", i),
+		}
+	}
+	if err := nw.Preload(batch); err != nil {
+		b.Fatal(err)
+	}
+	return nw
+}
+
+// BenchmarkPublish measures routed publish throughput on a 100-peer
+// network.
+func BenchmarkPublish(b *testing.B) {
+	nw := benchNetwork(b, 100, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		elem := squid.Element{
+			Values: []string{testVocab[i%len(testVocab)], testVocab[(i*7)%len(testVocab)]},
+			Data:   "bench",
+		}
+		if err := nw.Publish(i%len(nw.Peers), elem); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nw.Quiesce()
+}
+
+// BenchmarkExactQuery measures the single-lookup path end to end.
+func BenchmarkExactQuery(b *testing.B) {
+	nw := benchNetwork(b, 100, 10_000)
+	q := keyspace.MustParse("(computer, network)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := nw.Query(i%len(nw.Peers), q)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkPrefixQuery measures a flexible partial-keyword query end to
+// end (distributed refinement, aggregation, result collection).
+func BenchmarkPrefixQuery(b *testing.B) {
+	nw := benchNetwork(b, 100, 10_000)
+	q := keyspace.MustParse("(comp*, *)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := nw.Query(i%len(nw.Peers), q)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkWildcardQuery measures the worst-case full-space query.
+func BenchmarkWildcardQuery(b *testing.B) {
+	nw := benchNetwork(b, 100, 10_000)
+	q := keyspace.MustParse("(*, *)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := nw.Query(i%len(nw.Peers), q)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}

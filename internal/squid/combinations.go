@@ -1,0 +1,146 @@
+package squid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"squid/internal/keyspace"
+)
+
+// PublishCombinations indexes a data element described by more keywords
+// than the space has dimensions, the situation the paper's storage
+// use-case implies (a document has many descriptive words, the index is
+// 2-D or 3-D): the keywords are sorted and every d-sized combination is
+// published as its own tuple. A query whose exact terms are sorted the
+// same way then meets at least one tuple of every matching element.
+//
+// Because one element now lives at several curve points, a broad query can
+// return it multiple times; deduplicate with Dedup. Returns the number of
+// tuples published.
+func (e *Engine) PublishCombinations(keywords []string, data string) (int, error) {
+	d := e.space.Dims()
+	words := make([]string, 0, len(keywords))
+	for _, w := range keywords {
+		w = strings.TrimSpace(strings.ToLower(w))
+		if w != "" {
+			words = append(words, w)
+		}
+	}
+	sort.Strings(words)
+	words = dedupSorted(words)
+	if len(words) == 0 {
+		return 0, fmt.Errorf("squid: no usable keywords for %q", data)
+	}
+	if len(words) <= d {
+		if err := e.Publish(Element{Values: words, Data: data}); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	published := 0
+	var rec func(start int, chosen []string) error
+	rec = func(start int, chosen []string) error {
+		if len(chosen) == d {
+			if err := e.Publish(Element{Values: append([]string(nil), chosen...), Data: data}); err != nil {
+				return err
+			}
+			published++
+			return nil
+		}
+		for i := start; i <= len(words)-(d-len(chosen)); i++ {
+			if err := rec(i+1, append(chosen, words[i])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, make([]string, 0, d)); err != nil {
+		return published, err
+	}
+	return published, nil
+}
+
+func dedupSorted(ws []string) []string {
+	out := ws[:0]
+	for i, w := range ws {
+		if i == 0 || w != ws[i-1] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// QueryKeywords resolves a conjunctive keyword query against data
+// published with PublishCombinations: the words are sorted (matching the
+// publish-side ordering) and, when fewer words than dimensions are given,
+// every positional placement is queried (a word may sit on any axis of a
+// sorted combination tuple). cb receives a single aggregated, deduplicated
+// result. Goroutine-confined like Query.
+func (e *Engine) QueryKeywords(words []string, cb func(Result)) {
+	clean := make([]string, 0, len(words))
+	for _, w := range words {
+		w = strings.TrimSpace(strings.ToLower(w))
+		if w != "" {
+			clean = append(clean, w)
+		}
+	}
+	sort.Strings(clean)
+	clean = dedupSorted(clean)
+	d := e.space.Dims()
+	if len(clean) == 0 || len(clean) > d {
+		cb(Result{Err: fmt.Errorf("squid: keyword query needs 1..%d distinct words, got %d", d, len(clean))})
+		return
+	}
+	// Every way to place the sorted words onto the d axes in order.
+	var queries []keyspace.Query
+	var place func(wi, dim int, cur keyspace.Query)
+	place = func(wi, dim int, cur keyspace.Query) {
+		if wi == len(clean) {
+			q := append(keyspace.Query(nil), cur...)
+			for len(q) < d {
+				q = append(q, keyspace.Wildcard())
+			}
+			queries = append(queries, q)
+			return
+		}
+		if d-dim < len(clean)-wi {
+			return
+		}
+		place(wi+1, dim+1, append(cur, keyspace.Exact(clean[wi]))) // word here
+		place(wi, dim+1, append(cur, keyspace.Wildcard()))         // skip axis
+	}
+	place(0, 0, make(keyspace.Query, 0, d))
+
+	agg := &Result{Query: queries[0]}
+	remaining := len(queries)
+	for _, q := range queries {
+		e.Query(q, func(r Result) {
+			if r.Err != nil && agg.Err == nil {
+				agg.Err = r.Err
+			}
+			agg.Matches = append(agg.Matches, r.Matches...)
+			remaining--
+			if remaining == 0 {
+				agg.Matches = Dedup(agg.Matches)
+				cb(*agg)
+			}
+		})
+	}
+}
+
+// Dedup collapses matches that refer to the same element (same payload),
+// needed when elements were published with PublishCombinations. Order of
+// first occurrence is preserved.
+func Dedup(matches []Element) []Element {
+	seen := make(map[string]bool, len(matches))
+	out := matches[:0:0]
+	for _, m := range matches {
+		if seen[m.Data] {
+			continue
+		}
+		seen[m.Data] = true
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Package squid implements the paper's primary contribution: a P2P
+// information-discovery engine supporting keyword, partial-keyword,
+// wildcard and range queries with the guarantee that every stored matching
+// data element is found, at bounded message/node cost (Schmidt & Parashar,
+// "Flexible Information Discovery in Decentralized Distributed Systems",
+// HPDC 2003).
+//
+// An Engine is the application attached to one chord.Node. Data elements
+// are tuples of keyword/attribute values; the keyspace.Space maps a tuple
+// to a Hilbert-curve index, and the element is stored at the index's
+// successor on the ring. A flexible query maps to a region of the keyword
+// space whose curve decomposition is a set of clusters; the engine
+// resolves the query by embedding the cluster refinement tree into the
+// ring (Section 3.4.2):
+//
+//  1. The initiator computes the first levels of the refinement tree
+//     locally and dispatches each initial cluster toward the node owning
+//     its lowest index.
+//  2. A node receiving a cluster scans the part of the cluster's span it
+//     owns against its local store, refines the remainder (pruning
+//     subtrees whose subcubes miss the query region — and, implicitly,
+//     subtrees that lead only to empty parts of the sparse keyword space,
+//     because recursion stops where no further nodes own data), and
+//     forwards the remote children.
+//  3. With the aggregation optimization (Section 3.4.3), remote children
+//     are sorted and dispatched in batches: the engine probes the owner of
+//     the first child (one FindSuccessor), learns the owner's arc from the
+//     reply, and ships every sibling falling in that arc as a single
+//     message.
+//
+// Termination is detected by spawn accounting: every processed cluster
+// message reports to the initiator how many child messages it spawned; the
+// query completes when the initiator's outstanding count returns to zero.
+// Exact queries short-circuit to a single DHT lookup.
+package squid

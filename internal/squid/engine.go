@@ -1,0 +1,550 @@
+package squid
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/sfc"
+	"squid/internal/transport"
+)
+
+// MetricsSink observes query processing for experiment accounting. The
+// paper's per-query metrics (processing nodes, data nodes, matches) are
+// produced by a sink shared across the simulated network; pass nil to
+// disable. Implementations must be safe for concurrent use (engines of
+// different nodes run in different goroutines).
+type MetricsSink interface {
+	// Processed records that a node processed clusters of query qid and
+	// found the given number of matching elements there.
+	Processed(qid uint64, node chord.ID, clusters, matches int)
+}
+
+// Options tunes an Engine.
+type Options struct {
+	// DisableAggregation turns off the paper's second query optimization
+	// (sibling clusters batched per owner via a probe handshake); each
+	// remote cluster is then routed in its own message. For the ablation
+	// benchmark.
+	DisableAggregation bool
+	// InitialClusters caps how many clusters the initiator computes
+	// locally before dispatching (the first levels of the refinement
+	// tree). Defaults to 2^d — one refinement step, as in the paper's
+	// Fig. 7 root.
+	InitialClusters int
+	// ProbeCacheSize enables caching of owner-probe results at the query
+	// root (0 disables): repeated queries over popular regions skip the
+	// FindSuccessor handshake — the hot-spot mitigation the paper lists as
+	// future work. Stale entries are harmless: a mis-directed batch is
+	// re-dispatched by its receiver, which always probes authoritatively.
+	ProbeCacheSize int
+	// Replicas is the number of successor copies kept of every stored
+	// item (0 disables replication). With r replicas the system tolerates
+	// up to r simultaneous adjacent-node failures without losing data,
+	// provided PushReplicas runs between failures.
+	Replicas int
+	// Sink receives per-query processing metrics; may be nil.
+	Sink MetricsSink
+}
+
+// Result is the outcome of a flexible query: every stored element matching
+// the query, gathered from all data nodes.
+type Result struct {
+	QID     uint64
+	Query   keyspace.Query
+	Matches []Element
+	Err     error
+}
+
+// qidCounter issues process-wide unique query identifiers (results are
+// correlated per initiating engine, but metrics need global uniqueness).
+var qidCounter atomic.Uint64
+
+func nextQID() uint64 { return qidCounter.Add(1) }
+
+// Engine is the Squid application attached to one chord node. Like the
+// node, its state is confined to the node's delivery goroutine: call
+// Publish/Query from App upcalls or through node.Invoke.
+type Engine struct {
+	space    *keyspace.Space
+	store    *Store
+	replicas *Store
+	node     *chord.Node
+	opts     Options
+
+	pending   map[uint64]*subtree
+	nextToken uint64
+	arcCache  []cachedArc
+}
+
+// subtree tracks one node's in-flight piece of a query's refinement tree:
+// the matches found locally plus the results still expected from child
+// messages. When complete, the aggregate flows to the parent (or, at the
+// root, to the query's callback).
+type subtree struct {
+	qid         uint64
+	q           keyspace.Query
+	parent      transport.Addr // empty at the query root
+	parentToken uint64
+	matches     []Element
+	sent        int  // child messages dispatched
+	done        int  // child results received
+	dispatched  bool // all child messages have been sent
+	cb          func(Result)
+}
+
+// NewEngine creates an engine over the given keyword space. Attach it to
+// its node before use:
+//
+//	eng := squid.NewEngine(space, opts)
+//	node := chord.NewNode(chordCfg, id, eng)
+//	eng.Attach(node)
+func NewEngine(space *keyspace.Space, opts Options) *Engine {
+	if opts.InitialClusters <= 0 {
+		opts.InitialClusters = 1 << space.Dims()
+	}
+	return &Engine{
+		space:    space,
+		store:    NewStore(chord.Space{Bits: space.IndexBits()}),
+		replicas: NewStore(chord.Space{Bits: space.IndexBits()}),
+		opts:     opts,
+		pending:  make(map[uint64]*subtree),
+	}
+}
+
+// Attach binds the engine to its ring node.
+func (e *Engine) Attach(n *chord.Node) { e.node = n }
+
+// Node returns the ring node the engine is attached to.
+func (e *Engine) Node() *chord.Node { return e.node }
+
+// Space returns the engine's keyword space.
+func (e *Engine) Space() *keyspace.Space { return e.space }
+
+// LocalStore exposes the node's local index fragment (for inspection and
+// oracle preloading by the simulator).
+func (e *Engine) LocalStore() *Store { return e.store }
+
+// Publish routes a data element to the node owning its curve index.
+func (e *Engine) Publish(elem Element) error {
+	idx, err := e.space.Index(elem.Values)
+	if err != nil {
+		return fmt.Errorf("squid: publish %v: %w", elem.Values, err)
+	}
+	e.node.Route(chord.ID(idx), PublishMsg{Elem: elem}, 0)
+	return nil
+}
+
+// Unpublish removes a previously published element (matched by values and
+// payload) from the system, including any replicas. Like Publish it is
+// fire-and-forget: the removal is routed to the index owner, which fans it
+// out to its replica holders.
+func (e *Engine) Unpublish(elem Element) error {
+	idx, err := e.space.Index(elem.Values)
+	if err != nil {
+		return fmt.Errorf("squid: unpublish %v: %w", elem.Values, err)
+	}
+	e.node.Route(chord.ID(idx), UnpublishMsg{Elem: elem}, 0)
+	return nil
+}
+
+// StoreDirect inserts an element into the local store bypassing routing —
+// the simulator's bulk-preload hook. The caller is responsible for having
+// picked the owning node.
+func (e *Engine) StoreDirect(elem Element) error {
+	idx, err := e.space.Index(elem.Values)
+	if err != nil {
+		return err
+	}
+	e.store.Add(idx, elem)
+	return nil
+}
+
+// Query resolves a flexible query and calls cb exactly once with the
+// complete result set (all matching elements in the system). It returns
+// the query's id for metrics correlation.
+func (e *Engine) Query(q keyspace.Query, cb func(Result)) uint64 {
+	qid := nextQID()
+	region, err := e.space.Region(q)
+	if err != nil {
+		cb(Result{QID: qid, Query: q, Err: err})
+		return qid
+	}
+	if region.Empty() {
+		cb(Result{QID: qid, Query: q})
+		return qid
+	}
+
+	// Exact queries identify one point: a plain DHT lookup (paper
+	// Section 3.4.1).
+	if pt, ok := region.IsPoint(); ok {
+		idx := e.space.Curve().Encode(pt)
+		st := &subtree{qid: qid, q: q, cb: cb, sent: 1, dispatched: true}
+		tok := e.addSubtree(st)
+		e.node.Route(chord.ID(idx), LookupMsg{
+			QID: qid, Query: q, Key: idx, ReplyTo: e.node.Self().Addr, Token: tok,
+		}, qid)
+		return qid
+	}
+
+	// Compute the first levels of the refinement tree locally, then act as
+	// the root of the distributed refinement: process locally rooted
+	// clusters here and dispatch the rest.
+	initial := sfc.CoarseClusters(e.space.Curve(), region, e.opts.InitialClusters)
+	matches, remote, local := e.processClusters(qid, initial, q, region)
+	if local > 0 && e.opts.Sink != nil {
+		e.opts.Sink.Processed(qid, e.node.Self().ID, local, len(matches))
+	}
+	st := &subtree{qid: qid, q: q, cb: cb, matches: matches}
+	tok := e.addSubtree(st)
+	e.dispatchRemote(remote, q, qid, tok, true, func(sent int) {
+		st.sent = sent
+		st.dispatched = true
+		e.checkSubtree(tok, st)
+	})
+	return qid
+}
+
+// addSubtree registers in-flight subtree state under a fresh token.
+func (e *Engine) addSubtree(st *subtree) uint64 {
+	e.nextToken++
+	e.pending[e.nextToken] = st
+	return e.nextToken
+}
+
+// checkSubtree completes a subtree whose children have all reported,
+// forwarding the aggregate to the parent or firing the root callback.
+func (e *Engine) checkSubtree(tok uint64, st *subtree) {
+	if !st.dispatched || st.done < st.sent {
+		return
+	}
+	delete(e.pending, tok)
+	if st.parent == "" {
+		if st.cb != nil {
+			st.cb(Result{QID: st.qid, Query: st.q, Matches: st.matches})
+		}
+		return
+	}
+	e.send(st.parent, SubResultMsg{QID: st.qid, Token: st.parentToken, Matches: st.matches})
+}
+
+// debugScan, when set (tests only), observes every cluster scan.
+var debugScan func(node chord.ID, qid uint64, span sfc.Interval)
+
+// processClusters resolves the locally owned parts of the given clusters
+// and collects the parts that must be forwarded (pruned by the query
+// region). It walks each cluster's refinement subtree: a subtree whose
+// span lies entirely inside the node's contiguous owned run is scanned
+// (exactly once — subtree spans are disjoint); a subtree rooted outside
+// the arc is forwarded; a subtree that starts owned but extends past the
+// owned run is refined one level and reclassified.
+//
+// The "owned run" subtlety matters for the node whose arc wraps the top of
+// the index space: a low cluster may cover both its low segment and,
+// higher up, its wrap segment. Scanning the full span would count the wrap
+// segment now AND again when the refinement routes those subspans back —
+// the run boundary keeps every key in exactly one scanned subtree.
+func (e *Engine) processClusters(qidDebug uint64, cls []sfc.Refined, q keyspace.Query, region sfc.Region) (matches []Element, remote []sfc.Refined, local int) {
+	curve := e.space.Curve()
+	var frontier []sfc.Refined
+	for _, c := range cls {
+		if !e.node.Owns(chord.ID(c.Span(curve).Lo)) {
+			remote = append(remote, c)
+			continue
+		}
+		local++
+		frontier = append(frontier, c)
+	}
+	for len(frontier) > 0 {
+		x := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		span := x.Span(curve)
+		if !e.node.Owns(chord.ID(span.Lo)) {
+			remote = append(remote, x)
+			continue
+		}
+		if span.Hi <= e.ownedRunEnd(span.Lo) {
+			if debugScan != nil {
+				debugScan(e.node.Self().ID, qidDebug, span)
+			}
+			// The store holds only keys this node owns; the final filter
+			// applies the query's exact semantics (paper: only elements
+			// matching all terms are returned).
+			e.store.ScanSpan(span, func(_ uint64, elem Element) {
+				if e.space.Matches(q, elem.Values) {
+					matches = append(matches, elem)
+				}
+			})
+			continue
+		}
+		// Starts inside the owned run but extends beyond it: refine (with
+		// region pruning) and reclassify the children.
+		frontier = append(frontier, sfc.RefineStep(curve, x.Cluster, region)...)
+	}
+	return matches, remote, local
+}
+
+// ownedRunEnd returns the last index of the node's contiguous owned run
+// containing lo (which must be owned): up to the node's identifier for the
+// low/linear segment, or the top of the index space when lo lies in the
+// wrap segment of an arc that crosses zero.
+func (e *Engine) ownedRunEnd(lo uint64) uint64 {
+	maxIdx := ^uint64(0)
+	if b := e.space.IndexBits(); b < 64 {
+		maxIdx = (uint64(1) << b) - 1
+	}
+	if e.node.Pred().IsZero() {
+		return maxIdx // transient sole-owner view: one run covers everything
+	}
+	self := uint64(e.node.Self().ID)
+	if lo <= self {
+		return self
+	}
+	return maxIdx
+}
+
+// dispatchRemote forwards clusters rooted at other nodes and calls done
+// with the number of child messages sent; their replies will carry token.
+// With aggregation enabled it probes the owner of the first (lowest)
+// cluster, then ships every sibling owned by that node's arc as one
+// message (the paper's second optimization); without it, each cluster is
+// routed independently.
+//
+// root marks dispatches from the query initiator: only there may the
+// probe cache short-circuit the handshake. Receivers always probe, so a
+// stale cache entry costs one extra forward and can never loop.
+func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid, token uint64, root bool, done func(sent int)) {
+	if len(remote) == 0 {
+		done(0)
+		return
+	}
+	curve := e.space.Curve()
+	self := e.node.Self().Addr
+	if e.opts.DisableAggregation {
+		for _, c := range remote {
+			lo := c.Span(curve).Lo
+			e.node.Route(chord.ID(lo), ClusterQueryMsg{
+				QID: qid, Query: q, Clusters: toRefs([]sfc.Refined{c}), ReplyTo: self, Token: token,
+			}, qid)
+		}
+		done(len(remote))
+		return
+	}
+
+	sort.Slice(remote, func(i, j int) bool { return remote[i].Span(curve).Lo < remote[j].Span(curve).Lo })
+	sent := 0
+	var step func(rem []sfc.Refined)
+	step = func(rem []sfc.Refined) {
+		if len(rem) == 0 {
+			done(sent)
+			return
+		}
+		head := chord.ID(rem[0].Span(curve).Lo)
+		if root && e.opts.ProbeCacheSize > 0 {
+			if arc, ok := e.cacheLookup(head); ok {
+				n := 1
+				sp := e.node.Space()
+				for n < len(rem) && sp.Between(chord.ID(rem[n].Span(curve).Lo), arc.pred.ID, arc.owner.ID) {
+					n++
+				}
+				msg := ClusterQueryMsg{QID: qid, Query: q, Clusters: toRefs(rem[:n]), ReplyTo: self, Token: token}
+				if e.send(arc.owner.Addr, msg) {
+					sent++
+					step(rem[n:])
+					return
+				}
+				e.cacheDrop(arc.owner.Addr) // dead peer: fall through to probing
+			}
+		}
+		e.node.FindSuccessor(head, qid, func(m chord.FoundMsg, err error) {
+			if err != nil {
+				// Ring unstable: fall back to blind routing for the head
+				// cluster and keep going.
+				e.node.Route(head, ClusterQueryMsg{
+					QID: qid, Query: q, Clusters: toRefs(rem[:1]), ReplyTo: self, Token: token,
+				}, qid)
+				sent++
+				step(rem[1:])
+				return
+			}
+			e.cacheInsert(m.Pred, m.Owner)
+			// Batch the run of siblings falling inside the owner's arc
+			// (pred, owner]. The list is sorted, so the run is a prefix.
+			n := 1
+			if !m.Pred.IsZero() {
+				sp := e.node.Space()
+				for n < len(rem) && sp.Between(chord.ID(rem[n].Span(curve).Lo), m.Pred.ID, m.Owner.ID) {
+					n++
+				}
+			}
+			msg := ClusterQueryMsg{QID: qid, Query: q, Clusters: toRefs(rem[:n]), ReplyTo: self, Token: token}
+			if !e.send(m.Owner.Addr, msg) {
+				// Owner died between probe and send: blind-route each.
+				for _, c := range rem[:n] {
+					e.node.Route(chord.ID(c.Span(curve).Lo), ClusterQueryMsg{
+						QID: qid, Query: q, Clusters: toRefs([]sfc.Refined{c}), ReplyTo: self, Token: token,
+					}, qid)
+					sent++
+				}
+				step(rem[n:])
+				return
+			}
+			sent++
+			step(rem[n:])
+		})
+	}
+	step(remote)
+}
+
+func (e *Engine) send(to transport.Addr, msg any) bool {
+	return e.node.SendApp(to, msg)
+}
+
+// Deliver implements chord.App: application payloads routed to this node.
+func (e *Engine) Deliver(from transport.Addr, key chord.ID, payload any) {
+	switch m := payload.(type) {
+	case PublishMsg:
+		idx, err := e.space.Index(m.Elem.Values)
+		if err != nil {
+			return
+		}
+		e.store.Add(idx, m.Elem)
+		e.replicate([]chord.Item{{Key: chord.ID(idx), Value: []Element{m.Elem}}})
+	case UnpublishMsg:
+		e.handleUnpublish(m)
+	case LookupMsg:
+		e.handleLookup(m)
+	case ClusterQueryMsg:
+		e.handleClusterQuery(m)
+	case SubResultMsg:
+		e.handleSubResult(m)
+	case ReplicaMsg:
+		e.handleReplica(m)
+	case ClientPublishMsg:
+		_ = e.Publish(m.Elem)
+	case ClientUnpublishMsg:
+		_ = e.Unpublish(m.Elem)
+	case ClientQueryMsg:
+		e.handleClientQuery(m)
+	}
+}
+
+// handleUnpublish removes the element locally (from the primary store at
+// the owner, from the replica store at replica holders) and, at the owner,
+// fans the removal out to the successors that may hold replicas.
+func (e *Engine) handleUnpublish(m UnpublishMsg) {
+	idx, err := e.space.Index(m.Elem.Values)
+	if err != nil {
+		return
+	}
+	if m.Replica {
+		e.replicas.Remove(idx, m.Elem)
+		// The arc may have shifted since replication: clear a promoted copy
+		// too so owner changes cannot resurrect the element.
+		e.store.Remove(idx, m.Elem)
+		return
+	}
+	e.store.Remove(idx, m.Elem)
+	if e.opts.Replicas > 0 {
+		fanned := 0
+		for _, s := range e.node.SuccList() {
+			if s.Addr == e.node.Self().Addr {
+				continue
+			}
+			if e.send(s.Addr, UnpublishMsg{Elem: m.Elem, Replica: true}) {
+				fanned++
+				if fanned == e.opts.Replicas {
+					break
+				}
+			}
+		}
+	}
+}
+
+// handleClientQuery serves a non-member client: parse, run the query as
+// root, and ship the complete result back.
+func (e *Engine) handleClientQuery(m ClientQueryMsg) {
+	q, err := keyspace.Parse(m.Query)
+	if err != nil {
+		e.send(m.ReplyTo, ClientResultMsg{Token: m.Token, Err: err.Error()})
+		return
+	}
+	e.Query(q, func(r Result) {
+		out := ClientResultMsg{Token: m.Token, Matches: r.Matches}
+		if r.Err != nil {
+			out.Err = r.Err.Error()
+		}
+		e.send(m.ReplyTo, out)
+	})
+}
+
+func (e *Engine) handleLookup(m LookupMsg) {
+	var matches []Element
+	for _, elem := range e.store.At(m.Key) {
+		if e.space.Matches(m.Query, elem.Values) {
+			matches = append(matches, elem)
+		}
+	}
+	if e.opts.Sink != nil {
+		e.opts.Sink.Processed(m.QID, e.node.Self().ID, 1, len(matches))
+	}
+	e.send(m.ReplyTo, SubResultMsg{QID: m.QID, Token: m.Token, Matches: matches})
+}
+
+func (e *Engine) handleClusterQuery(m ClusterQueryMsg) {
+	region, err := e.space.Region(m.Query)
+	if err != nil {
+		e.send(m.ReplyTo, SubResultMsg{QID: m.QID, Token: m.Token})
+		return
+	}
+	matches, remote, local := e.processClusters(m.QID, fromRefs(m.Clusters), m.Query, region)
+	if e.opts.Sink != nil {
+		e.opts.Sink.Processed(m.QID, e.node.Self().ID, local, len(matches))
+	}
+	if len(remote) == 0 {
+		e.send(m.ReplyTo, SubResultMsg{QID: m.QID, Token: m.Token, Matches: matches})
+		return
+	}
+	st := &subtree{qid: m.QID, q: m.Query, parent: m.ReplyTo, parentToken: m.Token, matches: matches}
+	tok := e.addSubtree(st)
+	e.dispatchRemote(remote, m.Query, m.QID, tok, false, func(sent int) {
+		st.sent = sent
+		st.dispatched = true
+		e.checkSubtree(tok, st)
+	})
+}
+
+func (e *Engine) handleSubResult(m SubResultMsg) {
+	st, ok := e.pending[m.Token]
+	if !ok {
+		return
+	}
+	st.matches = append(st.matches, m.Matches...)
+	st.done++
+	e.checkSubtree(m.Token, st)
+}
+
+// HandoverOut implements chord.App. When replication is enabled the
+// departing items are retained locally as replicas (this node is now one
+// of the new owner's successors).
+func (e *Engine) HandoverOut(a, b chord.ID) []chord.Item {
+	items := e.store.HandoverOut(a, b)
+	if e.opts.Replicas > 0 {
+		for _, it := range items {
+			for _, elem := range it.Value.([]Element) {
+				e.replicas.AddUnique(uint64(it.Key), elem)
+			}
+		}
+	}
+	return items
+}
+
+// HandoverIn implements chord.App.
+func (e *Engine) HandoverIn(items []chord.Item) { e.store.HandoverIn(items) }
+
+// Load implements chord.App: the number of stored keys.
+func (e *Engine) Load() int { return e.store.Keys() }
+
+var _ chord.App = (*Engine)(nil)

@@ -1,0 +1,322 @@
+package squid_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+)
+
+var testVocab = []string{
+	"computer", "computation", "company", "compiler", "network", "net",
+	"node", "data", "database", "storage", "system", "grid", "peer",
+	"discovery", "index", "query", "curve", "hilbert", "chord", "cost",
+}
+
+func buildNetwork(t testing.TB, nodes, elems int, opts squid.Options) *sim.Network {
+	t.Helper()
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sim.Build(sim.Config{Nodes: nodes, Space: space, Seed: 42, Engine: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	batch := make([]squid.Element, 0, elems)
+	for i := 0; i < elems; i++ {
+		batch = append(batch, squid.Element{
+			Values: []string{testVocab[rng.Intn(len(testVocab))], testVocab[rng.Intn(len(testVocab))]},
+			Data:   fmt.Sprintf("doc%d", i),
+		})
+	}
+	if err := nw.Preload(batch); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// sortedData canonicalizes a result set for comparison.
+func sortedData(elems []squid.Element) []string {
+	out := make([]string, len(elems))
+	for i, e := range elems {
+		out[i] = e.Data
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQueryCompleteness is the paper's central guarantee: every stored
+// element matching a query is found — across exact, prefix, wildcard and
+// range queries, initiated from arbitrary peers.
+func TestQueryCompleteness(t *testing.T) {
+	nw := buildNetwork(t, 40, 3000, squid.Options{})
+	queries := []string{
+		"(computer, network)",
+		"(computer, *)",
+		"(*, network)",
+		"(comp*, *)",
+		"(comp*, net*)",
+		"(c-d, *)",
+		"(data*, d*)",
+		"(*, *)",
+		"(zzz, *)",      // no matches
+		"(n*, comp*)",   // both partial
+		"(net, *)",      // exact short word
+		"(grid, gr*)",   // mixed
+		"(co-cz, da-e)", // word ranges
+	}
+	for qi, qs := range queries {
+		q := keyspace.MustParse(qs)
+		want := sortedData(nw.BruteForceMatches(q))
+		res, qm := nw.Query(qi%len(nw.Peers), q)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", qs, res.Err)
+		}
+		got := sortedData(res.Matches)
+		if !equalSets(got, want) {
+			t.Errorf("%s: got %d matches, brute force %d", qs, len(got), len(want))
+			continue
+		}
+		if qm.Matches != len(want) {
+			t.Errorf("%s: metrics counted %d matches, want %d", qs, qm.Matches, len(want))
+		}
+		// Data nodes are processing nodes.
+		for id := range qm.DataNodes {
+			if !qm.ProcessingNodes[id] {
+				t.Errorf("%s: data node %x not marked processing", qs, uint64(id))
+			}
+		}
+	}
+}
+
+func TestExactQueryIsSingleLookup(t *testing.T) {
+	nw := buildNetwork(t, 30, 1000, squid.Options{})
+	q := keyspace.MustParse("(computer, network)")
+	res, qm := nw.Query(3, q)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	want := sortedData(nw.BruteForceMatches(q))
+	if !equalSets(sortedData(res.Matches), want) {
+		t.Errorf("exact query incomplete: %d vs %d", len(res.Matches), len(want))
+	}
+	if len(qm.ProcessingNodes) != 1 {
+		t.Errorf("exact query touched %d processing nodes, want 1", len(qm.ProcessingNodes))
+	}
+	if qm.ClusterMessages != 0 {
+		t.Errorf("exact query sent %d cluster messages, want 0", qm.ClusterMessages)
+	}
+}
+
+func TestPublishThenQuery(t *testing.T) {
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sim.Build(sim.Config{Nodes: 20, Space: space, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		elem := squid.Element{
+			Values: []string{testVocab[i%len(testVocab)], testVocab[(i*3)%len(testVocab)]},
+			Data:   fmt.Sprintf("pub%d", i),
+		}
+		if err := nw.Publish(i%len(nw.Peers), elem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Quiesce()
+	res, _ := nw.Query(0, keyspace.MustParse("(*, *)"))
+	if len(res.Matches) != 50 {
+		t.Errorf("published 50, wildcard query found %d", len(res.Matches))
+	}
+	// Every element must be stored at its oracle owner.
+	for i := 0; i < 50; i++ {
+		elem := squid.Element{
+			Values: []string{testVocab[i%len(testVocab)], testVocab[(i*3)%len(testVocab)]},
+		}
+		idx, err := space.Index(elem.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := nw.SuccessorOf(idx)
+		found := false
+		done := make(chan struct{})
+		owner.Node.Invoke(func() {
+			for _, e := range owner.Engine.LocalStore().At(idx) {
+				_ = e
+				found = true
+			}
+			close(done)
+		})
+		<-done
+		if !found {
+			t.Errorf("element %d not at oracle owner", i)
+		}
+	}
+}
+
+func TestAggregationReducesMessages(t *testing.T) {
+	withAgg := buildNetwork(t, 60, 4000, squid.Options{})
+	noAgg := buildNetwork(t, 60, 4000, squid.Options{DisableAggregation: true})
+
+	q := keyspace.MustParse("(comp*, *)")
+	resA, qmA := withAgg.Query(0, q)
+	resN, qmN := noAgg.Query(0, q)
+	if resA.Err != nil || resN.Err != nil {
+		t.Fatal(resA.Err, resN.Err)
+	}
+	if !equalSets(sortedData(resA.Matches), sortedData(resN.Matches)) {
+		t.Fatalf("aggregation changed results: %d vs %d", len(resA.Matches), len(resN.Matches))
+	}
+	if len(resA.Matches) == 0 {
+		t.Fatal("query should match something")
+	}
+	// Identical data and ring (same seeds) — aggregation must not increase
+	// the number of sub-query payload messages.
+	aggPayload := qmA.ClusterMessages
+	noPayload := qmN.ClusterMessages + qmN.RouteMessages // blind-routed clusters travel as RouteMsg hops
+	if aggPayload >= noPayload {
+		t.Errorf("aggregation did not reduce payload messages: %d vs %d", aggPayload, noPayload)
+	}
+	if len(qmA.ProcessingNodes) == 0 || len(qmN.ProcessingNodes) == 0 {
+		t.Error("processing node sets empty")
+	}
+}
+
+func TestQueryMetricsShape(t *testing.T) {
+	nw := buildNetwork(t, 50, 5000, squid.Options{})
+	res, qm := nw.Query(7, keyspace.MustParse("(d*, *)"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Matches) == 0 {
+		t.Fatal("expected matches")
+	}
+	n := len(nw.Peers)
+	if p := len(qm.ProcessingNodes); p == 0 || p >= n {
+		t.Errorf("processing nodes = %d of %d", p, n)
+	}
+	if d := len(qm.DataNodes); d == 0 || d > len(qm.ProcessingNodes) {
+		t.Errorf("data nodes = %d, processing = %d", d, len(qm.ProcessingNodes))
+	}
+	if qm.Messages() == 0 {
+		t.Error("no messages counted")
+	}
+	if qm.TotalTransmissions() < qm.Messages() {
+		t.Error("total transmissions < forward messages")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	nw := buildNetwork(t, 10, 100, squid.Options{})
+	p := nw.Peers[0]
+	// Over-long query errors.
+	resCh := make(chan squid.Result, 1)
+	p.Node.Invoke(func() {
+		p.Engine.Query(keyspace.MustParse("(a, b, c)"), func(r squid.Result) { resCh <- r })
+	})
+	if r := <-resCh; r.Err == nil {
+		t.Error("over-long query should error")
+	}
+	// Unencodable characters (within the axis' discriminated slots) error.
+	p.Node.Invoke(func() {
+		p.Engine.Query(keyspace.Query{keyspace.Exact("b_d")}, func(r squid.Result) { resCh <- r })
+	})
+	if r := <-resCh; r.Err == nil {
+		t.Error("unencodable query should error")
+	}
+}
+
+func TestQueryAfterChurn(t *testing.T) {
+	nw := buildNetwork(t, 25, 2000, squid.Options{})
+	before := nw.TotalKeys()
+
+	// Protocol-join five new peers and remove three existing ones.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5; i++ {
+		id := rng.Uint64() & ((1 << 32) - 1)
+		if _, err := nw.AddPeer(chord.ID(id)); err != nil {
+			t.Fatalf("add peer: %v", err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		nw.RemovePeer(rng.Intn(len(nw.Peers)))
+	}
+	nw.StabilizeAll(3)
+
+	if after := nw.TotalKeys(); after != before {
+		t.Errorf("churn lost keys: %d -> %d", before, after)
+	}
+	if err := nw.VerifyConsistent(); err != nil {
+		t.Fatalf("ring inconsistent after churn: %v", err)
+	}
+	for _, qs := range []string{"(comp*, *)", "(*, net*)", "(data, *)"} {
+		q := keyspace.MustParse(qs)
+		want := sortedData(nw.BruteForceMatches(q))
+		res, _ := nw.Query(0, q)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", qs, res.Err)
+		}
+		if !equalSets(sortedData(res.Matches), want) {
+			t.Errorf("%s after churn: %d matches, want %d", qs, len(res.Matches), len(want))
+		}
+	}
+}
+
+func TestSingleNodeNetwork(t *testing.T) {
+	nw := buildNetwork(t, 1, 200, squid.Options{})
+	q := keyspace.MustParse("(comp*, *)")
+	want := sortedData(nw.BruteForceMatches(q))
+	res, qm := nw.Query(0, q)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !equalSets(sortedData(res.Matches), want) {
+		t.Errorf("singleton: %d matches, want %d", len(res.Matches), len(want))
+	}
+	if len(qm.ProcessingNodes) > 1 {
+		t.Errorf("singleton processing nodes = %d", len(qm.ProcessingNodes))
+	}
+}
+
+// TestProcessingScalesSublinearly reproduces the qualitative claim of
+// Fig. 9: processing nodes are a small fraction of the network and data
+// nodes are close to processing nodes.
+func TestProcessingScalesSublinearly(t *testing.T) {
+	nw := buildNetwork(t, 120, 8000, squid.Options{})
+	res, qm := nw.Query(0, keyspace.MustParse("(comp*, *)"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	p, d := len(qm.ProcessingNodes), len(qm.DataNodes)
+	if p >= len(nw.Peers)/2 {
+		t.Errorf("processing nodes %d should be well below network size %d", p, len(nw.Peers))
+	}
+	if d == 0 {
+		t.Error("no data nodes")
+	}
+	if p < d {
+		t.Errorf("processing %d < data %d", p, d)
+	}
+}

@@ -1,0 +1,70 @@
+package squid_test
+
+import (
+	"fmt"
+	"sort"
+
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+)
+
+// Example demonstrates the complete public flow: build a simulated
+// network, publish, query flexibly, and read the cost metrics.
+func Example() {
+	space, _ := keyspace.NewWordSpace(2, 32)
+	nw, _ := sim.Build(sim.Config{Nodes: 8, Space: space, Seed: 1})
+
+	docs := []squid.Element{
+		{Values: []string{"computer", "network"}, Data: "networking.pdf"},
+		{Values: []string{"computer", "graphics"}, Data: "rendering.pdf"},
+		{Values: []string{"database", "systems"}, Data: "transactions.pdf"},
+	}
+	for i, d := range docs {
+		_ = nw.Publish(i, d)
+	}
+	nw.Quiesce()
+
+	res, _ := nw.Query(0, keyspace.MustParse("(comp*, *)"))
+	names := make([]string, 0, len(res.Matches))
+	for _, m := range res.Matches {
+		names = append(names, m.Data)
+	}
+	sort.Strings(names)
+	fmt.Println(len(res.Matches), "matches:", names)
+	// Output:
+	// 2 matches: [networking.pdf rendering.pdf]
+}
+
+// ExampleEngine_Unpublish removes an element from the distributed index.
+func ExampleEngine_Unpublish() {
+	space, _ := keyspace.NewWordSpace(2, 32)
+	nw, _ := sim.Build(sim.Config{Nodes: 4, Space: space, Seed: 1})
+	doc := squid.Element{Values: []string{"grid", "resource"}, Data: "r1"}
+	_ = nw.Publish(0, doc)
+	nw.Quiesce()
+
+	p := nw.Peers[0]
+	done := make(chan error, 1)
+	p.Node.Invoke(func() { done <- p.Engine.Unpublish(doc) })
+	<-done
+	nw.Quiesce()
+
+	res, _ := nw.Query(0, keyspace.MustParse("(grid, *)"))
+	fmt.Println("matches after unpublish:", len(res.Matches))
+	// Output:
+	// matches after unpublish: 0
+}
+
+// ExampleDedup collapses results of combination-published documents.
+func ExampleDedup() {
+	matches := []squid.Element{
+		{Values: []string{"a", "b"}, Data: "doc1"},
+		{Values: []string{"a", "c"}, Data: "doc1"},
+		{Values: []string{"x", "y"}, Data: "doc2"},
+	}
+	unique := squid.Dedup(matches)
+	fmt.Println(len(unique), "unique documents")
+	// Output:
+	// 2 unique documents
+}

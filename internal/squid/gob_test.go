@@ -1,0 +1,63 @@
+package squid_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/squid"
+)
+
+// TestWireRoundTrip pushes every protocol message the system sends across
+// TCP through gob (as interface values, the way the transport frames
+// them) and checks exact reconstruction. A type that fails here would
+// work in simulation and silently break real deployments.
+func TestWireRoundTrip(t *testing.T) {
+	ref := chord.NodeRef{ID: 42, Addr: "127.0.0.1:9999"}
+	elem := squid.Element{Values: []string{"computer", "network"}, Data: "doc.pdf"}
+	query := keyspace.Query{keyspace.Exact("a"), keyspace.Prefix("b"), keyspace.Wildcard(), keyspace.Range("1", "9")}
+
+	msgs := []any{
+		chord.FindMsg{Target: 7, Token: 1, ReplyTo: "x", Hops: 3, Trace: 9},
+		chord.FoundMsg{Token: 1, Owner: ref, Pred: ref, Hops: 2, Trace: 9},
+		chord.RouteMsg{Key: 5, From: "y", Payload: squid.PublishMsg{Elem: elem}, Hops: 1, Trace: 4},
+		chord.JoinReqMsg{New: ref, Hops: 1},
+		chord.JoinAckMsg{Pred: ref, Succs: []chord.NodeRef{ref, ref}, Items: []chord.Item{{Key: 3, Value: []squid.Element{elem}}}},
+		chord.JoinNackMsg{Reason: "collision"},
+		chord.NotifyMsg{Candidate: ref},
+		chord.GetStateMsg{Token: 2, ReplyTo: "z"},
+		chord.StateMsg{Token: 2, Self: ref, Pred: ref, Succs: []chord.NodeRef{ref}, Load: 7},
+		chord.LeaveMsg{Leaving: ref, Pred: ref, Items: []chord.Item{{Key: 1, Value: []squid.Element{elem}}}},
+		chord.SuccChangedMsg{NewSucc: ref},
+		chord.AppMsg{From: "c", Payload: squid.ClusterQueryMsg{
+			QID: 3, Query: query, Clusters: []squid.ClusterRef{{Prefix: 9, Level: 2, Complete: true}},
+			ReplyTo: "r", Token: 8,
+		}},
+		chord.AppMsg{From: "c", Payload: squid.SubResultMsg{QID: 3, Token: 8, Matches: []squid.Element{elem}}},
+		chord.AppMsg{From: "c", Payload: squid.LookupMsg{QID: 1, Query: query, Key: 77, ReplyTo: "r", Token: 5}},
+		chord.AppMsg{From: "c", Payload: squid.ReplicaMsg{Items: []chord.Item{{Key: 4, Value: []squid.Element{elem}}}}},
+		chord.AppMsg{From: "c", Payload: squid.ClientPublishMsg{Elem: elem}},
+		chord.AppMsg{From: "c", Payload: squid.ClientQueryMsg{Query: "(a*, *)", ReplyTo: "r", Token: 6}},
+		chord.AppMsg{From: "c", Payload: squid.ClientResultMsg{Token: 6, Matches: []squid.Element{elem}, Err: "no"}},
+	}
+	for _, msg := range msgs {
+		var buf bytes.Buffer
+		// Encode as an interface value, matching the transport's framing.
+		envelope := struct{ Payload any }{Payload: msg}
+		if err := gob.NewEncoder(&buf).Encode(envelope); err != nil {
+			t.Errorf("%T: encode: %v", msg, err)
+			continue
+		}
+		var back struct{ Payload any }
+		if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+			t.Errorf("%T: decode: %v", msg, err)
+			continue
+		}
+		if !reflect.DeepEqual(back.Payload, msg) {
+			t.Errorf("%T: round trip mismatch:\n got %#v\nwant %#v", msg, back.Payload, msg)
+		}
+	}
+}

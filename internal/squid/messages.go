@@ -1,0 +1,124 @@
+package squid
+
+import (
+	"squid/internal/keyspace"
+	"squid/internal/sfc"
+	"squid/internal/transport"
+)
+
+// PublishMsg carries a data element to the node owning its curve index.
+type PublishMsg struct {
+	Elem Element
+}
+
+// UnpublishMsg removes a previously published element at its index owner;
+// replica holders receive the same message via the owner's fan-out.
+type UnpublishMsg struct {
+	Elem    Element
+	Replica bool // true when fanned out to replica holders
+}
+
+// LookupMsg resolves an exact query (all terms exact → a single index) at
+// the index's owner, which answers ReplyTo with a SubResultMsg carrying
+// Token.
+type LookupMsg struct {
+	QID     uint64
+	Query   keyspace.Query
+	Key     uint64
+	ReplyTo transport.Addr
+	Token   uint64
+}
+
+// ClusterRef is a cluster of the query's refinement tree in transit:
+// prefix/level per sfc.Cluster plus the Complete flag (subcube entirely
+// inside the query region).
+type ClusterRef struct {
+	Prefix   uint64
+	Level    int
+	Complete bool
+}
+
+func toRefs(in []sfc.Refined) []ClusterRef {
+	out := make([]ClusterRef, len(in))
+	for i, c := range in {
+		out[i] = ClusterRef{Prefix: c.Prefix, Level: c.Level, Complete: c.Complete}
+	}
+	return out
+}
+
+func fromRefs(in []ClusterRef) []sfc.Refined {
+	out := make([]sfc.Refined, len(in))
+	for i, c := range in {
+		out[i] = sfc.Refined{Cluster: sfc.Cluster{Prefix: c.Prefix, Level: c.Level}, Complete: c.Complete}
+	}
+	return out
+}
+
+// ClusterQueryMsg ships one or more clusters of a query's refinement tree
+// to the node owning their lowest indices. With the aggregation
+// optimization a message batches all sibling clusters owned by one node.
+//
+// ReplyTo/Token name the sender's subtree: the receiver answers with one
+// SubResultMsg carrying Token once its whole subtree of the refinement
+// tree has completed. Results therefore flow up the query tree
+// (Dijkstra-Scholten-style termination), which keeps completion detection
+// independent of message ordering across transports.
+type ClusterQueryMsg struct {
+	QID      uint64
+	Query    keyspace.Query
+	Clusters []ClusterRef
+	ReplyTo  transport.Addr
+	Token    uint64
+}
+
+// SubResultMsg reports a completed subtree of the query's refinement tree
+// to its parent: all matches found in that subtree.
+type SubResultMsg struct {
+	QID     uint64
+	Token   uint64
+	Matches []Element
+}
+
+// ClientPublishMsg lets a non-member client (squidctl) publish through any
+// ring node: the receiving engine indexes and routes the element.
+type ClientPublishMsg struct {
+	Elem Element
+}
+
+// ClientUnpublishMsg lets a client remove an element through any ring
+// node.
+type ClientUnpublishMsg struct {
+	Elem Element
+}
+
+// ClientQueryMsg lets a client run a flexible query through any ring node;
+// the node acts as the query root and answers ReplyTo with a
+// ClientResultMsg carrying Token.
+type ClientQueryMsg struct {
+	Query   string // keyspace query syntax, e.g. "(comp*, *)"
+	ReplyTo transport.Addr
+	Token   uint64
+}
+
+// ClientResultMsg answers a ClientQueryMsg.
+type ClientResultMsg struct {
+	Token   uint64
+	Matches []Element
+	Err     string
+}
+
+func init() {
+	transport.Register(PublishMsg{})
+	transport.Register(UnpublishMsg{})
+	transport.Register(LookupMsg{})
+	transport.Register(ClusterQueryMsg{})
+	transport.Register(SubResultMsg{})
+	transport.Register(ClientPublishMsg{})
+	transport.Register(ClientUnpublishMsg{})
+	transport.Register(ClientQueryMsg{})
+	transport.Register(ClientResultMsg{})
+	transport.Register(Element{})
+	transport.Register([]Element{})
+	transport.Register(keyspace.Query{})
+	transport.Register(keyspace.Term{})
+}

@@ -1,0 +1,121 @@
+package squid
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"squid/internal/chord"
+	"squid/internal/sfc"
+)
+
+// storeImage is the serialized form of a Store.
+type storeImage struct {
+	Version int
+	Keys    []uint64
+	Buckets [][]Element
+}
+
+const storeImageVersion = 1
+
+// WriteTo serializes the store (gob). Implements io.WriterTo.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	img := storeImage{Version: storeImageVersion, Keys: append([]uint64(nil), s.sorted...)}
+	img.Buckets = make([][]Element, len(img.Keys))
+	for i, k := range img.Keys {
+		img.Buckets[i] = s.byKey[k]
+	}
+	cw := &countingWriter{w: w}
+	if err := gob.NewEncoder(cw).Encode(img); err != nil {
+		return cw.n, fmt.Errorf("squid: store save: %w", err)
+	}
+	return cw.n, nil
+}
+
+// ReadFrom replaces the store's contents with a serialized image.
+// Implements io.ReaderFrom.
+func (s *Store) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countingReader{r: r}
+	var img storeImage
+	if err := gob.NewDecoder(cr).Decode(&img); err != nil {
+		return cr.n, fmt.Errorf("squid: store load: %w", err)
+	}
+	if img.Version != storeImageVersion {
+		return cr.n, fmt.Errorf("squid: store image version %d unsupported", img.Version)
+	}
+	if len(img.Keys) != len(img.Buckets) {
+		return cr.n, fmt.Errorf("squid: corrupt store image: %d keys, %d buckets", len(img.Keys), len(img.Buckets))
+	}
+	s.byKey = make(map[uint64][]Element, len(img.Keys))
+	s.sorted = s.sorted[:0]
+	for i, k := range img.Keys {
+		for _, e := range img.Buckets[i] {
+			s.Add(k, e)
+		}
+	}
+	return cr.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// SaveState serializes the engine's primary store (replicas are soft state
+// rebuilt by PushReplicas). squid-node uses it to survive restarts.
+func (e *Engine) SaveState(w io.Writer) error {
+	_, err := e.store.WriteTo(w)
+	return err
+}
+
+// LoadState restores a saved store. Call before joining a ring; after the
+// join completes, run ReconcileOwnership so items whose arc moved while
+// the node was down are re-routed to their current owners.
+func (e *Engine) LoadState(r io.Reader) error {
+	_, err := e.store.ReadFrom(r)
+	return err
+}
+
+// ReconcileOwnership re-publishes every stored item this node no longer
+// owns (after a restart-and-rejoin, ownership may have shifted). Returns
+// how many items were re-routed.
+func (e *Engine) ReconcileOwnership() int {
+	var stale []chord.Item
+	e.store.ScanSpan(sfc.Interval{Lo: 0, Hi: ^uint64(0)}, func(key uint64, elem Element) {
+		if !e.node.Owns(chord.ID(key)) {
+			stale = append(stale, chord.Item{Key: chord.ID(key), Value: elem})
+		}
+	})
+	for _, it := range stale {
+		elem := it.Value.(Element)
+		e.node.Route(it.Key, PublishMsg{Elem: elem}, 0)
+	}
+	// Drop the re-routed keys locally; arcs (pred, self] keep the rest.
+	if len(stale) > 0 {
+		keep := NewStore(e.store.space)
+		e.store.ScanSpan(sfc.Interval{Lo: 0, Hi: ^uint64(0)}, func(key uint64, elem Element) {
+			if e.node.Owns(chord.ID(key)) {
+				keep.Add(key, elem)
+			}
+		})
+		*e.store = *keep
+	}
+	return len(stale)
+}

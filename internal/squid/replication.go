@@ -1,0 +1,117 @@
+package squid
+
+import (
+	"squid/internal/chord"
+	"squid/internal/sfc"
+	"squid/internal/transport"
+)
+
+// ReplicaMsg pushes copies of stored items to a successor for fault
+// tolerance. Replicas live outside the main store (queries never see them
+// and they do not count as load); when the replica holder's arc grows —
+// its predecessor failed — the replicas of newly owned keys are promoted
+// into the main store, so data survives node failures.
+type ReplicaMsg struct {
+	Items []chord.Item
+}
+
+func init() {
+	transport.Register(ReplicaMsg{})
+	transport.Register([]chord.Item{})
+}
+
+// replicate pushes the given items to the first Options.Replicas live
+// successors.
+func (e *Engine) replicate(items []chord.Item) {
+	if e.opts.Replicas <= 0 || len(items) == 0 {
+		return
+	}
+	sent := 0
+	for _, s := range e.node.SuccList() {
+		if s.Addr == e.node.Self().Addr {
+			continue
+		}
+		if e.send(s.Addr, ReplicaMsg{Items: items}) {
+			sent++
+			if sent == e.opts.Replicas {
+				return
+			}
+		}
+	}
+}
+
+// PushReplicas re-replicates every locally owned item to the current
+// successors. Run it after bulk loads and periodically alongside
+// stabilization so replica placement tracks ring changes.
+func (e *Engine) PushReplicas() {
+	e.replicate(e.store.Snapshot())
+}
+
+// handleReplica stores pushed copies, or promotes them straight into the
+// main store if this node already owns them (the pusher's view was stale).
+func (e *Engine) handleReplica(m ReplicaMsg) {
+	for _, it := range m.Items {
+		bucket, ok := it.Value.([]Element)
+		if !ok {
+			continue
+		}
+		for _, elem := range bucket {
+			if e.node.Owns(it.Key) {
+				e.store.AddUnique(uint64(it.Key), elem)
+			} else {
+				e.replicas.AddUnique(uint64(it.Key), elem)
+			}
+		}
+	}
+}
+
+// ArcChanged implements chord.ArcWatcher and keeps the primary/replica
+// split converged with the ring: when the arc grows (the predecessor
+// failed or moved back), replicas of newly owned keys are promoted into
+// the main store; when it shrinks, items outside the arc are demoted back
+// to replicas. During churn the predecessor pointer can be transiently
+// wrong (stabilization adopts candidates incrementally), so promotion and
+// demotion may both fire several times — the symmetry makes the stores
+// self-stabilizing: once the pointer converges, exactly the owned keys are
+// primary, everything else is soft state.
+func (e *Engine) ArcChanged(oldPred, newPred chord.NodeRef) {
+	if e.opts.Replicas <= 0 {
+		return
+	}
+	// A cleared predecessor (failure just detected) makes the node claim
+	// the whole ring transiently; reshuffling now would steal other nodes'
+	// keys. Wait for stabilization to install a concrete predecessor.
+	if newPred.IsZero() {
+		return
+	}
+	// Demote: everything outside (newPred, self] stops being primary.
+	for _, it := range e.store.HandoverOut(e.node.Self().ID, newPred.ID) {
+		for _, elem := range it.Value.([]Element) {
+			e.replicas.AddUnique(uint64(it.Key), elem)
+		}
+	}
+	// Promote: replicas inside the (possibly grown) arc become primary.
+	if e.replicas.Keys() == 0 {
+		return
+	}
+	var promoted []chord.Item
+	e.replicas.ScanSpan(sfc.Interval{Lo: 0, Hi: ^uint64(0)}, func(key uint64, elem Element) {
+		if e.node.Owns(chord.ID(key)) {
+			promoted = append(promoted, chord.Item{Key: chord.ID(key), Value: []Element{elem}})
+		}
+	})
+	if len(promoted) == 0 {
+		return
+	}
+	for _, it := range promoted {
+		for _, elem := range it.Value.([]Element) {
+			e.store.AddUnique(uint64(it.Key), elem)
+		}
+	}
+	// Remove the promoted keys from the replica set and push fresh copies
+	// of the newly owned data onward so the replication degree recovers.
+	e.replicas.HandoverOut(newPred.ID, e.node.Self().ID)
+	e.replicate(promoted)
+}
+
+var _ chord.ArcWatcher = (*Engine)(nil)

@@ -1,0 +1,156 @@
+package squid_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+)
+
+// buildReplicated creates a network with the given replication degree and
+// a known corpus.
+func buildReplicated(t *testing.T, nodes, elems, replicas int) *sim.Network {
+	t.Helper()
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sim.Build(sim.Config{
+		Nodes: nodes, Space: space, Seed: 42,
+		Engine: squid.Options{Replicas: replicas},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	batch := make([]squid.Element, 0, elems)
+	for i := 0; i < elems; i++ {
+		batch = append(batch, squid.Element{
+			Values: []string{testVocab[rng.Intn(len(testVocab))], testVocab[rng.Intn(len(testVocab))]},
+			Data:   fmt.Sprintf("doc%d", i),
+		})
+	}
+	if err := nw.Preload(batch); err != nil {
+		t.Fatal(err)
+	}
+	if replicas > 0 {
+		nw.PushReplicasAll()
+	}
+	return nw
+}
+
+// TestReplicationSurvivesFailure is the fault-tolerance extension the
+// paper lists as future work: with successor replication, an abrupt node
+// failure loses no data — queries stay complete after the ring heals.
+func TestReplicationSurvivesFailure(t *testing.T) {
+	const elems = 2000
+	nw := buildReplicated(t, 30, elems, 2)
+	keysBefore := nw.TotalKeys()
+	q := keyspace.MustParse("(*, *)")
+	if got := len(nw.BruteForceMatches(q)); got != elems {
+		t.Fatalf("setup: %d elements stored", got)
+	}
+
+	// Kill the most loaded peer: without replication its data would vanish.
+	loads := nw.LoadVector()
+	victim := 0
+	for i, l := range loads {
+		if l > loads[victim] {
+			victim = i
+		}
+	}
+	if loads[victim] == 0 {
+		t.Fatal("victim holds nothing")
+	}
+	nw.KillPeer(victim)
+	nw.StabilizeAll(8)
+	if err := nw.VerifyConsistent(); err != nil {
+		t.Fatalf("ring not healed: %v", err)
+	}
+
+	if got := nw.TotalKeys(); got != keysBefore {
+		t.Errorf("keys after failure = %d, want %d (promotion failed)", got, keysBefore)
+	}
+	res, _ := nw.Query(0, q)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Matches) != elems {
+		t.Errorf("after failure the wildcard query found %d/%d elements", len(res.Matches), elems)
+	}
+	// No duplicates either: promotion must be exactly-once.
+	seen := map[string]int{}
+	for _, m := range res.Matches {
+		seen[m.Data]++
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Errorf("element %s returned %d times", id, c)
+		}
+	}
+}
+
+// TestWithoutReplicationFailureLosesData is the control: the same failure
+// without replication loses the victim's keys (motivating the extension).
+func TestWithoutReplicationFailureLosesData(t *testing.T) {
+	nw := buildReplicated(t, 30, 2000, 0)
+	keysBefore := nw.TotalKeys()
+	loads := nw.LoadVector()
+	victim := 0
+	for i, l := range loads {
+		if l > loads[victim] {
+			victim = i
+		}
+	}
+	lost := loads[victim]
+	nw.KillPeer(victim)
+	nw.StabilizeAll(8)
+	if got := nw.TotalKeys(); got != keysBefore-lost {
+		t.Errorf("keys after failure = %d, want %d", got, keysBefore-lost)
+	}
+}
+
+// TestReplicationSurvivesMultipleFailures kills several peers in sequence
+// with stabilization (and re-replication) between failures.
+func TestReplicationSurvivesMultipleFailures(t *testing.T) {
+	const elems = 1500
+	nw := buildReplicated(t, 25, elems, 2)
+	q := keyspace.MustParse("(*, *)")
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 3; round++ {
+		nw.KillPeer(rng.Intn(len(nw.Peers)))
+		nw.StabilizeAll(8)
+		nw.PushReplicasAll() // replication degree recovery between failures
+	}
+	if err := nw.VerifyConsistent(); err != nil {
+		t.Fatalf("ring not healed: %v", err)
+	}
+	res, _ := nw.Query(0, q)
+	if len(res.Matches) != elems {
+		t.Errorf("after 3 failures found %d/%d elements", len(res.Matches), elems)
+	}
+}
+
+// TestReplicationDoesNotDuplicateQueries ensures replicas are invisible to
+// queries in the healthy case.
+func TestReplicationDoesNotDuplicateQueries(t *testing.T) {
+	nw := buildReplicated(t, 20, 1000, 3)
+	for _, qs := range []string{"(*, *)", "(comp*, *)", "(data, *)"} {
+		q := keyspace.MustParse(qs)
+		want := len(nw.BruteForceMatches(q))
+		res, _ := nw.Query(0, q)
+		if len(res.Matches) != want {
+			t.Errorf("%s: %d matches, want %d", qs, len(res.Matches), want)
+		}
+		seen := map[string]bool{}
+		for _, m := range res.Matches {
+			if seen[m.Data] {
+				t.Errorf("%s: duplicate %s", qs, m.Data)
+			}
+			seen[m.Data] = true
+		}
+	}
+}

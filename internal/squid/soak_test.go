@@ -1,0 +1,130 @@
+package squid_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+)
+
+// TestChurnSoak runs many rounds of randomized churn — joins, graceful
+// leaves, abrupt failures, publishes — verifying after each stabilized
+// round that the ring is consistent and queries return exactly the
+// brute-force ground truth. With replication enabled, even abrupt
+// failures must not lose data.
+func TestChurnSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in short mode")
+	}
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sim.Build(sim.Config{
+		Nodes: 20, Space: space, Seed: 77,
+		Engine: squid.Options{Replicas: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(78))
+
+	var live []squid.Element
+	published := 0
+	publish := func(n int) {
+		for i := 0; i < n; i++ {
+			e := squid.Element{
+				Values: []string{randSoakWord(rng), randSoakWord(rng)},
+				Data:   fmt.Sprintf("soak-%05d", published),
+			}
+			if err := nw.Publish(rng.Intn(len(nw.Peers)), e); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, e)
+			published++
+		}
+		nw.Quiesce()
+		nw.PushReplicasAll()
+	}
+	unpublish := func(n int) {
+		for i := 0; i < n && len(live) > 0; i++ {
+			j := rng.Intn(len(live))
+			e := live[j]
+			live = append(live[:j], live[j+1:]...)
+			p := nw.Peers[rng.Intn(len(nw.Peers))]
+			errCh := make(chan error, 1)
+			p.Node.Invoke(func() { errCh <- p.Engine.Unpublish(e) })
+			if err := <-errCh; err != nil {
+				t.Fatal(err)
+			}
+		}
+		nw.Quiesce()
+	}
+	publish(400)
+
+	queries := []keyspace.Query{
+		keyspace.MustParse("(a*, *)"),
+		keyspace.MustParse("(*, m*)"),
+		keyspace.MustParse("(b-f, *)"),
+		keyspace.MustParse("(*, *)"),
+	}
+	verify := func(round int, allowLoss bool) {
+		if err := nw.VerifyConsistent(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, q := range queries {
+			want := len(nw.BruteForceMatches(q))
+			res, _ := nw.Query(rng.Intn(len(nw.Peers)), q)
+			if res.Err != nil {
+				t.Fatalf("round %d: %s: %v", round, q, res.Err)
+			}
+			if len(res.Matches) != want {
+				t.Fatalf("round %d: %s found %d, ground truth %d", round, q, len(res.Matches), want)
+			}
+		}
+		if !allowLoss {
+			res, _ := nw.Query(0, keyspace.MustParse("(*, *)"))
+			if len(res.Matches) != len(live) {
+				t.Fatalf("round %d: %d/%d elements surviving", round, len(res.Matches), len(live))
+			}
+		}
+	}
+
+	for round := 0; round < 15; round++ {
+		switch rng.Intn(5) {
+		case 0: // join
+			id := chord.ID(rng.Uint64() & ((1 << 32) - 1))
+			if _, err := nw.AddPeer(id); err != nil {
+				t.Logf("round %d: join refused: %v", round, err)
+			}
+		case 1: // graceful leave (keep a quorum)
+			if len(nw.Peers) > 8 {
+				nw.RemovePeer(rng.Intn(len(nw.Peers)))
+			}
+		case 2: // abrupt failure
+			if len(nw.Peers) > 8 {
+				nw.KillPeer(rng.Intn(len(nw.Peers)))
+			}
+		case 3: // more data
+			publish(50)
+		case 4: // removals
+			unpublish(20)
+		}
+		nw.StabilizeAll(8)
+		nw.PushReplicasAll()
+		verify(round, false)
+	}
+	t.Logf("soak done: %d peers, %d elements, all queries exact", len(nw.Peers), published)
+}
+
+func randSoakWord(rng *rand.Rand) string {
+	b := make([]byte, 3+rng.Intn(5))
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}

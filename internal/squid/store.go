@@ -1,0 +1,171 @@
+package squid
+
+import (
+	"sort"
+
+	"squid/internal/chord"
+	"squid/internal/sfc"
+)
+
+// Element is one published data element: the tuple of keyword/attribute
+// values that indexes it (one value per dimension of the keyword space) and
+// an opaque payload (document name, resource URI, ...).
+type Element struct {
+	Values []string
+	Data   string
+}
+
+// Store is a node's local fragment of the distributed index: elements
+// keyed by their curve index, with ordered access for cluster span scans.
+// A Store is confined to its node's delivery goroutine, like all engine
+// state.
+type Store struct {
+	space  chord.Space
+	byKey  map[uint64][]Element
+	sorted []uint64 // keys in ascending order
+}
+
+// NewStore returns an empty store over the given identifier space.
+func NewStore(space chord.Space) *Store {
+	return &Store{space: space, byKey: make(map[uint64][]Element)}
+}
+
+// Add stores an element under its curve index. Multiple elements may share
+// a key (distinct documents with the same keyword tuple, or tuples that
+// truncate to the same coordinates).
+func (s *Store) Add(key uint64, e Element) {
+	if _, exists := s.byKey[key]; !exists {
+		i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= key })
+		s.sorted = append(s.sorted, 0)
+		copy(s.sorted[i+1:], s.sorted[i:])
+		s.sorted[i] = key
+	}
+	s.byKey[key] = append(s.byKey[key], e)
+}
+
+// Keys returns the number of distinct keys stored — the paper's load
+// metric.
+func (s *Store) Keys() int { return len(s.byKey) }
+
+// Elements returns the total number of stored elements.
+func (s *Store) Elements() int {
+	n := 0
+	for _, b := range s.byKey {
+		n += len(b)
+	}
+	return n
+}
+
+// ScanSpan calls fn for every stored element whose key lies in the
+// inclusive index interval.
+func (s *Store) ScanSpan(span sfc.Interval, fn func(key uint64, e Element)) {
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= span.Lo })
+	for ; i < len(s.sorted) && s.sorted[i] <= span.Hi; i++ {
+		k := s.sorted[i]
+		for _, e := range s.byKey[k] {
+			fn(k, e)
+		}
+	}
+}
+
+// At returns the elements stored under exactly key.
+func (s *Store) At(key uint64) []Element { return s.byKey[key] }
+
+// Snapshot copies every stored item (for replication pushes).
+func (s *Store) Snapshot() []chord.Item {
+	out := make([]chord.Item, 0, len(s.sorted))
+	for _, k := range s.sorted {
+		out = append(out, chord.Item{Key: chord.ID(k), Value: append([]Element(nil), s.byKey[k]...)})
+	}
+	return out
+}
+
+// AddUnique stores the element unless an identical one (same values and
+// payload) already exists under the key; reports whether it was added.
+// Replication uses it so repeated pushes and promotions never duplicate.
+func (s *Store) AddUnique(key uint64, e Element) bool {
+	for _, have := range s.byKey[key] {
+		if have.Data == e.Data && equalValues(have.Values, e.Values) {
+			return false
+		}
+	}
+	s.Add(key, e)
+	return true
+}
+
+func equalValues(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Remove deletes the first stored element under key equal to e (same
+// values and payload); reports whether anything was removed.
+func (s *Store) Remove(key uint64, e Element) bool {
+	bucket, ok := s.byKey[key]
+	if !ok {
+		return false
+	}
+	for i, have := range bucket {
+		if have.Data == e.Data && equalValues(have.Values, e.Values) {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			if len(bucket) == 0 {
+				delete(s.byKey, key)
+				j := sort.Search(len(s.sorted), func(j int) bool { return s.sorted[j] >= key })
+				if j < len(s.sorted) && s.sorted[j] == key {
+					s.sorted = append(s.sorted[:j], s.sorted[j+1:]...)
+				}
+			} else {
+				s.byKey[key] = bucket
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// MedianKey returns the median stored key — the split point the runtime
+// load-balancing algorithms use to halve a node's arc. ok is false when
+// the store is empty.
+func (s *Store) MedianKey() (key uint64, ok bool) {
+	if len(s.sorted) == 0 {
+		return 0, false
+	}
+	return s.sorted[len(s.sorted)/2], true
+}
+
+// HandoverOut removes and returns all items whose keys lie in the ring arc
+// (a, b], for transfer to a new owner.
+func (s *Store) HandoverOut(a, b chord.ID) []chord.Item {
+	var items []chord.Item
+	kept := s.sorted[:0]
+	for _, k := range s.sorted {
+		if s.space.Between(chord.ID(k), a, b) {
+			items = append(items, chord.Item{Key: chord.ID(k), Value: s.byKey[k]})
+			delete(s.byKey, k)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	s.sorted = kept
+	return items
+}
+
+// HandoverIn ingests items transferred from another node.
+func (s *Store) HandoverIn(items []chord.Item) {
+	for _, it := range items {
+		bucket, ok := it.Value.([]Element)
+		if !ok {
+			continue
+		}
+		for _, e := range bucket {
+			s.Add(uint64(it.Key), e)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package squid_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/squid"
+	"squid/internal/transport"
+)
+
+// tcpNode bundles a real-TCP peer for the integration test.
+type tcpNode struct {
+	node *chord.Node
+	eng  *squid.Engine
+	ep   *transport.TCPEndpoint
+}
+
+func startTCPNode(t *testing.T, space *keyspace.Space, id uint64) *tcpNode {
+	t.Helper()
+	eng := squid.NewEngine(space, squid.Options{})
+	node := chord.NewNode(chord.Config{
+		Space:      chord.Space{Bits: space.IndexBits()},
+		RPCTimeout: 5 * time.Second,
+	}, chord.ID(id), eng)
+	eng.Attach(node)
+	ep, err := transport.ListenTCP("127.0.0.1:0", node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep.Close() })
+	node.Start(ep)
+	return &tcpNode{node: node, eng: eng, ep: ep}
+}
+
+// clientSink collects replies for the out-of-ring client.
+type clientSink struct {
+	results chan any
+}
+
+func (c *clientSink) Deliver(from transport.Addr, msg any) {
+	if m, ok := msg.(chord.AppMsg); ok {
+		msg = m.Payload
+	}
+	select {
+	case c.results <- msg:
+	default:
+	}
+}
+
+// TestTCPEndToEnd runs the full production path: three squid peers over
+// real TCP sockets, protocol joins, client publishes and a flexible query
+// through the wire protocol (gob frames) — exactly what cmd/squid-node and
+// squidctl do.
+func TestTCPEndToEnd(t *testing.T) {
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := startTCPNode(t, space, 1111)
+	if err := a.node.Invoke(a.node.Create); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []uint64{22222, 44444} {
+		n := startTCPNode(t, space, id)
+		done := make(chan error, 1)
+		n.node.Invoke(func() {
+			n.node.Join(a.ep.Addr(), func(err error) { done <- err })
+		})
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("join %d: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("join %d timed out", i)
+		}
+	}
+
+	// A non-member client publishes through node A and queries through it,
+	// exactly like squidctl.
+	sink := &clientSink{results: make(chan any, 4)}
+	client, err := transport.ListenTCP("127.0.0.1:0", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	docs := [][2]string{
+		{"computer", "network"},
+		{"computer", "graphics"},
+		{"compiler", "design"},
+		{"database", "systems"},
+	}
+	for i, d := range docs {
+		msg := chord.AppMsg{From: client.Addr(), Payload: squid.ClientPublishMsg{
+			Elem: squid.Element{Values: []string{d[0], d[1]}, Data: fmt.Sprintf("doc%d", i)},
+		}}
+		if err := client.Send(a.ep.Addr(), msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Publishes route asynchronously over TCP; poll the query until the
+	// expected results appear.
+	deadline := time.Now().Add(10 * time.Second)
+	var got squid.ClientResultMsg
+	for time.Now().Before(deadline) {
+		q := chord.AppMsg{From: client.Addr(), Payload: squid.ClientQueryMsg{
+			Query: "(comp*, *)", ReplyTo: client.Addr(), Token: uint64(time.Now().UnixNano()),
+		}}
+		if err := client.Send(a.ep.Addr(), q); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case raw := <-sink.results:
+			res, ok := raw.(squid.ClientResultMsg)
+			if !ok {
+				continue
+			}
+			got = res
+		case <-time.After(2 * time.Second):
+			continue
+		}
+		if len(got.Matches) == 3 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if got.Err != "" {
+		t.Fatalf("query error: %s", got.Err)
+	}
+	if len(got.Matches) != 3 {
+		t.Fatalf("query over TCP found %d matches, want 3 (%v)", len(got.Matches), got.Matches)
+	}
+
+	// Status probe, as squidctl does.
+	if err := client.Send(a.ep.Addr(), chord.GetStateMsg{Token: 9, ReplyTo: client.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case raw := <-sink.results:
+		st, ok := raw.(chord.StateMsg)
+		if !ok {
+			t.Fatalf("unexpected reply %T", raw)
+		}
+		if st.Self.ID != 1111 {
+			t.Errorf("status self = %s", st.Self)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no status reply")
+	}
+}

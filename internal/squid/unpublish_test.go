@@ -1,0 +1,112 @@
+package squid_test
+
+import (
+	"fmt"
+	"testing"
+
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+)
+
+func TestUnpublishRemovesElement(t *testing.T) {
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sim.Build(sim.Config{Nodes: 20, Space: space, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := make([]squid.Element, 30)
+	for i := range elems {
+		elems[i] = squid.Element{
+			Values: []string{testVocab[i%len(testVocab)], testVocab[(i*3)%len(testVocab)]},
+			Data:   fmt.Sprintf("u%d", i),
+		}
+		if err := nw.Publish(i%len(nw.Peers), elems[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Quiesce()
+
+	unpublish := func(e squid.Element, via int) {
+		p := nw.Peers[via]
+		errCh := make(chan error, 1)
+		p.Node.Invoke(func() { errCh <- p.Engine.Unpublish(e) })
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	unpublish(elems[7], 3)
+	unpublish(elems[12], 9)
+	nw.Quiesce()
+
+	res, _ := nw.Query(0, keyspace.MustParse("(*, *)"))
+	if len(res.Matches) != 28 {
+		t.Fatalf("after 2 unpublishes: %d elements, want 28", len(res.Matches))
+	}
+	for _, m := range res.Matches {
+		if m.Data == "u7" || m.Data == "u12" {
+			t.Errorf("unpublished element %s still discoverable", m.Data)
+		}
+	}
+
+	// Unpublishing something absent is harmless; bad values error.
+	unpublish(squid.Element{Values: []string{"ghost", "ghost"}, Data: "none"}, 0)
+	nw.Quiesce()
+	p := nw.Peers[0]
+	errCh := make(chan error, 1)
+	p.Node.Invoke(func() { errCh <- p.Engine.Unpublish(squid.Element{Values: []string{"b_d"}}) })
+	if err := <-errCh; err == nil {
+		t.Error("unencodable unpublish should error")
+	}
+}
+
+// TestUnpublishClearsReplicas verifies the removal reaches replica holders:
+// after the owner fails, the unpublished element must not resurrect via
+// promotion.
+func TestUnpublishClearsReplicas(t *testing.T) {
+	nw := buildReplicated(t, 20, 500, 2)
+	q := keyspace.MustParse("(*, *)")
+	res, _ := nw.Query(0, q)
+	total := len(res.Matches)
+	victimElem := res.Matches[0]
+
+	// Unpublish one element, then kill its owner and heal.
+	idx, err := nw.Space.Index(victimElem.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := nw.SuccessorOf(idx)
+	errCh := make(chan error, 1)
+	owner.Node.Invoke(func() { errCh <- owner.Engine.Unpublish(victimElem) })
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	nw.Quiesce()
+
+	for i, p := range nw.Peers {
+		if p == owner {
+			nw.KillPeer(i)
+			break
+		}
+	}
+	nw.StabilizeAll(8)
+
+	res2, _ := nw.Query(0, q)
+	for _, m := range res2.Matches {
+		if m.Data == victimElem.Data && m.Values[0] == victimElem.Values[0] && m.Values[1] == victimElem.Values[1] {
+			t.Fatalf("unpublished element %s resurrected after owner failure", m.Data)
+		}
+	}
+	// Everything else survived via replication (the owner held >= 1
+	// element: the unpublished one; the rest of its load was replicated).
+	if len(res2.Matches) < total-1-50 { // generous slack: owner's other elements must mostly survive
+		t.Errorf("too much data lost: %d of %d", len(res2.Matches), total-1)
+	}
+	want := len(nw.BruteForceMatches(q))
+	if len(res2.Matches) != want {
+		t.Errorf("query %d vs brute force %d", len(res2.Matches), want)
+	}
+}

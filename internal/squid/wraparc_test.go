@@ -1,0 +1,93 @@
+package squid_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+)
+
+// TestWrapArcNoDoubleCount is the regression test for a subtle query-engine
+// bug: the node whose arc wraps the top of the index space owns two
+// disjoint linear runs of keys. A broad cluster covering both runs must
+// not be fully scanned there — otherwise the wrap-segment keys are counted
+// once by that scan and again when refinement routes the wrap subclusters
+// back. The engine scans per contiguous owned run (see
+// Engine.processClusters); this test pins elements into both runs of the
+// wrap node and checks exact counts for queries of every breadth.
+func TestWrapArcNoDoubleCount(t *testing.T) {
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the corpus first so ring identifiers can be placed at key
+	// quantiles: the lowest node (15th percentile) then owns a wrap arc
+	// containing both the bottom 15% and the top 10% of keys.
+	var elems []squid.Element
+	var keys []uint64
+	for a := 0; a < 26; a++ {
+		for b := 0; b < 26; b += 2 {
+			e := squid.Element{
+				Values: []string{string(rune('a' + a)), string(rune('a' + b))},
+				Data:   fmt.Sprintf("e-%c%c", 'a'+a, 'a'+b),
+			}
+			idx, err := space.Index(e.Values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			elems = append(elems, e)
+			keys = append(keys, idx)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	quantile := func(p float64) uint64 { return keys[int(p*float64(len(keys)-1))] }
+	nw, err := sim.BuildWithIDs(sim.Config{Space: space}, []uint64{
+		quantile(0.15) + 1, quantile(0.35), quantile(0.55), quantile(0.75), quantile(0.90),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range elems {
+		if err := nw.Publish(i%len(nw.Peers), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw.Quiesce()
+
+	wrap := nw.Peers[0] // lowest id owns the wrap arc
+	wrapID := uint64(wrap.Node.Self().ID)
+	lowRun, highRun := 0, 0
+	done := make(chan struct{})
+	wrap.Node.Invoke(func() {
+		st := wrap.Engine.LocalStore()
+		for _, it := range st.Snapshot() {
+			if uint64(it.Key) <= wrapID {
+				lowRun += len(it.Value.([]squid.Element))
+			} else {
+				highRun += len(it.Value.([]squid.Element))
+			}
+		}
+		close(done)
+	})
+	<-done
+	if lowRun == 0 || highRun == 0 {
+		t.Fatalf("test setup must load both runs of the wrap node (low=%d high=%d)", lowRun, highRun)
+	}
+
+	for _, qs := range []string{"(*, *)", "(a-z, *)", "(*, a*)", "(m*, *)"} {
+		q := keyspace.MustParse(qs)
+		want := len(nw.BruteForceMatches(q))
+		for via := range nw.Peers {
+			res, _ := nw.Query(via, q)
+			if res.Err != nil {
+				t.Fatalf("%s via %d: %v", qs, via, res.Err)
+			}
+			if len(res.Matches) != want {
+				t.Errorf("%s via peer %d: got %d matches, want %d", qs, via, len(res.Matches), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: distribution summaries, histogram bucketing over the index
+// space (paper Fig. 18) and load-imbalance measures (Fig. 19).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a distribution of non-negative counts.
+type Summary struct {
+	N      int
+	Min    int
+	Max    int
+	Mean   float64
+	Median float64
+	P95    float64
+	// CoV is the coefficient of variation (stddev/mean); 0 for a perfectly
+	// balanced load.
+	CoV float64
+}
+
+// Summarize computes a Summary. An empty input yields the zero Summary.
+func Summarize(values []int) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(values), Min: values[0], Max: values[0]}
+	sum := 0.0
+	for _, v := range values {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += float64(v)
+	}
+	s.Mean = sum / float64(len(values))
+	varsum := 0.0
+	for _, v := range values {
+		d := float64(v) - s.Mean
+		varsum += d * d
+	}
+	if s.Mean > 0 {
+		s.CoV = math.Sqrt(varsum/float64(len(values))) / s.Mean
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	s.Median = percentile(sorted, 0.5)
+	s.P95 = percentile(sorted, 0.95)
+	return s
+}
+
+// percentile reads the p-quantile (0..1) from a sorted slice by
+// nearest-rank.
+func percentile(sorted []int, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i])
+}
+
+// Gini computes the Gini coefficient of a load vector: 0 = perfectly
+// balanced, →1 = all load on one node.
+func Gini(values []int) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	var cum, total float64
+	for i, v := range sorted {
+		cum += float64(v) * float64(2*(i+1)-n-1)
+		total += float64(v)
+	}
+	if total == 0 {
+		return 0
+	}
+	return cum / (float64(n) * total)
+}
+
+// IntervalCounts buckets index-space keys into equal intervals — the
+// paper's Fig. 18 ("the index space was partitioned into 500 intervals;
+// the Y-axis represents the number of keys per interval").
+func IntervalCounts(keys []uint64, indexBits, buckets int) []int {
+	out := make([]int, buckets)
+	if buckets == 0 {
+		return out
+	}
+	// bucket = key / ceil(2^bits / buckets), computed without overflow.
+	shiftDown := func(k uint64) int {
+		if indexBits >= 64 {
+			// Scale via the top 32 bits to avoid 128-bit arithmetic.
+			return int((k >> 32) * uint64(buckets) >> 32)
+		}
+		total := uint64(1) << indexBits
+		i := int(k / ((total + uint64(buckets) - 1) / uint64(buckets)))
+		if i >= buckets {
+			i = buckets - 1
+		}
+		return i
+	}
+	for _, k := range keys {
+		out[shiftDown(k)]++
+	}
+	return out
+}
+
+// Histogram buckets arbitrary counts into the given number of equal-width
+// bins between min and max (inclusive).
+func Histogram(values []int, bins int) (edges []float64, counts []int) {
+	if len(values) == 0 || bins <= 0 {
+		return nil, nil
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	width := float64(hi-lo) / float64(bins)
+	if width == 0 {
+		width = 1
+	}
+	edges = make([]float64, bins+1)
+	for i := range edges {
+		edges[i] = float64(lo) + width*float64(i)
+	}
+	counts = make([]int, bins)
+	for _, v := range values {
+		i := int(float64(v-lo) / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	return edges, counts
+}

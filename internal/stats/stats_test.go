@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || s.Min != 1 || s.Max != 10 {
+		t.Errorf("N/Min/Max = %d/%d/%d", s.N, s.Min, s.Max)
+	}
+	if s.Mean != 5.5 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.Median != 5 {
+		t.Errorf("Median = %v", s.Median)
+	}
+	if s.P95 != 10 {
+		t.Errorf("P95 = %v", s.P95)
+	}
+	if s.CoV <= 0 {
+		t.Errorf("CoV = %v", s.CoV)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+	flat := Summarize([]int{4, 4, 4, 4})
+	if flat.CoV != 0 {
+		t.Errorf("uniform CoV = %v", flat.CoV)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]int{5, 5, 5, 5}); math.Abs(g) > 1e-9 {
+		t.Errorf("uniform Gini = %v", g)
+	}
+	concentrated := Gini([]int{0, 0, 0, 100})
+	if concentrated < 0.7 {
+		t.Errorf("concentrated Gini = %v, want near (n-1)/n", concentrated)
+	}
+	if g := Gini(nil); g != 0 {
+		t.Errorf("empty Gini = %v", g)
+	}
+	if g := Gini([]int{0, 0}); g != 0 {
+		t.Errorf("zero-load Gini = %v", g)
+	}
+	// Monotonicity spot check: moving load to one node increases Gini.
+	if Gini([]int{3, 3, 3, 3}) >= Gini([]int{1, 1, 1, 9}) {
+		t.Error("Gini should increase with concentration")
+	}
+}
+
+func TestGiniBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		vals := make([]int, len(raw))
+		for i, v := range raw {
+			vals[i] = int(v)
+		}
+		g := Gini(vals)
+		return g >= -1e-9 && g <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalCounts(t *testing.T) {
+	keys := []uint64{0, 1, 2, 100, 200, 255}
+	counts := IntervalCounts(keys, 8, 4) // space 0..255, 4 intervals of 64
+	want := []int{3, 1, 0, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	total := 0
+	for _, c := range IntervalCounts(keys, 64, 10) {
+		total += c
+	}
+	if total != len(keys) {
+		t.Errorf("64-bit bucketing lost keys: %d", total)
+	}
+	if got := IntervalCounts(nil, 8, 5); len(got) != 5 {
+		t.Error("empty keys should still return buckets")
+	}
+}
+
+func TestIntervalCountsPreserveMass(t *testing.T) {
+	f := func(raw []uint32) bool {
+		keys := make([]uint64, len(raw))
+		for i, v := range raw {
+			keys[i] = uint64(v)
+		}
+		counts := IntervalCounts(keys, 32, 17)
+		total := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			total += c
+		}
+		return total == len(keys)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts := Histogram([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if len(edges) != 6 || len(counts) != 5 {
+		t.Fatalf("edges %d counts %d", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram lost values: %d", total)
+	}
+	if e, c := Histogram(nil, 5); e != nil || c != nil {
+		t.Error("empty histogram should be nil")
+	}
+	// Degenerate single-value distribution.
+	_, counts = Histogram([]int{7, 7, 7}, 3)
+	total = 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("degenerate histogram lost values")
+	}
+}

@@ -1,0 +1,22 @@
+package transport
+
+import "testing"
+
+// BenchmarkInprocSend measures mailbox throughput: one sender, one
+// draining receiver; Quiesce bounds the measured region.
+func BenchmarkInprocSend(b *testing.B) {
+	net := NewInproc()
+	net.Listen("sink", HandlerFunc(func(Addr, any) {}))
+	src, err := net.Listen("src", HandlerFunc(func(Addr, any) {}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Send("sink", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	net.Quiesce()
+}

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Observer inspects every message accepted for delivery on an in-process
+// network. Observers run synchronously in the sender's goroutine and must be
+// fast and safe for concurrent use. The simulator uses one to count
+// per-query messages exactly as the paper's simulator does.
+type Observer func(from, to Addr, msg any)
+
+// Inproc is an in-memory network connecting endpoints by symbolic name.
+// Each endpoint owns one goroutine that delivers its mailbox sequentially.
+// Inproc tracks in-flight work so callers can wait for the network to
+// quiesce — the simulation primitive behind every experiment in this
+// repository.
+type Inproc struct {
+	mu       sync.Mutex
+	boxes    map[Addr]*mailbox
+	observer Observer
+
+	inflight sync.WaitGroup
+}
+
+// NewInproc returns an empty in-process network.
+func NewInproc() *Inproc {
+	return &Inproc{boxes: make(map[Addr]*mailbox)}
+}
+
+// SetObserver installs the message observer. Pass nil to remove. Must not
+// be called concurrently with message sends.
+func (n *Inproc) SetObserver(o Observer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.observer = o
+}
+
+// Listen attaches a handler under the given name and returns its endpoint.
+// The name must be unused.
+func (n *Inproc) Listen(name Addr, h Handler) (Endpoint, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler for %q", name)
+	}
+	box := &mailbox{net: n, addr: name, handler: h}
+	box.cond = sync.NewCond(&box.mu)
+
+	n.mu.Lock()
+	if _, dup := n.boxes[name]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: address %q already in use", name)
+	}
+	n.boxes[name] = box
+	n.mu.Unlock()
+
+	go box.run()
+	return box, nil
+}
+
+// Kill abruptly detaches the named endpoint, modelling a node failure:
+// queued messages are dropped and future sends fail with ErrUnreachable.
+func (n *Inproc) Kill(name Addr) {
+	n.mu.Lock()
+	box := n.boxes[name]
+	delete(n.boxes, name)
+	n.mu.Unlock()
+	if box != nil {
+		box.close()
+	}
+}
+
+// Quiesce blocks until no message is queued or being handled anywhere in
+// the network. It is only meaningful while no external goroutine keeps
+// injecting messages.
+func (n *Inproc) Quiesce() { n.inflight.Wait() }
+
+func (n *Inproc) send(from, to Addr, msg any) error {
+	n.mu.Lock()
+	box := n.boxes[to]
+	obs := n.observer
+	n.mu.Unlock()
+	if box == nil {
+		return ErrUnreachable
+	}
+	n.inflight.Add(1)
+	if !box.enqueue(from, msg) {
+		n.inflight.Done()
+		return ErrUnreachable
+	}
+	if obs != nil {
+		obs(from, to, msg)
+	}
+	return nil
+}
+
+type envelope struct {
+	from Addr
+	msg  any
+}
+
+// mailbox is an unbounded FIFO queue drained by one goroutine. Unbounded
+// queues keep the network deadlock-free: handlers may fan out arbitrarily
+// many sends without ever blocking on a peer's backlog (the simulator's
+// workloads are finite, so memory is bounded by the experiment).
+type mailbox struct {
+	net     *Inproc
+	addr    Addr
+	handler Handler
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope
+	closed bool
+}
+
+func (b *mailbox) Addr() Addr { return b.addr }
+
+func (b *mailbox) Send(to Addr, msg any) error {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return b.net.send(b.addr, to, msg)
+}
+
+func (b *mailbox) Close() error {
+	b.net.Kill(b.addr)
+	return nil
+}
+
+func (b *mailbox) enqueue(from Addr, msg any) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	b.queue = append(b.queue, envelope{from, msg})
+	b.cond.Signal()
+	return true
+}
+
+func (b *mailbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	dropped := len(b.queue)
+	b.queue = nil
+	b.cond.Signal()
+	b.mu.Unlock()
+	for i := 0; i < dropped; i++ {
+		b.net.inflight.Done()
+	}
+}
+
+func (b *mailbox) run() {
+	for {
+		b.mu.Lock()
+		for len(b.queue) == 0 && !b.closed {
+			b.cond.Wait()
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return
+		}
+		env := b.queue[0]
+		b.queue = b.queue[1:]
+		b.mu.Unlock()
+
+		b.handler.Deliver(env.from, env.msg)
+		b.net.inflight.Done()
+	}
+}

@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// wireEnvelope is the gob frame exchanged between TCP endpoints. Payload
+// types must be registered with Register.
+type wireEnvelope struct {
+	From    string
+	Payload any
+}
+
+// TCPEndpoint attaches a protocol handler to a real TCP listener. Each
+// inbound connection is decoded by its own goroutine, but deliveries are
+// serialized through an internal mailbox so the Handler contract (one
+// message at a time) holds, matching the in-process transport.
+//
+// Outbound connections are cached per destination and re-dialed on failure.
+type TCPEndpoint struct {
+	addr    Addr
+	handler Handler
+	ln      net.Listener
+
+	mu     sync.Mutex
+	conns  map[Addr]*outConn
+	closed bool
+
+	deliver chan envelope
+	done    chan struct{}
+}
+
+type outConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// ListenTCP binds to bind (e.g. "127.0.0.1:0") and serves the handler.
+// The endpoint's Addr is the listener's concrete address.
+func ListenTCP(bind string, h Handler) (*TCPEndpoint, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler")
+	}
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", bind, err)
+	}
+	ep := &TCPEndpoint{
+		addr:    Addr(ln.Addr().String()),
+		handler: h,
+		ln:      ln,
+		conns:   make(map[Addr]*outConn),
+		deliver: make(chan envelope, 1024),
+		done:    make(chan struct{}),
+	}
+	go ep.acceptLoop()
+	go ep.deliverLoop()
+	return ep, nil
+}
+
+// Addr returns the bound address ("host:port").
+func (ep *TCPEndpoint) Addr() Addr { return ep.addr }
+
+// Send encodes msg to the peer at to, dialing or reusing a cached
+// connection. Self-sends bypass the network.
+func (ep *TCPEndpoint) Send(to Addr, msg any) error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return ErrClosed
+	}
+	ep.mu.Unlock()
+
+	if to == ep.addr {
+		select {
+		case ep.deliver <- envelope{from: ep.addr, msg: msg}:
+			return nil
+		case <-ep.done:
+			return ErrClosed
+		}
+	}
+
+	oc, err := ep.connTo(to)
+	if err != nil {
+		return err
+	}
+	oc.mu.Lock()
+	err = oc.enc.Encode(wireEnvelope{From: string(ep.addr), Payload: msg})
+	oc.mu.Unlock()
+	if err != nil {
+		// Drop the stale connection and retry once on a fresh dial.
+		ep.dropConn(to, oc)
+		oc, derr := ep.connTo(to)
+		if derr != nil {
+			return derr
+		}
+		oc.mu.Lock()
+		err = oc.enc.Encode(wireEnvelope{From: string(ep.addr), Payload: msg})
+		oc.mu.Unlock()
+		if err != nil {
+			ep.dropConn(to, oc)
+			return fmt.Errorf("%w: %v", ErrUnreachable, err)
+		}
+	}
+	return nil
+}
+
+func (ep *TCPEndpoint) connTo(to Addr) (*outConn, error) {
+	ep.mu.Lock()
+	if oc, ok := ep.conns[to]; ok {
+		ep.mu.Unlock()
+		return oc, nil
+	}
+	ep.mu.Unlock()
+
+	conn, err := net.Dial("tcp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, to, err)
+	}
+	oc := &outConn{conn: conn, enc: gob.NewEncoder(conn)}
+
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := ep.conns[to]; ok {
+		conn.Close()
+		return existing, nil
+	}
+	ep.conns[to] = oc
+	return oc, nil
+}
+
+func (ep *TCPEndpoint) dropConn(to Addr, oc *outConn) {
+	ep.mu.Lock()
+	if ep.conns[to] == oc {
+		delete(ep.conns, to)
+	}
+	ep.mu.Unlock()
+	oc.conn.Close()
+}
+
+// Close shuts the listener, cached connections and the delivery loop.
+func (ep *TCPEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	conns := ep.conns
+	ep.conns = map[Addr]*outConn{}
+	ep.mu.Unlock()
+
+	close(ep.done)
+	err := ep.ln.Close()
+	for _, oc := range conns {
+		oc.conn.Close()
+	}
+	return err
+}
+
+func (ep *TCPEndpoint) acceptLoop() {
+	for {
+		conn, err := ep.ln.Accept()
+		if err != nil {
+			return
+		}
+		go ep.readLoop(conn)
+	}
+}
+
+func (ep *TCPEndpoint) readLoop(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env wireEnvelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		select {
+		case ep.deliver <- envelope{from: Addr(env.From), msg: env.Payload}:
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+func (ep *TCPEndpoint) deliverLoop() {
+	for {
+		select {
+		case env := <-ep.deliver:
+			ep.handler.Deliver(env.from, env.msg)
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)

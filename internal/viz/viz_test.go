@@ -1,0 +1,104 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	s := Sparkline([]int{0, 1, 2, 4, 8})
+	if runeLen(s) != 5 {
+		t.Errorf("sparkline length = %d, want 5", runeLen(s))
+	}
+	runes := []rune(s)
+	if runes[0] != ' ' {
+		t.Errorf("zero should render blank, got %q", runes[0])
+	}
+	if runes[4] != '█' {
+		t.Errorf("max should render full block, got %q", runes[4])
+	}
+	// Monotonic input renders monotonic glyphs.
+	idx := func(r rune) int {
+		for i, b := range blocks {
+			if b == r {
+				return i
+			}
+		}
+		return -1
+	}
+	for i := 1; i < len(runes); i++ {
+		if idx(runes[i]) < idx(runes[i-1]) {
+			t.Errorf("sparkline not monotonic: %q", s)
+		}
+	}
+	// All zeros stays blank, no panic.
+	if z := Sparkline([]int{0, 0, 0}); strings.TrimSpace(z) != "" {
+		t.Errorf("all-zero sparkline = %q", z)
+	}
+}
+
+func runeLen(s string) int { return len([]rune(s)) }
+
+func TestHistogram(t *testing.T) {
+	var b strings.Builder
+	Histogram(&b, "title", []string{"aa", "b"}, []int{10, 5}, 20)
+	out := b.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "aa") {
+		t.Errorf("histogram output missing parts:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	full := strings.Count(lines[1], "█")
+	half := strings.Count(lines[2], "█")
+	if full != 20 || half != 10 {
+		t.Errorf("bar widths = %d, %d; want 20, 10", full, half)
+	}
+	// Zero width defaults; zero max safe.
+	var b2 strings.Builder
+	Histogram(&b2, "", []string{"x"}, []int{0}, 0)
+	if !strings.Contains(b2.String(), "x") {
+		t.Error("zero histogram should still print the label")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var b strings.Builder
+	Series(&b, "fig", []string{"1k", "5k"}, map[string][]int{
+		"processing": {10, 20},
+		"data":       {5, 9},
+	}, []string{"processing", "data", "missing"})
+	out := b.String()
+	if !strings.Contains(out, "processing") || !strings.Contains(out, "10 → 20") {
+		t.Errorf("series output:\n%s", out)
+	}
+	if strings.Contains(out, "missing") {
+		t.Error("missing series should be skipped")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = i
+	}
+	out := Downsample(in, 10)
+	if len(out) != 10 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			t.Errorf("downsample not increasing: %v", out)
+		}
+	}
+	if got := Downsample(in, 200); len(got) != 100 {
+		t.Errorf("upsample should copy: %d", len(got))
+	}
+	if got := Downsample(nil, 10); len(got) != 0 {
+		t.Errorf("empty downsample: %v", got)
+	}
+}

@@ -1,0 +1,159 @@
+// Package workload generates the synthetic corpora and query mixes for the
+// paper's experiments (Section 4): keyword tuples for 2-D and 3-D storage
+// systems, numeric resource attributes for grid discovery, and the three
+// query classes Q1 (single keyword/partial), Q2 (multiple keywords, at
+// least one partial) and Q3 (range queries).
+//
+// The paper does not publish its corpus, only its shape: a sparse keyword
+// space with non-uniform clusters (shared prefixes) and 2*10^5..10^6
+// unique keys. We approximate it deterministically: words are drawn from a
+// letter-bigram model estimated over a small embedded English word list
+// (giving realistic prefix sharing, which drives cluster counts and
+// pruning behaviour) and weighted by a Zipf distribution (giving the skew
+// that drives load imbalance). See DESIGN.md "Substitutions".
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// seedCorpus estimates the bigram model. Ordinary technical English,
+// chosen for letter-transition realism rather than meaning.
+const seedCorpus = `the be to of and a in that have it for not on with he as you do
+at this but his by from they we say her she or an will my one all would
+there their what so up out if about who get which go me when make can like
+time no just him know take people into year your good some could them see
+other than then now look only come its over think also back after use two
+how our work first well way even new want because any these give day most
+us computer computation company compile compiler network node data database
+storage system systems grid peer peers discovery discover index query
+queries curve space filling hilbert chord overlay message messages route
+routing cluster clusters keyword keywords search searches wildcard range
+ranges partial flexible information decentralized distributed resource
+resources memory bandwidth frequency processor machine machines document
+documents file files share sharing retrieve retrieval locate location
+mapping dimension dimensions load balance balancing virtual join leave
+failure guarantee bounded cost costs scalable scale self organize dynamic
+fault tolerant application applications service services internet protocol
+table tables finger successor predecessor identifier hash consistent`
+
+// Vocabulary is a deterministic synthetic word list with Zipf-distributed
+// popularity (rank 0 is the most popular word).
+type Vocabulary struct {
+	Words []string
+	zipfS float64
+}
+
+// NewVocabulary builds size distinct words of length 3..10 from the bigram
+// model, deterministically from seed. zipfS (>1) sets the popularity skew
+// used by Sampler (typical: 1.2).
+func NewVocabulary(seed int64, size int, zipfS float64) *Vocabulary {
+	if zipfS <= 1 {
+		zipfS = 1.2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	model := newBigramModel()
+	seen := make(map[string]bool, size)
+	words := make([]string, 0, size)
+	for len(words) < size {
+		w := model.word(rng)
+		if !seen[w] {
+			seen[w] = true
+			words = append(words, w)
+		}
+	}
+	return &Vocabulary{Words: words, zipfS: zipfS}
+}
+
+// Sampler returns a deterministic Zipf sampler over the vocabulary: calls
+// yield word indices with rank-frequency skew.
+func (v *Vocabulary) Sampler(seed int64) *Sampler {
+	rng := rand.New(rand.NewSource(seed))
+	return &Sampler{
+		rng:  rng,
+		zipf: rand.NewZipf(rng, v.zipfS, 1, uint64(len(v.Words)-1)),
+		v:    v,
+	}
+}
+
+// Sampler draws words from a Vocabulary with Zipf popularity.
+type Sampler struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	v    *Vocabulary
+}
+
+// Word draws one word.
+func (s *Sampler) Word() string { return s.v.Words[s.zipf.Uint64()] }
+
+// Rng exposes the sampler's random source for auxiliary draws.
+func (s *Sampler) Rng() *rand.Rand { return s.rng }
+
+// bigramModel holds letter-transition cumulative distributions. State 26
+// is the start-of-word state.
+type bigramModel struct {
+	// cum[s][c] is the cumulative count of transitions from state s to
+	// letter c; cum[s][26] doubles as the row total.
+	cum [27][27]int
+	// endProb[s] is the per-letter chance (scaled by 1000) that a word ends
+	// after state s, given length constraints already allow ending.
+	end [27]int
+}
+
+func newBigramModel() *bigramModel {
+	m := &bigramModel{}
+	var counts [27][26]int
+	var ends [27]int
+	var totals [27]int
+	for _, w := range strings.Fields(seedCorpus) {
+		prev := 26
+		for i := 0; i < len(w); i++ {
+			c := int(w[i] - 'a')
+			if c < 0 || c > 25 {
+				continue
+			}
+			counts[prev][c]++
+			totals[prev]++
+			prev = c
+		}
+		ends[prev]++
+		totals[prev]++
+	}
+	for s := 0; s < 27; s++ {
+		acc := 0
+		for c := 0; c < 26; c++ {
+			// Weight observed transitions strongly; the +1 smoothing only
+			// keeps every letter reachable without flattening the skew that
+			// produces realistic shared prefixes.
+			acc += counts[s][c]*10 + 1
+			m.cum[s][c] = acc
+		}
+		m.cum[s][26] = acc
+		if totals[s] > 0 {
+			m.end[s] = 1000 * ends[s] / totals[s]
+		}
+	}
+	return m
+}
+
+// word samples one word of length 3..10.
+func (m *bigramModel) word(rng *rand.Rand) string {
+	var b strings.Builder
+	state := 26
+	for {
+		n := b.Len()
+		if n >= 10 {
+			break
+		}
+		if n >= 3 && rng.Intn(1000) < m.end[state]+100 {
+			break
+		}
+		r := rng.Intn(m.cum[state][26])
+		c := sort.Search(26, func(c int) bool { return m.cum[state][c] > r })
+		b.WriteByte(byte('a' + c))
+		state = c
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"squid/internal/keyspace"
+)
+
+func TestVocabularyDeterministicAndDistinct(t *testing.T) {
+	a := NewVocabulary(1, 500, 1.2)
+	b := NewVocabulary(1, 500, 1.2)
+	if len(a.Words) != 500 {
+		t.Fatalf("size = %d", len(a.Words))
+	}
+	for i := range a.Words {
+		if a.Words[i] != b.Words[i] {
+			t.Fatal("vocabulary not deterministic")
+		}
+	}
+	seen := map[string]bool{}
+	for _, w := range a.Words {
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+		if len(w) < 3 || len(w) > 10 {
+			t.Fatalf("word %q length out of range", w)
+		}
+		for i := 0; i < len(w); i++ {
+			if w[i] < 'a' || w[i] > 'z' {
+				t.Fatalf("word %q has invalid char", w)
+			}
+		}
+	}
+}
+
+func TestVocabularySharesPrefixes(t *testing.T) {
+	// The bigram model must produce prefix clustering (what makes partial
+	// keyword queries interesting). Check that a noticeable fraction of
+	// words share a 3-char prefix with another word.
+	v := NewVocabulary(2, 1000, 1.2)
+	prefixes := map[string]int{}
+	for _, w := range v.Words {
+		prefixes[w[:3]]++
+	}
+	shared := 0
+	for _, c := range prefixes {
+		if c > 1 {
+			shared += c
+		}
+	}
+	if frac := float64(shared) / float64(len(v.Words)); frac < 0.3 {
+		t.Errorf("only %.0f%% of words share a 3-prefix; corpus too uniform", frac*100)
+	}
+}
+
+func TestSamplerZipfSkew(t *testing.T) {
+	v := NewVocabulary(3, 200, 1.3)
+	s := v.Sampler(9)
+	counts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		counts[s.Word()]++
+	}
+	if counts[v.Words[0]] < counts[v.Words[len(v.Words)-1]] {
+		t.Error("rank-0 word should be sampled more than last-rank word")
+	}
+	if counts[v.Words[0]] < 20000/20 {
+		t.Errorf("head word drawn only %d times; skew too weak", counts[v.Words[0]])
+	}
+}
+
+func TestKeyTuplesUnique(t *testing.T) {
+	v := NewVocabulary(4, 500, 1.2)
+	tuples := KeyTuples(v, 5, 2000, 2)
+	if len(tuples) != 2000 {
+		t.Fatalf("got %d tuples", len(tuples))
+	}
+	seen := map[string]bool{}
+	for _, tu := range tuples {
+		if len(tu) != 2 {
+			t.Fatal("wrong dims")
+		}
+		k := tu[0] + "|" + tu[1]
+		if seen[k] {
+			t.Fatalf("duplicate tuple %v", tu)
+		}
+		seen[k] = true
+	}
+	elems := Elements(tuples)
+	if len(elems) != 2000 || elems[7].Values[0] != tuples[7][0] {
+		t.Error("Elements mismatch")
+	}
+}
+
+func TestResources(t *testing.T) {
+	rs := Resources(6, 500)
+	if len(rs) != 500 {
+		t.Fatal("wrong count")
+	}
+	for _, r := range rs {
+		if len(r) != 3 {
+			t.Fatal("resource dims")
+		}
+		mem, err := strconv.ParseFloat(r[0], 64)
+		if err != nil || mem < 100 || mem > 5000 {
+			t.Fatalf("memory %q out of range", r[0])
+		}
+		if _, err := strconv.ParseFloat(r[1], 64); err != nil {
+			t.Fatalf("cpu %q", r[1])
+		}
+		if _, err := strconv.ParseFloat(r[2], 64); err != nil {
+			t.Fatalf("bw %q", r[2])
+		}
+	}
+}
+
+func TestQueryGenerators(t *testing.T) {
+	v := NewVocabulary(7, 300, 1.2)
+	for _, dims := range []int{2, 3} {
+		g := NewQueryGen(v, 11, dims)
+		for i := 0; i < 200; i++ {
+			q1 := g.Q1()
+			if len(q1) != dims {
+				t.Fatal("Q1 dims")
+			}
+			nonWild := 0
+			for _, term := range q1 {
+				if term.Kind != keyspace.KindWildcard {
+					nonWild++
+				}
+			}
+			if nonWild != 1 {
+				t.Fatalf("Q1 must constrain exactly one dim, got %d (%s)", nonWild, q1)
+			}
+
+			q2 := g.Q2()
+			partials, constrained := 0, 0
+			for _, term := range q2 {
+				if term.Kind == keyspace.KindPrefix {
+					partials++
+				}
+				if term.Kind != keyspace.KindWildcard {
+					constrained++
+				}
+			}
+			if constrained < 2 || partials < 1 {
+				t.Fatalf("Q2 needs >=2 terms with >=1 partial: %s", q2)
+			}
+
+			q3 := g.Q3Keyword()
+			if q3[0].Kind != keyspace.KindExact || q3[1].Kind != keyspace.KindRange {
+				t.Fatalf("Q3Keyword shape wrong: %s", q3)
+			}
+			q3r := g.Q3Ranges()
+			for _, term := range q3r {
+				if term.Kind != keyspace.KindRange {
+					t.Fatalf("Q3Ranges shape wrong: %s", q3r)
+				}
+				if strings.Compare(term.Lo, term.Hi) > 0 {
+					t.Fatalf("inverted range %s", term)
+				}
+			}
+		}
+	}
+}
