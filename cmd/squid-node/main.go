@@ -38,16 +38,18 @@ func main() {
 		bits      = flag.Int("bits", 32, "bits per keyword dimension")
 		id        = flag.Uint64("id", 0, "node identifier (0: random)")
 		stabilize = flag.Duration("stabilize", 2*time.Second, "stabilization interval")
-		state     = flag.String("state", "", "path for persisted store state (loaded at start, saved on exit)")
-		replicas  = flag.Int("replicas", 0, "successor replicas kept per stored item")
+		state      = flag.String("state", "", "path for persisted store state (loaded at start, saved on exit)")
+		replicas   = flag.Int("replicas", 0, "successor replicas kept per stored item")
+		rpcRetries = flag.Int("rpc-retries", 3, "retries per failed ring RPC (0: fail fast)")
+		rpcBackoff = flag.Duration("rpc-backoff", 100*time.Millisecond, "delay before the first RPC retry (doubles per retry, jittered)")
 	)
 	flag.Parse()
-	if err := run(*listen, *create, *join, *dims, *bits, *id, *stabilize, *state, *replicas); err != nil {
+	if err := run(*listen, *create, *join, *dims, *bits, *id, *stabilize, *state, *replicas, *rpcRetries, *rpcBackoff); err != nil {
 		log.Fatalf("squid-node: %v", err)
 	}
 }
 
-func run(listen string, create bool, join string, dims, bits int, id uint64, stabilizeEvery time.Duration, statePath string, replicas int) error {
+func run(listen string, create bool, join string, dims, bits int, id uint64, stabilizeEvery time.Duration, statePath string, replicas, rpcRetries int, rpcBackoff time.Duration) error {
 	if create == (join != "") {
 		return fmt.Errorf("pass exactly one of -create or -join")
 	}
@@ -60,8 +62,19 @@ func run(listen string, create bool, join string, dims, bits int, id uint64, sta
 		id = rand.New(rand.NewSource(time.Now().UnixNano())).Uint64() & ring.Mask()
 	}
 
-	eng := squid.NewEngine(space, squid.Options{Replicas: replicas})
-	node := chord.NewNode(chord.Config{Space: ring, RPCTimeout: 5 * time.Second}, chord.ID(id), eng)
+	eng := squid.NewEngine(space, squid.Options{
+		Replicas: replicas,
+		// Over a real network queries must degrade, not hang: lost subtrees
+		// are re-dispatched and eventually surfaced as partial results.
+		SubtreeTimeout: 5 * time.Second,
+		QueryDeadline:  60 * time.Second,
+	})
+	node := chord.NewNode(chord.Config{
+		Space:      ring,
+		RPCTimeout: 5 * time.Second,
+		RPCRetries: rpcRetries,
+		RPCBackoff: rpcBackoff,
+	}, chord.ID(id), eng)
 	eng.Attach(node)
 
 	ep, err := transport.ListenTCP(listen, node)
@@ -125,6 +138,12 @@ func run(listen string, create bool, join string, dims, bits int, id uint64, sta
 				node.CheckPredecessor()
 				node.Stabilize()
 				node.FixFingers()
+				// Re-push replicas every round so successor-list changes
+				// (joins, failures) restore the replication factor before
+				// the next fault can strike.
+				if replicas > 0 {
+					eng.PushReplicas()
+				}
 			})
 		case s := <-sigc:
 			log.Printf("received %v: leaving ring", s)

@@ -8,19 +8,19 @@ import (
 
 func TestRunFlagValidation(t *testing.T) {
 	// Neither -create nor -join.
-	if err := run("127.0.0.1:0", false, "", 2, 32, 0, time.Second, "", 0); err == nil {
+	if err := run("127.0.0.1:0", false, "", 2, 32, 0, time.Second, "", 0, 0, 0); err == nil {
 		t.Error("missing create/join should fail")
 	}
 	// Both.
-	if err := run("127.0.0.1:0", true, "127.0.0.1:9", 2, 32, 0, time.Second, "", 0); err == nil {
+	if err := run("127.0.0.1:0", true, "127.0.0.1:9", 2, 32, 0, time.Second, "", 0, 0, 0); err == nil {
 		t.Error("create+join should fail")
 	}
 	// Bad geometry.
-	if err := run("127.0.0.1:0", true, "", 0, 32, 0, time.Second, "", 0); err == nil {
+	if err := run("127.0.0.1:0", true, "", 0, 32, 0, time.Second, "", 0, 0, 0); err == nil {
 		t.Error("bad dims should fail")
 	}
 	// Unreachable seed fails the join.
-	if err := run("127.0.0.1:0", false, "127.0.0.1:1", 2, 32, 7, time.Second, "", 0); err == nil {
+	if err := run("127.0.0.1:0", false, "127.0.0.1:1", 2, 32, 7, time.Second, "", 0, 0, 0); err == nil {
 		t.Error("unreachable seed should fail")
 	}
 	// A corrupt state file fails the load before serving starts.
@@ -30,7 +30,7 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 	f.WriteString("not a gob stream")
 	f.Close()
-	if err := run("127.0.0.1:0", true, "", 2, 32, 7, time.Second, f.Name(), 0); err == nil {
+	if err := run("127.0.0.1:0", true, "", 2, 32, 7, time.Second, f.Name(), 0, 0, 0); err == nil {
 		t.Error("corrupt state should fail")
 	}
 }

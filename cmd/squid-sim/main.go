@@ -12,11 +12,13 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"squid/internal/chord"
 	"squid/internal/keyspace"
@@ -24,6 +26,7 @@ import (
 	"squid/internal/sim"
 	"squid/internal/squid"
 	"squid/internal/stats"
+	"squid/internal/transport"
 	"squid/internal/workload"
 )
 
@@ -41,6 +44,9 @@ const helpText = `commands:
   loads                         show the load distribution
   peers                         list peers with their loads
   verify                        check ring and data-placement consistency
+  faults <drop-rate>            inject message loss (0..1; 0 heals)
+  crash <i> | restart <i>       black-hole / revive peer i (state survives)
+  stats                         fault, retry and recovery counters
   help                          this text
   quit`
 
@@ -126,8 +132,66 @@ func (s *session) exec(line string) error {
 		}
 		fmt.Println("ring and data placement consistent")
 		return nil
+	case "faults":
+		return s.faults(args)
+	case "crash":
+		return s.crash(args, true)
+	case "restart":
+		return s.crash(args, false)
+	case "stats":
+		return s.stats()
 	}
 	return fmt.Errorf("unknown command %q (try 'help')", cmd)
+}
+
+func (s *session) faults(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: faults <drop-rate>")
+	}
+	rate, err := strconv.ParseFloat(args[0], 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return fmt.Errorf("drop rate must be in [0, 1]")
+	}
+	s.nw.Faulty.SetDropRate(rate)
+	if rate == 0 {
+		fmt.Println("faults cleared; run 'stabilize' to restore full recall")
+	} else {
+		fmt.Printf("dropping %.0f%% of messages; queries now degrade instead of hang\n", rate*100)
+	}
+	return nil
+}
+
+func (s *session) crash(args []string, down bool) error {
+	verb := map[bool]string{true: "crash", false: "restart"}[down]
+	if len(args) != 1 {
+		return fmt.Errorf("usage: %s <peer-index>", verb)
+	}
+	i, err := strconv.Atoi(args[0])
+	if err != nil || i < 0 || i >= len(s.nw.Peers) {
+		return fmt.Errorf("peer index out of range (0..%d)", len(s.nw.Peers)-1)
+	}
+	addr := s.nw.Peers[i].Addr()
+	if down {
+		s.nw.Faulty.Crash(addr)
+		fmt.Printf("peer %d black-holed (state survives; 'restart %d' revives it)\n", i, i)
+	} else {
+		s.nw.Faulty.Restart(addr)
+		fmt.Printf("peer %d back online\n", i)
+	}
+	return nil
+}
+
+func (s *session) stats() error {
+	fs := s.nw.Faulty.Stats()
+	cc := s.nw.ChordCounters()
+	rc := s.nw.RecoveryCounters()
+	fmt.Printf("transport: delivered=%d dropped=%d delayed=%d partition-drops=%d crash-drops=%d\n",
+		fs.Delivered, fs.Dropped, fs.Delayed, fs.PartitionDrops, fs.CrashDrops)
+	fmt.Printf("chord rpc: find-retries=%d find-failures=%d state-retries=%d state-failures=%d\n",
+		cc.FindRetries, cc.FindFailures, cc.StateRetries, cc.StateFailures)
+	fmt.Printf("recovery:  redispatches=%d abandoned=%d partial-results=%d acks=%d\n",
+		rc.Redispatches, rc.Abandoned, rc.Partials, rc.Acks)
+	return nil
 }
 
 func (s *session) build(args []string) error {
@@ -153,7 +217,23 @@ func (s *session) build(args []string) error {
 	if err != nil {
 		return err
 	}
-	nw, err := sim.Build(sim.Config{Nodes: nodes, Space: space, Seed: s.rng.Int63()})
+	nw, err := sim.Build(sim.Config{
+		Nodes: nodes, Space: space, Seed: s.rng.Int63(),
+		// The full recovery stack, so 'faults' and 'crash' demonstrate
+		// graceful degradation instead of a hung REPL.
+		Engine: squid.Options{
+			Replicas:       2,
+			SubtreeTimeout: 150 * time.Millisecond,
+			QueryDeadline:  10 * time.Second,
+		},
+		// Zero backoff keeps retries inside the quiesce window, so the
+		// synchronous 'stabilize' command still heals deterministically.
+		Chord: chord.Config{
+			RPCTimeout: 100 * time.Millisecond,
+			RPCRetries: 4,
+		},
+		Faults: &transport.FaultConfig{Seed: s.rng.Int63()},
+	})
 	if err != nil {
 		return err
 	}
@@ -207,11 +287,17 @@ func (s *session) query(qs string) error {
 		return err
 	}
 	res, qm := s.nw.Query(s.rng.Intn(len(s.nw.Peers)), q)
-	if res.Err != nil {
+	if res.Err != nil && !errors.Is(res.Err, squid.ErrPartialResult) {
 		return res.Err
 	}
 	fmt.Printf("%d matches  routing=%d processing=%d data=%d messages=%d\n",
 		len(res.Matches), len(qm.RoutingNodes), len(qm.ProcessingNodes), len(qm.DataNodes), qm.Messages())
+	if qm.Redispatches > 0 || qm.Abandoned > 0 {
+		fmt.Printf("recovery: %d subtree re-dispatches, %d abandoned\n", qm.Redispatches, qm.Abandoned)
+	}
+	if res.Err != nil {
+		fmt.Printf("PARTIAL result: %v\n", res.Err)
+	}
 	printMatches(res.Matches)
 	return nil
 }

@@ -29,6 +29,10 @@ func TestSessionExec(t *testing.T) {
 		"loads",
 		"peers",
 		"balance 2",
+		"crash 2",
+		"restart 2",
+		"faults 0",
+		"stats",
 	}
 	for _, cmd := range steps {
 		if err := s.exec(cmd); err != nil {
@@ -38,6 +42,7 @@ func TestSessionExec(t *testing.T) {
 	for _, bad := range []string{
 		"build", "load", "load x", "publish", "query", "keywords",
 		"leave", "leave 999", "kill abc", "nonsense",
+		"faults", "faults 2", "crash", "crash 99", "restart -1",
 	} {
 		if err := s.exec(bad); err == nil {
 			t.Errorf("%q should fail", bad)

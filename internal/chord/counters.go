@@ -1,0 +1,46 @@
+package chord
+
+import "sync/atomic"
+
+// Counters is a snapshot of a node's cumulative fault-recovery counters.
+// They quantify recovery cost under churn: every retry is a failed RPC the
+// backoff policy absorbed instead of surfacing to the caller.
+type Counters struct {
+	// FindRetries counts FindSuccessor attempts beyond each call's first.
+	FindRetries uint64
+	// StateRetries counts state-probe attempts beyond each call's first.
+	StateRetries uint64
+	// FindFailures counts FindSuccessor calls that failed after all
+	// configured retries.
+	FindFailures uint64
+	// StateFailures counts state probes that failed after all retries.
+	StateFailures uint64
+}
+
+// Add accumulates another snapshot (for network-wide aggregation).
+func (c *Counters) Add(o Counters) {
+	c.FindRetries += o.FindRetries
+	c.StateRetries += o.StateRetries
+	c.FindFailures += o.FindFailures
+	c.StateFailures += o.StateFailures
+}
+
+// counters is the node-internal atomic representation; atomics so any
+// goroutine (metric scrapers, the simulator) may snapshot without entering
+// the node's delivery goroutine.
+type counters struct {
+	findRetries   atomic.Uint64
+	stateRetries  atomic.Uint64
+	findFailures  atomic.Uint64
+	stateFailures atomic.Uint64
+}
+
+// Counters snapshots the node's recovery counters. Safe from any goroutine.
+func (n *Node) Counters() Counters {
+	return Counters{
+		FindRetries:   n.ctr.findRetries.Load(),
+		StateRetries:  n.ctr.stateRetries.Load(),
+		FindFailures:  n.ctr.findFailures.Load(),
+		StateFailures: n.ctr.stateFailures.Load(),
+	}
+}

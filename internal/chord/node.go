@@ -3,6 +3,7 @@ package chord
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"squid/internal/transport"
@@ -19,6 +20,16 @@ type Config struct {
 	// reply before failing (0 disables timeouts; the in-process simulator
 	// relies on reliable delivery instead).
 	RPCTimeout time.Duration
+	// RPCRetries is how many times a failed FindSuccessor or state probe
+	// is retried before its error reaches the caller (0 = fail fast).
+	// Retries target transient faults: timeouts, unstable-ring lookup
+	// failures and unreachable destinations — a stabilization round often
+	// repairs the route between attempts.
+	RPCRetries int
+	// RPCBackoff is the delay before the first retry; each further retry
+	// doubles it, with ±50% jitter drawn from a per-node deterministic
+	// source. Zero retries immediately.
+	RPCBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +72,12 @@ type Node struct {
 	pendingStates map[uint64]*pendingCall[StateMsg]
 	joinDone      func(error)
 
+	// rng drives retry jitter; seeded by the node identifier so backoff
+	// schedules are deterministic per node. Confined to the delivery
+	// goroutine like the rest of the mutable state.
+	rng *rand.Rand
+	ctr counters
+
 	running bool
 }
 
@@ -82,6 +99,7 @@ func NewNode(cfg Config, id ID, app App) *Node {
 		fingers:       make([]NodeRef, cfg.Space.Bits),
 		pendingFinds:  make(map[uint64]*pendingCall[FoundMsg]),
 		pendingStates: make(map[uint64]*pendingCall[StateMsg]),
+		rng:           rand.New(rand.NewSource(int64(uint64(id)) + 1)),
 	}
 }
 
@@ -348,10 +366,67 @@ func (n *Node) handleRoute(m RouteMsg) {
 	n.forwardToward(m.Key, m)
 }
 
+// retryable reports whether a failed RPC is worth repeating: transient
+// routing and delivery faults, which stabilization repairs.
+func retryable(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrLookupFailed) ||
+		errors.Is(err, transport.ErrUnreachable)
+}
+
+// backoffDelay computes the wait before retry number attempt+1: bounded
+// exponential growth from RPCBackoff with ±50% jitter.
+func (n *Node) backoffDelay(attempt int) time.Duration {
+	if n.cfg.RPCBackoff <= 0 {
+		return 0
+	}
+	if attempt > 16 {
+		attempt = 16 // cap the shift; beyond this the ring is gone anyway
+	}
+	d := n.cfg.RPCBackoff << uint(attempt)
+	return time.Duration(float64(d) * (0.5 + n.rng.Float64()))
+}
+
+// retryAfter schedules fn in the node's goroutine after the backoff for
+// the given attempt. Must be called from the delivery goroutine (it draws
+// jitter from the confined rng).
+func (n *Node) retryAfter(attempt int, fn func()) {
+	d := n.backoffDelay(attempt)
+	if d <= 0 {
+		fn()
+		return
+	}
+	time.AfterFunc(d, func() {
+		_ = n.Invoke(fn) // endpoint closed: the retry dies with the node
+	})
+}
+
 // FindSuccessor resolves successor(target) and calls cb with the owner (and
 // the owner's predecessor, which Squid's aggregation optimization uses to
-// batch sub-queries). On timeout or routing failure cb receives ErrTimeout.
+// batch sub-queries). Transient failures (timeout, unstable ring,
+// unreachable next hop) are retried up to Config.RPCRetries times with
+// jittered exponential backoff before cb receives the error.
 func (n *Node) FindSuccessor(target ID, trace uint64, cb func(FoundMsg, error)) {
+	n.findAttempt(target, trace, 0, cb)
+}
+
+func (n *Node) findAttempt(target ID, trace uint64, attempt int, cb func(FoundMsg, error)) {
+	n.findOnce(target, trace, func(m FoundMsg, err error) {
+		if err == nil {
+			cb(m, err)
+			return
+		}
+		if attempt >= n.cfg.RPCRetries || !retryable(err) {
+			n.ctr.findFailures.Add(1)
+			cb(m, err)
+			return
+		}
+		n.ctr.findRetries.Add(1)
+		n.retryAfter(attempt, func() { n.findAttempt(target, trace, attempt+1, cb) })
+	})
+}
+
+// findOnce performs a single FindSuccessor attempt.
+func (n *Node) findOnce(target ID, trace uint64, cb func(FoundMsg, error)) {
 	target = n.cfg.Space.Fold(uint64(target))
 	if n.Owns(target) {
 		cb(FoundMsg{Owner: n.self, Pred: n.pred}, nil)
@@ -411,8 +486,30 @@ func (n *Node) handleFound(m FoundMsg) {
 	pc.cb(m, nil)
 }
 
-// getState asks peer for its neighbor state.
+// getState asks peer for its neighbor state, retrying transient failures
+// per the node's retry policy.
 func (n *Node) getState(peer transport.Addr, cb func(StateMsg, error)) {
+	n.stateAttempt(peer, 0, cb)
+}
+
+func (n *Node) stateAttempt(peer transport.Addr, attempt int, cb func(StateMsg, error)) {
+	n.stateOnce(peer, func(m StateMsg, err error) {
+		if err == nil {
+			cb(m, err)
+			return
+		}
+		if attempt >= n.cfg.RPCRetries || !retryable(err) {
+			n.ctr.stateFailures.Add(1)
+			cb(m, err)
+			return
+		}
+		n.ctr.stateRetries.Add(1)
+		n.retryAfter(attempt, func() { n.stateAttempt(peer, attempt+1, cb) })
+	})
+}
+
+// stateOnce performs a single state probe.
+func (n *Node) stateOnce(peer transport.Addr, cb func(StateMsg, error)) {
 	tok := n.token()
 	pc := &pendingCall[StateMsg]{cb: cb}
 	if n.cfg.RPCTimeout > 0 {

@@ -1,0 +1,113 @@
+package chord
+
+import (
+	"testing"
+	"time"
+
+	"squid/internal/transport"
+)
+
+// TestRetryExhaustion: against a black-hole successor every attempt times
+// out; the caller sees the final error and the counters record the cost.
+func TestRetryExhaustion(t *testing.T) {
+	net := transport.NewInproc()
+	space := MustSpace(10)
+	if _, err := net.Listen("hole", transport.HandlerFunc(func(transport.Addr, any) {})); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(Config{
+		Space:      space,
+		RPCTimeout: 20 * time.Millisecond,
+		RPCRetries: 2,
+		RPCBackoff: time.Millisecond,
+	}, 5, nil)
+	ep, err := net.Listen("n", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start(ep)
+	n.Invoke(n.Create)
+	net.Quiesce()
+	n.Invoke(func() {
+		n.InstallRing(NodeRef{ID: 1, Addr: "hole"}, []NodeRef{{ID: 6, Addr: "hole"}}, nil)
+	})
+	net.Quiesce()
+
+	errs := make(chan error, 2)
+	n.Invoke(func() {
+		n.FindSuccessor(8, 0, func(m FoundMsg, err error) { errs <- err })
+		n.GetStateOf("hole", func(st StateMsg, err error) { errs <- err })
+	})
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err == nil {
+			t.Fatalf("request %d against black hole should fail after retries", i)
+		}
+	}
+	c := n.Counters()
+	if c.FindRetries != 2 || c.FindFailures != 1 {
+		t.Errorf("find counters = %+v, want 2 retries / 1 failure", c)
+	}
+	if c.StateRetries != 2 || c.StateFailures != 1 {
+		t.Errorf("state counters = %+v, want 2 retries / 1 failure", c)
+	}
+}
+
+// TestRetryRecovers: a lookup whose first attempts are eaten by a lossy
+// link succeeds once the fault clears — the backoff policy rides out the
+// outage instead of surfacing it.
+func TestRetryRecovers(t *testing.T) {
+	net := transport.NewFaulty(transport.NewInproc(), transport.FaultConfig{Seed: 9})
+	space := MustSpace(10)
+
+	mk := func(name transport.Addr, id ID) *Node {
+		n := NewNode(Config{
+			Space:      space,
+			RPCTimeout: 25 * time.Millisecond,
+			RPCRetries: 8,
+			RPCBackoff: 5 * time.Millisecond,
+		}, id, nil)
+		ep, err := net.Listen(name, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Start(ep)
+		return n
+	}
+	a := mk("a", 100)
+	b := mk("b", 600)
+	a.Invoke(func() {
+		a.InstallRing(b.Self(), []NodeRef{b.Self()}, nil)
+	})
+	b.Invoke(func() {
+		b.InstallRing(a.Self(), []NodeRef{a.Self()}, nil)
+	})
+	net.Quiesce()
+
+	// Everything a sends to b vanishes; the find must fail over to the
+	// retry path rather than resolve.
+	net.SetLinkDrop("a", "b", 1.0)
+	done := make(chan FoundMsg, 1)
+	a.Invoke(func() {
+		a.FindSuccessor(500, 0, func(m FoundMsg, err error) {
+			if err != nil {
+				t.Errorf("find failed despite retries: %v", err)
+			}
+			done <- m
+		})
+	})
+	// Let at least one attempt time out, then heal the link.
+	time.Sleep(40 * time.Millisecond)
+	net.SetLinkDrop("a", "b", 0)
+
+	select {
+	case m := <-done:
+		if m.Owner.ID != 600 {
+			t.Fatalf("successor(500) = %v, want id 600", m.Owner)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("find never completed after the link healed")
+	}
+	if c := a.Counters(); c.FindRetries == 0 {
+		t.Error("recovery consumed no retries — fault was not exercised")
+	}
+}

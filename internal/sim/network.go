@@ -29,6 +29,14 @@ type Config struct {
 	// Engine configures every peer's Squid engine; its Sink is overridden
 	// with the network's metrics collector.
 	Engine squid.Options
+	// Chord tunes every peer's RPC behavior (RPCTimeout, RPCRetries,
+	// RPCBackoff, StabilizeEvery, ...). Space and SuccListLen are managed by
+	// the simulator and ignored here.
+	Chord chord.Config
+	// Faults, when non-nil, wraps the in-process transport in a
+	// deterministic fault-injecting layer (drops, delays, partitions,
+	// crashes) exposed as Network.Faulty.
+	Faults *transport.FaultConfig
 }
 
 // Peer is one simulated participant.
@@ -45,8 +53,10 @@ func (p *Peer) Addr() transport.Addr { return p.Node.Self().Addr }
 
 // Network is a simulated Squid deployment.
 type Network struct {
-	cfg     Config
-	Inproc  *transport.Inproc
+	cfg    Config
+	Inproc *transport.Inproc
+	// Faulty is the fault-injection layer; nil unless Config.Faults was set.
+	Faulty  *transport.Faulty
 	Space   *keyspace.Space
 	Metrics *Metrics
 	// Peers is sorted by ring identifier.
@@ -75,6 +85,9 @@ func Build(cfg Config) (*Network, error) {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 	nw.Inproc.SetObserver(nw.Metrics.Observe)
+	if cfg.Faults != nil {
+		nw.Faulty = transport.NewFaulty(nw.Inproc, *cfg.Faults)
+	}
 
 	space := chord.Space{Bits: cfg.Space.IndexBits()}
 	ids := nw.uniqueIDs(cfg.Nodes, space)
@@ -103,6 +116,9 @@ func BuildWithIDs(cfg Config, ids []uint64) (*Network, error) {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 	nw.Inproc.SetObserver(nw.Metrics.Observe)
+	if cfg.Faults != nil {
+		nw.Faulty = transport.NewFaulty(nw.Inproc, *cfg.Faults)
+	}
 	for _, id := range ids {
 		p, err := nw.newPeer(chord.ID(id))
 		if err != nil {
@@ -132,20 +148,37 @@ func (nw *Network) newPeer(id chord.ID) (*Peer, error) {
 	opts := nw.cfg.Engine
 	opts.Sink = nw.Metrics
 	eng := squid.NewEngine(nw.Space, opts)
-	node := chord.NewNode(chord.Config{
-		Space:       chord.Space{Bits: nw.Space.IndexBits()},
-		SuccListLen: nw.cfg.SuccListLen,
-	}, id, eng)
+	ccfg := nw.cfg.Chord
+	ccfg.Space = chord.Space{Bits: nw.Space.IndexBits()}
+	ccfg.SuccListLen = nw.cfg.SuccListLen
+	node := chord.NewNode(ccfg, id, eng)
 	eng.Attach(node)
 	addr := transport.Addr(fmt.Sprintf("p%d", nw.nextIdx))
 	nw.nextIdx++
-	ep, err := nw.Inproc.Listen(addr, node)
+	ep, err := nw.listen(addr, node)
 	if err != nil {
 		return nil, err
 	}
 	node.Start(ep)
 	nw.Metrics.RegisterAddr(addr, id)
 	return &Peer{Node: node, Engine: eng}, nil
+}
+
+// listen registers a handler on the network's outermost transport layer.
+func (nw *Network) listen(addr transport.Addr, h transport.Handler) (transport.Endpoint, error) {
+	if nw.Faulty != nil {
+		return nw.Faulty.Listen(addr, h)
+	}
+	return nw.Inproc.Listen(addr, h)
+}
+
+// kill removes an address from the transport permanently.
+func (nw *Network) kill(addr transport.Addr) {
+	if nw.Faulty != nil {
+		nw.Faulty.Kill(addr)
+		return
+	}
+	nw.Inproc.Kill(addr)
 }
 
 func (nw *Network) sortPeers() {
@@ -197,8 +230,15 @@ func (nw *Network) successorPeer(id chord.ID) *Peer {
 // SuccessorOf exposes the oracle owner of a curve index.
 func (nw *Network) SuccessorOf(idx uint64) *Peer { return nw.successorPeer(chord.ID(idx)) }
 
-// Quiesce waits for the network to go idle.
-func (nw *Network) Quiesce() { nw.Inproc.Quiesce() }
+// Quiesce waits for the network to go idle (including messages parked in
+// the fault layer's delay queue, when one is installed).
+func (nw *Network) Quiesce() {
+	if nw.Faulty != nil {
+		nw.Faulty.Quiesce()
+		return
+	}
+	nw.Inproc.Quiesce()
+}
 
 // Preload bulk-inserts elements at their owners directly (no routing
 // messages), grouping by owner for efficiency. This mirrors the paper's
@@ -306,7 +346,7 @@ func (nw *Network) AddPeer(id chord.ID) (*Peer, error) {
 	errCh := make(chan error, 1)
 	p.Node.Invoke(func() { p.Node.Join(seed.Addr(), func(e error) { errCh <- e }) })
 	if err := <-errCh; err != nil {
-		nw.Inproc.Kill(p.Addr())
+		nw.kill(p.Addr())
 		return nil, err
 	}
 	nw.Quiesce()
@@ -323,14 +363,14 @@ func (nw *Network) RemovePeer(i int) {
 	p.Node.Invoke(func() { p.Node.Leave(); close(done) })
 	<-done
 	nw.Quiesce()
-	nw.Inproc.Kill(p.Addr())
+	nw.kill(p.Addr())
 	nw.Peers = append(nw.Peers[:i], nw.Peers[i+1:]...)
 }
 
 // KillPeer fails the peer at index i abruptly (no handover).
 func (nw *Network) KillPeer(i int) {
 	p := nw.Peers[i]
-	nw.Inproc.Kill(p.Addr())
+	nw.kill(p.Addr())
 	nw.Peers = append(nw.Peers[:i], nw.Peers[i+1:]...)
 }
 
@@ -411,4 +451,24 @@ func (nw *Network) TotalKeys() int {
 		total += n
 	}
 	return total
+}
+
+// ChordCounters sums every live peer's RPC retry/backoff counters — the
+// ring-level recovery cost under churn and faults.
+func (nw *Network) ChordCounters() chord.Counters {
+	var out chord.Counters
+	for _, p := range nw.Peers {
+		out.Add(p.Node.Counters())
+	}
+	return out
+}
+
+// RecoveryCounters sums every live peer's query-recovery counters — the
+// engine-level cost of riding out lost subtrees.
+func (nw *Network) RecoveryCounters() squid.RecoveryCounters {
+	var out squid.RecoveryCounters
+	for _, p := range nw.Peers {
+		out.Add(p.Engine.Recovery())
+	}
+	return out
 }

@@ -1,0 +1,240 @@
+package squid_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+	"squid/internal/transport"
+)
+
+// chordRetryConfig is the ring-level retry policy used by the chaos tests:
+// fast timeouts so lost RPCs fail over quickly, enough retries to ride out
+// a 10-25% drop rate.
+func chordRetryConfig() chord.Config {
+	return chord.Config{
+		RPCTimeout: 40 * time.Millisecond,
+		RPCRetries: 4,
+		RPCBackoff: 2 * time.Millisecond,
+	}
+}
+
+// chaosNetwork builds a simulated network with the fault layer installed
+// and the full recovery stack enabled: chord RPC retries, engine subtree
+// re-dispatch, and a hard query deadline so no query can hang the test.
+func chaosNetwork(t *testing.T, nodes int, seed int64) (*sim.Network, *keyspace.Space) {
+	t.Helper()
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sim.Build(sim.Config{
+		Nodes: nodes, Space: space, Seed: seed,
+		Engine: squid.Options{
+			Replicas:       2,
+			SubtreeTimeout: 50 * time.Millisecond,
+			SubtreeRetries: 2,
+			QueryDeadline:  2 * time.Second,
+		},
+		Chord: chordRetryConfig(),
+		Faults: &transport.FaultConfig{
+			Seed: seed + 1, // drop rate starts at 0; raised per phase
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, space
+}
+
+// chaosPublish pushes n uniquely tagged elements through the overlay and
+// replicates them, returning the live set.
+func chaosPublish(t *testing.T, nw *sim.Network, rng *rand.Rand, n int) []squid.Element {
+	t.Helper()
+	elems := make([]squid.Element, 0, n)
+	for i := 0; i < n; i++ {
+		e := squid.Element{
+			Values: []string{randSoakWord(rng), randSoakWord(rng)},
+			Data:   fmt.Sprintf("chaos-%05d", i),
+		}
+		if err := nw.Publish(rng.Intn(len(nw.Peers)), e); err != nil {
+			t.Fatal(err)
+		}
+		elems = append(elems, e)
+	}
+	nw.Quiesce()
+	nw.PushReplicasAll()
+	return elems
+}
+
+// dataSet collapses elements to their unique payload tags.
+func dataSet(elems []squid.Element) map[string]bool {
+	out := make(map[string]bool, len(elems))
+	for _, e := range elems {
+		out[e.Data] = true
+	}
+	return out
+}
+
+// checkSound asserts the chaos invariants on one query result against the
+// ground truth taken immediately before it ran: no phantom matches, no
+// duplicates, and — whenever the result claims success — full recall.
+// Returns whether the result was complete.
+func checkSound(t *testing.T, label string, res squid.Result, truth map[string]bool) bool {
+	t.Helper()
+	seen := make(map[string]bool, len(res.Matches))
+	for _, m := range res.Matches {
+		if !truth[m.Data] {
+			t.Fatalf("%s: phantom match %q not in ground truth", label, m.Data)
+		}
+		if seen[m.Data] {
+			t.Fatalf("%s: duplicate match %q", label, m.Data)
+		}
+		seen[m.Data] = true
+	}
+	if res.Err == nil && len(seen) != len(truth) {
+		t.Fatalf("%s: silent partial: %d/%d matches with nil error",
+			label, len(seen), len(truth))
+	}
+	return res.Err == nil
+}
+
+// TestChaosSoak drives queries through a lossy transport with a crashed
+// node per block of 50 queries. The contract under fire: results are
+// always sound (a subset of the pre-query ground truth, no duplicates),
+// and a query either achieves full recall or reports a non-nil error —
+// never a silently short match set. Once faults clear, one stabilization
+// round restores exact recall.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in short mode")
+	}
+	nw, _ := chaosNetwork(t, 16, 4001)
+	rng := rand.New(rand.NewSource(4002))
+	chaosPublish(t, nw, rng, 300)
+
+	queries := []keyspace.Query{
+		keyspace.MustParse("(a*, *)"),
+		keyspace.MustParse("(*, m*)"),
+		keyspace.MustParse("(b-f, *)"),
+		keyspace.MustParse("(*, *)"),
+	}
+
+	// Baseline: with the fault layer installed but quiet, recall is exact.
+	for _, q := range queries {
+		truth := dataSet(nw.BruteForceMatches(q))
+		res, _ := nw.Query(rng.Intn(len(nw.Peers)), q)
+		if res.Err != nil {
+			t.Fatalf("baseline %s: %v", q, res.Err)
+		}
+		checkSound(t, "baseline "+q.String(), res, truth)
+	}
+
+	// Chaos phase: ≥10% message loss plus one crashed (black-holed) node
+	// per 50-query block.
+	nw.Faulty.SetDropRate(0.12)
+	complete, partial := 0, 0
+	for block := 0; block < 2; block++ {
+		crashed := rng.Intn(len(nw.Peers))
+		nw.Faulty.Crash(nw.Peers[crashed].Addr())
+		for i := 0; i < 50; i++ {
+			q := queries[rng.Intn(len(queries))]
+			via := rng.Intn(len(nw.Peers))
+			if via == crashed {
+				via = (via + 1) % len(nw.Peers)
+			}
+			truth := dataSet(nw.BruteForceMatches(q))
+			res, _ := nw.Query(via, q)
+			label := fmt.Sprintf("block %d query %d %s", block, i, q)
+			if checkSound(t, label, res, truth) {
+				complete++
+			} else {
+				partial++
+			}
+		}
+		nw.Faulty.Restart(nw.Peers[crashed].Addr())
+	}
+	if partial == 0 {
+		t.Error("chaos phase produced no partial results — faults were not exercised")
+	}
+	st := nw.Faulty.Stats()
+	if st.Dropped == 0 || st.CrashDrops == 0 {
+		t.Errorf("fault stats %+v: expected injected drops and crash drops", st)
+	}
+	rec := nw.RecoveryCounters()
+	if rec.Redispatches == 0 {
+		t.Error("no subtree re-dispatches despite message loss")
+	}
+	if cc := nw.ChordCounters(); cc.FindRetries == 0 {
+		t.Error("no chord RPC retries despite message loss")
+	}
+	t.Logf("chaos: %d complete / %d partial; faults %+v; recovery %+v; chord %+v",
+		complete, partial, st, rec, nw.ChordCounters())
+
+	// Faults clear: one stabilization round must restore exact recall.
+	nw.Faulty.SetDropRate(0)
+	nw.StabilizeAll(1)
+	nw.PushReplicasAll()
+	for _, q := range queries {
+		truth := dataSet(nw.BruteForceMatches(q))
+		res, _ := nw.Query(rng.Intn(len(nw.Peers)), q)
+		if res.Err != nil {
+			t.Fatalf("post-heal %s: %v", q, res.Err)
+		}
+		if !checkSound(t, "post-heal "+q.String(), res, truth) || len(res.Matches) != len(truth) {
+			t.Fatalf("post-heal %s: %d/%d matches", q, len(res.Matches), len(truth))
+		}
+	}
+}
+
+// TestChaosQuerySubsetProperty is the property-style check: randomized
+// queries through a heavily lossy transport always return a subset of the
+// brute-force ground truth — matches may be missing (flagged via Err) but
+// are never fabricated or duplicated.
+func TestChaosQuerySubsetProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos property test skipped in short mode")
+	}
+	nw, _ := chaosNetwork(t, 12, 5001)
+	rng := rand.New(rand.NewSource(5002))
+	elems := chaosPublish(t, nw, rng, 200)
+	nw.Faulty.SetDropRate(0.25)
+
+	randTerm := func() string {
+		switch rng.Intn(3) {
+		case 0:
+			return "*"
+		case 1:
+			return string(rune('a'+rng.Intn(26))) + "*"
+		default:
+			a, b := rune('a'+rng.Intn(26)), rune('a'+rng.Intn(26))
+			if a > b {
+				a, b = b, a
+			}
+			return fmt.Sprintf("%c-%c", a, b)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		var qs string
+		if rng.Intn(5) == 0 {
+			// Exact query for a published element: exercises the lookup
+			// path's recovery under the same faults.
+			e := elems[rng.Intn(len(elems))]
+			qs = fmt.Sprintf("(%s, %s)", e.Values[0], e.Values[1])
+		} else {
+			qs = fmt.Sprintf("(%s, %s)", randTerm(), randTerm())
+		}
+		q, err := keyspace.Parse(qs)
+		if err != nil {
+			t.Fatalf("generated unparsable query %q: %v", qs, err)
+		}
+		truth := dataSet(nw.BruteForceMatches(q))
+		res, _ := nw.Query(rng.Intn(len(nw.Peers)), q)
+		checkSound(t, fmt.Sprintf("property query %d %s", i, qs), res, truth)
+	}
+}

@@ -1,9 +1,11 @@
 package squid
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"squid/internal/chord"
 	"squid/internal/keyspace"
@@ -47,6 +49,42 @@ type Options struct {
 	Replicas int
 	// Sink receives per-query processing metrics; may be nil.
 	Sink MetricsSink
+	// SubtreeTimeout arms a recovery deadline on every dispatched child
+	// subtree of a query. A child that has neither replied nor acked
+	// within the deadline is re-dispatched through ring routing, which
+	// resolves to the *current* owner — after a crash that is the dead
+	// node's successor, which holds promoted replicas when Replicas > 0.
+	// 0 disables recovery tracking entirely (the simulator's quiesce-based
+	// experiments rely on exact message counts).
+	SubtreeTimeout time.Duration
+	// SubtreeRetries caps re-dispatches per child subtree; once exhausted
+	// the child is abandoned and the query degrades to an explicit partial
+	// result. Defaults to 3 when SubtreeTimeout > 0.
+	SubtreeRetries int
+	// QueryDeadline bounds a whole query at its root: on expiry the
+	// callback fires once with every match gathered so far and
+	// Err = ErrPartialResult. 0 disables; queries then complete only via
+	// subtree accounting.
+	QueryDeadline time.Duration
+}
+
+// ErrPartialResult marks a Result gathered under failures: some subtree of
+// the query's refinement tree was lost and re-dispatch retries were
+// exhausted (or the query deadline expired). Matches are still sound —
+// every returned element matches the query — but the set may be missing
+// elements held by unreachable nodes.
+var ErrPartialResult = errors.New("squid: partial result: query subtree lost to failures")
+
+// RecoverySink is an optional MetricsSink extension: sinks that implement
+// it also receive fault-recovery events, correlated by query id.
+type RecoverySink interface {
+	// Redispatched records that a lost or overdue child subtree was sent
+	// again through ring routing.
+	Redispatched(qid uint64)
+	// Abandoned records that a child subtree exhausted its re-dispatches.
+	Abandoned(qid uint64)
+	// Partial records that the query completed with an incomplete result.
+	Partial(qid uint64)
 }
 
 // Result is the outcome of a flexible query: every stored element matching
@@ -74,9 +112,10 @@ type Engine struct {
 	node     *chord.Node
 	opts     Options
 
-	pending   map[uint64]*subtree
+	children  map[uint64]*childCall
 	nextToken uint64
 	arcCache  []cachedArc
+	ctr       recoveryCounters
 }
 
 // subtree tracks one node's in-flight piece of a query's refinement tree:
@@ -90,9 +129,27 @@ type subtree struct {
 	parentToken uint64
 	matches     []Element
 	sent        int  // child messages dispatched
-	done        int  // child results received
+	done        int  // child results received (or abandoned)
 	dispatched  bool // all child messages have been sent
+	incomplete  bool // some part of the subtree was lost to failures
+	finished    bool // result already delivered; ignore stragglers
+	deadline    *time.Timer
 	cb          func(Result)
+}
+
+// childCall tracks one dispatched child subtree awaiting its SubResultMsg.
+// Each child owns a token — replies and acks correlate to the child, so a
+// lost child can be re-dispatched individually while the original, if it
+// was merely slow, is harmlessly deduplicated (first reply wins, the
+// second finds no pending call).
+type childCall struct {
+	st       *subtree
+	token    uint64
+	clusters []ClusterRef // re-dispatch payload; nil for exact lookups
+	key      uint64       // curve index the re-dispatch routes to
+	attempts int
+	acked    bool
+	timer    *time.Timer
 }
 
 // NewEngine creates an engine over the given keyword space. Attach it to
@@ -105,12 +162,15 @@ func NewEngine(space *keyspace.Space, opts Options) *Engine {
 	if opts.InitialClusters <= 0 {
 		opts.InitialClusters = 1 << space.Dims()
 	}
+	if opts.SubtreeTimeout > 0 && opts.SubtreeRetries <= 0 {
+		opts.SubtreeRetries = 3
+	}
 	return &Engine{
 		space:    space,
 		store:    NewStore(chord.Space{Bits: space.IndexBits()}),
 		replicas: NewStore(chord.Space{Bits: space.IndexBits()}),
 		opts:     opts,
-		pending:  make(map[uint64]*subtree),
+		children: make(map[uint64]*childCall),
 	}
 }
 
@@ -181,8 +241,9 @@ func (e *Engine) Query(q keyspace.Query, cb func(Result)) uint64 {
 	// Section 3.4.1).
 	if pt, ok := region.IsPoint(); ok {
 		idx := e.space.Curve().Encode(pt)
-		st := &subtree{qid: qid, q: q, cb: cb, sent: 1, dispatched: true}
-		tok := e.addSubtree(st)
+		st := &subtree{qid: qid, q: q, cb: cb, dispatched: true}
+		e.startDeadline(st)
+		tok := e.addChild(st, idx, nil)
 		e.node.Route(chord.ID(idx), LookupMsg{
 			QID: qid, Query: q, Key: idx, ReplyTo: e.node.Self().Addr, Token: tok,
 		}, qid)
@@ -198,36 +259,171 @@ func (e *Engine) Query(q keyspace.Query, cb func(Result)) uint64 {
 		e.opts.Sink.Processed(qid, e.node.Self().ID, local, len(matches))
 	}
 	st := &subtree{qid: qid, q: q, cb: cb, matches: matches}
-	tok := e.addSubtree(st)
-	e.dispatchRemote(remote, q, qid, tok, true, func(sent int) {
-		st.sent = sent
+	e.startDeadline(st)
+	e.dispatchRemote(remote, q, qid, st, true, func() {
 		st.dispatched = true
-		e.checkSubtree(tok, st)
+		e.checkSubtree(st)
 	})
 	return qid
 }
 
-// addSubtree registers in-flight subtree state under a fresh token.
-func (e *Engine) addSubtree(st *subtree) uint64 {
+// addChild registers one dispatched child of st under a fresh token and
+// arms its recovery deadline. clusters is the re-dispatch payload (nil for
+// an exact lookup of key).
+func (e *Engine) addChild(st *subtree, key uint64, clusters []ClusterRef) uint64 {
 	e.nextToken++
-	e.pending[e.nextToken] = st
-	return e.nextToken
+	c := &childCall{st: st, token: e.nextToken, key: key, clusters: clusters}
+	e.children[c.token] = c
+	st.sent++
+	e.armChild(c)
+	return c.token
 }
 
-// checkSubtree completes a subtree whose children have all reported,
-// forwarding the aggregate to the parent or firing the root callback.
-func (e *Engine) checkSubtree(tok uint64, st *subtree) {
-	if !st.dispatched || st.done < st.sent {
+// dropChild unregisters a child whose dispatch failed before it left the
+// node (it will be delivered some other way and re-registered).
+func (e *Engine) dropChild(tok uint64) {
+	c, ok := e.children[tok]
+	if !ok {
 		return
 	}
-	delete(e.pending, tok)
+	delete(e.children, tok)
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	c.st.sent--
+}
+
+// armChild starts (or restarts) a child's recovery deadline.
+func (e *Engine) armChild(c *childCall) {
+	if e.opts.SubtreeTimeout <= 0 {
+		return
+	}
+	tok := c.token
+	c.timer = time.AfterFunc(e.opts.SubtreeTimeout, func() {
+		_ = e.node.Invoke(func() { e.childExpired(tok) })
+	})
+}
+
+// childExpired handles a child subtree that missed its deadline: it is
+// re-dispatched through ring routing (which resolves to the current owner,
+// i.e. the next live successor after a crash), or abandoned once its
+// retries are exhausted, degrading the query to an explicit partial
+// result.
+func (e *Engine) childExpired(tok uint64) {
+	c, ok := e.children[tok]
+	if !ok || c.st.finished {
+		return
+	}
+	if c.attempts >= e.opts.SubtreeRetries {
+		delete(e.children, tok)
+		e.ctr.abandoned.Add(1)
+		if rs, ok := e.opts.Sink.(RecoverySink); ok {
+			rs.Abandoned(c.st.qid)
+		}
+		c.st.incomplete = true
+		c.st.done++
+		e.checkSubtree(c.st)
+		return
+	}
+	c.attempts++
+	c.acked = false
+	e.ctr.redispatches.Add(1)
+	if rs, ok := e.opts.Sink.(RecoverySink); ok {
+		rs.Redispatched(c.st.qid)
+	}
+	st := c.st
+	if c.clusters == nil {
+		e.node.Route(chord.ID(c.key), LookupMsg{
+			QID: st.qid, Query: st.q, Key: c.key, ReplyTo: e.node.Self().Addr, Token: c.token,
+		}, st.qid)
+	} else {
+		e.node.Route(chord.ID(c.key), ClusterQueryMsg{
+			QID: st.qid, Query: st.q, Clusters: c.clusters,
+			ReplyTo: e.node.Self().Addr, Token: c.token, Ack: true,
+		}, st.qid)
+	}
+	e.armChild(c)
+}
+
+// handleAck marks a child as received by its target and grants it a fresh
+// deadline window: the subtree is in progress, not lost.
+func (e *Engine) handleAck(m QueryAckMsg) {
+	c, ok := e.children[m.Token]
+	if !ok {
+		return
+	}
+	c.acked = true
+	e.ctr.acks.Add(1)
+	if c.timer != nil {
+		c.timer.Reset(e.opts.SubtreeTimeout)
+	}
+}
+
+// startDeadline arms the overall query deadline on a root subtree.
+func (e *Engine) startDeadline(st *subtree) {
+	if e.opts.QueryDeadline <= 0 || st.parent != "" {
+		return
+	}
+	st.deadline = time.AfterFunc(e.opts.QueryDeadline, func() {
+		_ = e.node.Invoke(func() { e.queryExpired(st) })
+	})
+}
+
+// queryExpired force-completes a root subtree whose overall deadline
+// passed: outstanding children are cancelled and the callback fires with
+// whatever was gathered, marked partial.
+func (e *Engine) queryExpired(st *subtree) {
+	if st.finished {
+		return
+	}
+	for tok, c := range e.children {
+		if c.st == st {
+			delete(e.children, tok)
+			if c.timer != nil {
+				c.timer.Stop()
+			}
+		}
+	}
+	st.incomplete = true
+	e.finishSubtree(st)
+}
+
+// checkSubtree completes a subtree whose children have all reported.
+func (e *Engine) checkSubtree(st *subtree) {
+	if st.finished || !st.dispatched || st.done < st.sent {
+		return
+	}
+	e.finishSubtree(st)
+}
+
+// finishSubtree delivers a subtree's aggregate exactly once: to the parent
+// node, or — at the root — to the query callback, surfacing lost subtrees
+// as ErrPartialResult rather than a silently short match set.
+func (e *Engine) finishSubtree(st *subtree) {
+	if st.finished {
+		return
+	}
+	st.finished = true
+	if st.deadline != nil {
+		st.deadline.Stop()
+	}
 	if st.parent == "" {
+		var err error
+		if st.incomplete {
+			err = ErrPartialResult
+			e.ctr.partials.Add(1)
+			if rs, ok := e.opts.Sink.(RecoverySink); ok {
+				rs.Partial(st.qid)
+			}
+		}
 		if st.cb != nil {
-			st.cb(Result{QID: st.qid, Query: st.q, Matches: st.matches})
+			st.cb(Result{QID: st.qid, Query: st.q, Matches: st.matches, Err: err})
 		}
 		return
 	}
-	e.send(st.parent, SubResultMsg{QID: st.qid, Token: st.parentToken, Matches: st.matches})
+	e.send(st.parent, SubResultMsg{
+		QID: st.qid, Token: st.parentToken, Matches: st.matches, Incomplete: st.incomplete,
+	})
 }
 
 // debugScan, when set (tests only), observes every cluster scan.
@@ -305,40 +501,46 @@ func (e *Engine) ownedRunEnd(lo uint64) uint64 {
 	return maxIdx
 }
 
-// dispatchRemote forwards clusters rooted at other nodes and calls done
-// with the number of child messages sent; their replies will carry token.
-// With aggregation enabled it probes the owner of the first (lowest)
-// cluster, then ships every sibling owned by that node's arc as one
-// message (the paper's second optimization); without it, each cluster is
-// routed independently.
+// dispatchRemote forwards clusters rooted at other nodes, registering each
+// dispatched message as a tracked child of st, and calls done once every
+// child message has been sent. With aggregation enabled it probes the
+// owner of the first (lowest) cluster, then ships every sibling owned by
+// that node's arc as one message (the paper's second optimization);
+// without it, each cluster is routed independently.
 //
 // root marks dispatches from the query initiator: only there may the
 // probe cache short-circuit the handshake. Receivers always probe, so a
 // stale cache entry costs one extra forward and can never loop.
-func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid, token uint64, root bool, done func(sent int)) {
+func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid uint64, st *subtree, root bool, done func()) {
 	if len(remote) == 0 {
-		done(0)
+		done()
 		return
 	}
 	curve := e.space.Curve()
 	self := e.node.Self().Addr
+	ack := e.opts.SubtreeTimeout > 0
+	// routeOne blind-routes a single cluster as its own tracked child.
+	routeOne := func(c sfc.Refined) {
+		lo := c.Span(curve).Lo
+		refs := toRefs([]sfc.Refined{c})
+		tok := e.addChild(st, lo, refs)
+		e.node.Route(chord.ID(lo), ClusterQueryMsg{
+			QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack,
+		}, qid)
+	}
 	if e.opts.DisableAggregation {
 		for _, c := range remote {
-			lo := c.Span(curve).Lo
-			e.node.Route(chord.ID(lo), ClusterQueryMsg{
-				QID: qid, Query: q, Clusters: toRefs([]sfc.Refined{c}), ReplyTo: self, Token: token,
-			}, qid)
+			routeOne(c)
 		}
-		done(len(remote))
+		done()
 		return
 	}
 
 	sort.Slice(remote, func(i, j int) bool { return remote[i].Span(curve).Lo < remote[j].Span(curve).Lo })
-	sent := 0
 	var step func(rem []sfc.Refined)
 	step = func(rem []sfc.Refined) {
 		if len(rem) == 0 {
-			done(sent)
+			done()
 			return
 		}
 		head := chord.ID(rem[0].Span(curve).Lo)
@@ -349,12 +551,14 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid, tok
 				for n < len(rem) && sp.Between(chord.ID(rem[n].Span(curve).Lo), arc.pred.ID, arc.owner.ID) {
 					n++
 				}
-				msg := ClusterQueryMsg{QID: qid, Query: q, Clusters: toRefs(rem[:n]), ReplyTo: self, Token: token}
+				refs := toRefs(rem[:n])
+				tok := e.addChild(st, uint64(head), refs)
+				msg := ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack}
 				if e.send(arc.owner.Addr, msg) {
-					sent++
 					step(rem[n:])
 					return
 				}
+				e.dropChild(tok)
 				e.cacheDrop(arc.owner.Addr) // dead peer: fall through to probing
 			}
 		}
@@ -362,10 +566,7 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid, tok
 			if err != nil {
 				// Ring unstable: fall back to blind routing for the head
 				// cluster and keep going.
-				e.node.Route(head, ClusterQueryMsg{
-					QID: qid, Query: q, Clusters: toRefs(rem[:1]), ReplyTo: self, Token: token,
-				}, qid)
-				sent++
+				routeOne(rem[0])
 				step(rem[1:])
 				return
 			}
@@ -379,19 +580,18 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid, tok
 					n++
 				}
 			}
-			msg := ClusterQueryMsg{QID: qid, Query: q, Clusters: toRefs(rem[:n]), ReplyTo: self, Token: token}
+			refs := toRefs(rem[:n])
+			tok := e.addChild(st, uint64(chord.ID(rem[0].Span(curve).Lo)), refs)
+			msg := ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack}
 			if !e.send(m.Owner.Addr, msg) {
 				// Owner died between probe and send: blind-route each.
+				e.dropChild(tok)
 				for _, c := range rem[:n] {
-					e.node.Route(chord.ID(c.Span(curve).Lo), ClusterQueryMsg{
-						QID: qid, Query: q, Clusters: toRefs([]sfc.Refined{c}), ReplyTo: self, Token: token,
-					}, qid)
-					sent++
+					routeOne(c)
 				}
 				step(rem[n:])
 				return
 			}
-			sent++
 			step(rem[n:])
 		})
 	}
@@ -418,6 +618,8 @@ func (e *Engine) Deliver(from transport.Addr, key chord.ID, payload any) {
 		e.handleLookup(m)
 	case ClusterQueryMsg:
 		e.handleClusterQuery(m)
+	case QueryAckMsg:
+		e.handleAck(m)
 	case SubResultMsg:
 		e.handleSubResult(m)
 	case ReplicaMsg:
@@ -494,6 +696,9 @@ func (e *Engine) handleLookup(m LookupMsg) {
 }
 
 func (e *Engine) handleClusterQuery(m ClusterQueryMsg) {
+	if m.Ack {
+		e.send(m.ReplyTo, QueryAckMsg{QID: m.QID, Token: m.Token})
+	}
 	region, err := e.space.Region(m.Query)
 	if err != nil {
 		e.send(m.ReplyTo, SubResultMsg{QID: m.QID, Token: m.Token})
@@ -508,22 +713,31 @@ func (e *Engine) handleClusterQuery(m ClusterQueryMsg) {
 		return
 	}
 	st := &subtree{qid: m.QID, q: m.Query, parent: m.ReplyTo, parentToken: m.Token, matches: matches}
-	tok := e.addSubtree(st)
-	e.dispatchRemote(remote, m.Query, m.QID, tok, false, func(sent int) {
-		st.sent = sent
+	e.dispatchRemote(remote, m.Query, m.QID, st, false, func() {
 		st.dispatched = true
-		e.checkSubtree(tok, st)
+		e.checkSubtree(st)
 	})
 }
 
 func (e *Engine) handleSubResult(m SubResultMsg) {
-	st, ok := e.pending[m.Token]
+	c, ok := e.children[m.Token]
 	if !ok {
+		return // straggler: child already answered, abandoned, or expired
+	}
+	delete(e.children, m.Token)
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	st := c.st
+	if st.finished {
 		return
 	}
 	st.matches = append(st.matches, m.Matches...)
+	if m.Incomplete {
+		st.incomplete = true
+	}
 	st.done++
-	e.checkSubtree(m.Token, st)
+	e.checkSubtree(st)
 }
 
 // HandoverOut implements chord.App. When replication is enabled the

@@ -69,14 +69,30 @@ type ClusterQueryMsg struct {
 	Clusters []ClusterRef
 	ReplyTo  transport.Addr
 	Token    uint64
+	// Ack asks the receiver to confirm receipt with a QueryAckMsg before
+	// processing. Dispatchers running a recovery deadline set it so a
+	// slow-but-alive subtree can be told apart from a lost one.
+	Ack bool
+}
+
+// QueryAckMsg confirms receipt of a ClusterQueryMsg (sent only when the
+// dispatcher asked via Ack). It re-arms the dispatcher's re-dispatch
+// deadline: the subtree is known to be in progress, not lost in transit.
+type QueryAckMsg struct {
+	QID   uint64
+	Token uint64
 }
 
 // SubResultMsg reports a completed subtree of the query's refinement tree
-// to its parent: all matches found in that subtree.
+// to its parent: all matches found in that subtree. Incomplete marks a
+// subtree that abandoned part of its refinement to failures; it propagates
+// up so the root can degrade to an explicit partial Result instead of a
+// silently short one.
 type SubResultMsg struct {
-	QID     uint64
-	Token   uint64
-	Matches []Element
+	QID        uint64
+	Token      uint64
+	Matches    []Element
+	Incomplete bool
 }
 
 // ClientPublishMsg lets a non-member client (squidctl) publish through any
@@ -112,6 +128,7 @@ func init() {
 	transport.Register(UnpublishMsg{})
 	transport.Register(LookupMsg{})
 	transport.Register(ClusterQueryMsg{})
+	transport.Register(QueryAckMsg{})
 	transport.Register(SubResultMsg{})
 	transport.Register(ClientPublishMsg{})
 	transport.Register(ClientUnpublishMsg{})

@@ -1,0 +1,49 @@
+package squid
+
+import "sync/atomic"
+
+// RecoveryCounters is a snapshot of an engine's cumulative query-recovery
+// counters. Together with chord.Counters they quantify what failures cost:
+// every re-dispatch is a subtree the deadline machinery saved, every
+// abandonment a subtree it could not.
+type RecoveryCounters struct {
+	// Redispatches counts child subtrees re-sent after missing their
+	// deadline.
+	Redispatches uint64
+	// Abandoned counts child subtrees given up on after exhausting
+	// re-dispatch retries.
+	Abandoned uint64
+	// Partials counts root queries that completed with ErrPartialResult.
+	Partials uint64
+	// Acks counts child-receipt confirmations that re-armed a deadline.
+	Acks uint64
+}
+
+// Add accumulates another snapshot (for network-wide aggregation).
+func (c *RecoveryCounters) Add(o RecoveryCounters) {
+	c.Redispatches += o.Redispatches
+	c.Abandoned += o.Abandoned
+	c.Partials += o.Partials
+	c.Acks += o.Acks
+}
+
+// recoveryCounters is the engine-internal atomic representation; atomics so
+// any goroutine (metric scrapers, the simulator) may snapshot without
+// entering the node's delivery goroutine.
+type recoveryCounters struct {
+	redispatches atomic.Uint64
+	abandoned    atomic.Uint64
+	partials     atomic.Uint64
+	acks         atomic.Uint64
+}
+
+// Recovery snapshots the engine's recovery counters. Safe from any
+// goroutine.
+func (e *Engine) Recovery() RecoveryCounters {
+	return RecoveryCounters{
+		Redispatches: e.ctr.redispatches.Load(),
+		Abandoned:    e.ctr.abandoned.Load(),
+		Partials:     e.ctr.partials.Load(),
+		Acks:         e.ctr.acks.Load(),
+	}
+}

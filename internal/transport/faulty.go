@@ -1,0 +1,301 @@
+package transport
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultConfig tunes a Faulty network. The zero value injects nothing.
+type FaultConfig struct {
+	// Seed drives every fault decision. The schedule is deterministic per
+	// directed link: each (from, to) pair owns a random sequence derived
+	// from Seed, consumed one draw per message, so the same seed and the
+	// same per-link message order reproduce the same drops and delays
+	// regardless of how sends interleave across links.
+	Seed int64
+	// DropRate is the default probability in [0, 1) that a message is
+	// silently lost (the sender sees success). Per-link overrides win.
+	DropRate float64
+	// MinDelay/MaxDelay bound a uniform per-message delivery latency.
+	// MaxDelay <= 0 delivers immediately.
+	MinDelay, MaxDelay time.Duration
+}
+
+// FaultStats counts injected faults, for experiment accounting.
+type FaultStats struct {
+	Delivered      uint64 // messages passed through to the inner network
+	Dropped        uint64 // lost to the drop-rate lottery
+	Delayed        uint64 // delivered after an injected latency
+	PartitionDrops uint64 // lost to a network partition
+	CrashDrops     uint64 // lost to a crashed endpoint
+}
+
+// Faulty wraps an in-process network with deterministic, seeded fault
+// injection: per-link message drops, latency, partitions, and endpoint
+// crash/restart. It is the chaos substrate for the recovery tests — the
+// same protocol code runs unchanged, only the network misbehaves.
+//
+// Self-sends (an endpoint sending to its own address) are exempt from all
+// faults: both transports use them to inject work into the endpoint's
+// delivery goroutine, and faulting them would wedge the node itself rather
+// than the network.
+type Faulty struct {
+	inner *Inproc
+	seed  int64
+
+	mu       sync.Mutex
+	dropRate float64
+	minDelay time.Duration
+	maxDelay time.Duration
+	linkRate map[linkKey]float64
+	links    map[linkKey]*rand.Rand
+	group    map[Addr]int // partition group; addresses absent are group 0
+	split    bool         // a partition is active
+	crashed  map[Addr]bool
+
+	dmu     sync.Mutex
+	dcond   *sync.Cond
+	pending int // delayed messages not yet handed to the inner network
+
+	delivered      atomic.Uint64
+	dropped        atomic.Uint64
+	delayed        atomic.Uint64
+	partitionDrops atomic.Uint64
+	crashDrops     atomic.Uint64
+}
+
+type linkKey struct{ from, to Addr }
+
+// NewFaulty wraps inner with fault injection.
+func NewFaulty(inner *Inproc, cfg FaultConfig) *Faulty {
+	f := &Faulty{
+		inner:    inner,
+		seed:     cfg.Seed,
+		dropRate: cfg.DropRate,
+		minDelay: cfg.MinDelay,
+		maxDelay: cfg.MaxDelay,
+		linkRate: make(map[linkKey]float64),
+		links:    make(map[linkKey]*rand.Rand),
+		group:    make(map[Addr]int),
+		crashed:  make(map[Addr]bool),
+	}
+	f.dcond = sync.NewCond(&f.dmu)
+	return f
+}
+
+// Inner returns the wrapped in-process network.
+func (f *Faulty) Inner() *Inproc { return f.inner }
+
+// Listen attaches a handler to the inner network and returns an endpoint
+// whose sends pass through the fault layer.
+func (f *Faulty) Listen(name Addr, h Handler) (Endpoint, error) {
+	ep, err := f.inner.Listen(name, h)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyEndpoint{net: f, inner: ep}, nil
+}
+
+// Kill permanently detaches the named endpoint from the inner network
+// (sends to it fail with ErrUnreachable) and clears any crash mark.
+func (f *Faulty) Kill(name Addr) {
+	f.inner.Kill(name)
+	f.mu.Lock()
+	delete(f.crashed, name)
+	f.mu.Unlock()
+}
+
+// SetDropRate changes the default drop probability. 0 heals drop faults.
+func (f *Faulty) SetDropRate(p float64) {
+	f.mu.Lock()
+	f.dropRate = p
+	f.mu.Unlock()
+}
+
+// SetLinkDrop overrides the drop probability of one directed link.
+func (f *Faulty) SetLinkDrop(from, to Addr, p float64) {
+	f.mu.Lock()
+	f.linkRate[linkKey{from, to}] = p
+	f.mu.Unlock()
+}
+
+// ClearLinkDrops removes all per-link drop overrides.
+func (f *Faulty) ClearLinkDrops() {
+	f.mu.Lock()
+	f.linkRate = make(map[linkKey]float64)
+	f.mu.Unlock()
+}
+
+// SetDelay changes the injected latency range. max <= 0 disables delays.
+func (f *Faulty) SetDelay(min, max time.Duration) {
+	f.mu.Lock()
+	f.minDelay, f.maxDelay = min, max
+	f.mu.Unlock()
+}
+
+// Partition splits the network: each listed group can only talk within
+// itself, and unlisted addresses form one implicit group of their own.
+// Messages crossing group boundaries are silently lost.
+func (f *Faulty) Partition(groups ...[]Addr) {
+	f.mu.Lock()
+	f.group = make(map[Addr]int)
+	for i, g := range groups {
+		for _, a := range g {
+			f.group[a] = i + 1
+		}
+	}
+	f.split = true
+	f.mu.Unlock()
+}
+
+// Heal removes any partition.
+func (f *Faulty) Heal() {
+	f.mu.Lock()
+	f.group = make(map[Addr]int)
+	f.split = false
+	f.mu.Unlock()
+}
+
+// Crash black-holes an endpoint without detaching it: messages to and from
+// it are silently lost, modelling a frozen or fully partitioned process.
+// The endpoint's state survives; Restart reconnects it.
+func (f *Faulty) Crash(name Addr) {
+	f.mu.Lock()
+	f.crashed[name] = true
+	f.mu.Unlock()
+}
+
+// Restart reconnects a crashed endpoint.
+func (f *Faulty) Restart(name Addr) {
+	f.mu.Lock()
+	delete(f.crashed, name)
+	f.mu.Unlock()
+}
+
+// Stats snapshots the injected-fault counters.
+func (f *Faulty) Stats() FaultStats {
+	return FaultStats{
+		Delivered:      f.delivered.Load(),
+		Dropped:        f.dropped.Load(),
+		Delayed:        f.delayed.Load(),
+		PartitionDrops: f.partitionDrops.Load(),
+		CrashDrops:     f.crashDrops.Load(),
+	}
+}
+
+// Quiesce blocks until no message is in flight anywhere: neither delayed in
+// the fault layer nor queued or being handled in the inner network.
+func (f *Faulty) Quiesce() {
+	for {
+		f.dmu.Lock()
+		for f.pending > 0 {
+			f.dcond.Wait()
+		}
+		f.dmu.Unlock()
+		f.inner.Quiesce()
+		f.dmu.Lock()
+		idle := f.pending == 0
+		f.dmu.Unlock()
+		if idle {
+			return
+		}
+	}
+}
+
+// linkRNG returns the deterministic random sequence of one directed link.
+// Callers hold f.mu.
+func (f *Faulty) linkRNG(k linkKey) *rand.Rand {
+	if r, ok := f.links[k]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	h.Write([]byte(k.from))
+	h.Write([]byte{0})
+	h.Write([]byte(k.to))
+	r := rand.New(rand.NewSource(f.seed ^ int64(h.Sum64())))
+	f.links[k] = r
+	return r
+}
+
+// send applies the fault plan to one message, then forwards survivors to
+// the inner endpoint (possibly after a delay).
+func (f *Faulty) send(ep Endpoint, to Addr, msg any) error {
+	from := ep.Addr()
+	if from == to {
+		return ep.Send(to, msg) // self-delivery: exempt from faults
+	}
+
+	f.mu.Lock()
+	if f.crashed[from] || f.crashed[to] {
+		f.mu.Unlock()
+		f.crashDrops.Add(1)
+		return nil
+	}
+	if f.split && f.group[from] != f.group[to] {
+		f.mu.Unlock()
+		f.partitionDrops.Add(1)
+		return nil
+	}
+	k := linkKey{from, to}
+	rate, ok := f.linkRate[k]
+	if !ok {
+		rate = f.dropRate
+	}
+	rng := f.linkRNG(k)
+	// Always consume both draws so the link's schedule does not shift when
+	// delay settings change mid-run.
+	dropDraw := rng.Float64()
+	delayDraw := rng.Float64()
+	minD, maxD := f.minDelay, f.maxDelay
+	f.mu.Unlock()
+
+	if rate > 0 && dropDraw < rate {
+		f.dropped.Add(1)
+		return nil
+	}
+	if maxD > 0 {
+		d := minD + time.Duration(delayDraw*float64(maxD-minD))
+		f.delayed.Add(1)
+		f.dmu.Lock()
+		f.pending++
+		f.dmu.Unlock()
+		time.AfterFunc(d, func() {
+			f.delivered.Add(1)
+			_ = ep.Send(to, msg) // destination may have died meanwhile
+			f.dmu.Lock()
+			f.pending--
+			if f.pending == 0 {
+				f.dcond.Broadcast()
+			}
+			f.dmu.Unlock()
+		})
+		return nil
+	}
+	f.delivered.Add(1)
+	return ep.Send(to, msg)
+}
+
+// faultyEndpoint routes sends through the fault layer.
+type faultyEndpoint struct {
+	net   *Faulty
+	inner Endpoint
+}
+
+func (e *faultyEndpoint) Addr() Addr { return e.inner.Addr() }
+
+func (e *faultyEndpoint) Send(to Addr, msg any) error {
+	return e.net.send(e.inner, to, msg)
+}
+
+func (e *faultyEndpoint) Close() error {
+	err := e.inner.Close()
+	e.net.mu.Lock()
+	delete(e.net.crashed, e.inner.Addr())
+	e.net.mu.Unlock()
+	return err
+}
+
+var _ Endpoint = (*faultyEndpoint)(nil)

@@ -1,0 +1,197 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// faultRecorder collects delivered payloads in order.
+type faultRecorder struct {
+	mu   sync.Mutex
+	msgs []any
+}
+
+func (r *faultRecorder) Deliver(_ Addr, msg any) {
+	r.mu.Lock()
+	r.msgs = append(r.msgs, msg)
+	r.mu.Unlock()
+}
+
+func (r *faultRecorder) snapshot() []any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]any(nil), r.msgs...)
+}
+
+// runSchedule sends n sequenced messages a->b through a fresh Faulty
+// network with the given seed and returns which sequence numbers arrived.
+func runSchedule(t *testing.T, seed int64, rate float64, n int) []any {
+	t.Helper()
+	f := NewFaulty(NewInproc(), FaultConfig{Seed: seed, DropRate: rate})
+	rec := &faultRecorder{}
+	a, err := f.Listen("a", HandlerFunc(func(Addr, any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Listen("b", rec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	f.Quiesce()
+	return rec.snapshot()
+}
+
+// TestFaultyDeterministicSchedule is the reproducibility guarantee: the
+// same seed yields exactly the same drop schedule; a different seed yields
+// a different one.
+func TestFaultyDeterministicSchedule(t *testing.T) {
+	const n = 400
+	got1 := runSchedule(t, 42, 0.3, n)
+	got2 := runSchedule(t, 42, 0.3, n)
+	if len(got1) != len(got2) {
+		t.Fatalf("same seed delivered %d vs %d messages", len(got1), len(got2))
+	}
+	for i := range got1 {
+		if got1[i] != got2[i] {
+			t.Fatalf("same seed diverged at delivery %d: %v vs %v", i, got1[i], got2[i])
+		}
+	}
+	if len(got1) == 0 || len(got1) == n {
+		t.Fatalf("drop rate 0.3 delivered %d/%d — lottery not applied", len(got1), n)
+	}
+	other := runSchedule(t, 43, 0.3, n)
+	same := len(other) == len(got1)
+	if same {
+		for i := range other {
+			if other[i] != got1[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestFaultySelfSendExempt: self-sends must never be faulted — both
+// transports use them to drive the endpoint's own goroutine.
+func TestFaultySelfSendExempt(t *testing.T) {
+	f := NewFaulty(NewInproc(), FaultConfig{Seed: 1, DropRate: 1.0})
+	rec := &faultRecorder{}
+	a, err := f.Listen("a", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Send("a", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Quiesce()
+	if got := len(rec.snapshot()); got != 10 {
+		t.Fatalf("self-sends delivered %d/10 under drop rate 1.0", got)
+	}
+}
+
+func TestFaultyPartitionAndHeal(t *testing.T) {
+	f := NewFaulty(NewInproc(), FaultConfig{Seed: 7})
+	rec := &faultRecorder{}
+	a, err := f.Listen("a", HandlerFunc(func(Addr, any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Listen("b", rec); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Partition([]Addr{"a"}, []Addr{"b"})
+	if err := a.Send("b", "lost"); err != nil {
+		t.Fatal(err)
+	}
+	f.Quiesce()
+	if len(rec.snapshot()) != 0 {
+		t.Fatal("message crossed an active partition")
+	}
+	if s := f.Stats(); s.PartitionDrops != 1 {
+		t.Fatalf("PartitionDrops = %d, want 1", s.PartitionDrops)
+	}
+
+	f.Heal()
+	if err := a.Send("b", "through"); err != nil {
+		t.Fatal(err)
+	}
+	f.Quiesce()
+	if got := rec.snapshot(); len(got) != 1 || got[0] != "through" {
+		t.Fatalf("after heal got %v, want [through]", got)
+	}
+}
+
+func TestFaultyCrashRestart(t *testing.T) {
+	f := NewFaulty(NewInproc(), FaultConfig{Seed: 7})
+	rec := &faultRecorder{}
+	a, err := f.Listen("a", HandlerFunc(func(Addr, any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Listen("b", rec); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Crash("b")
+	// Both directions are black holes while crashed, and the sender sees
+	// success — a crash is indistinguishable from loss.
+	if err := a.Send("b", "vanished"); err != nil {
+		t.Fatalf("send to crashed endpoint: %v", err)
+	}
+	f.Quiesce()
+	if len(rec.snapshot()) != 0 {
+		t.Fatal("crashed endpoint received a message")
+	}
+	if s := f.Stats(); s.CrashDrops != 1 {
+		t.Fatalf("CrashDrops = %d, want 1", s.CrashDrops)
+	}
+
+	f.Restart("b")
+	if err := a.Send("b", "back"); err != nil {
+		t.Fatal(err)
+	}
+	f.Quiesce()
+	if got := rec.snapshot(); len(got) != 1 || got[0] != "back" {
+		t.Fatalf("after restart got %v, want [back]", got)
+	}
+}
+
+// TestFaultyDelayQuiesce: Quiesce must account for messages sitting in the
+// delay stage, not just the inner network.
+func TestFaultyDelayQuiesce(t *testing.T) {
+	f := NewFaulty(NewInproc(), FaultConfig{
+		Seed: 3, MinDelay: 2 * time.Millisecond, MaxDelay: 10 * time.Millisecond,
+	})
+	rec := &faultRecorder{}
+	a, err := f.Listen("a", HandlerFunc(func(Addr, any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Listen("b", rec); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Quiesce()
+	if got := len(rec.snapshot()); got != n {
+		t.Fatalf("delivered %d/%d after Quiesce", got, n)
+	}
+	if s := f.Stats(); s.Delayed != n {
+		t.Fatalf("Delayed = %d, want %d", s.Delayed, n)
+	}
+}

@@ -21,12 +21,19 @@ type Inproc struct {
 	boxes    map[Addr]*mailbox
 	observer Observer
 
-	inflight sync.WaitGroup
+	// In-flight accounting is a cond-guarded counter rather than a
+	// WaitGroup: recovery timers may inject messages concurrently with
+	// Quiesce, and WaitGroup forbids Add-from-zero racing Wait.
+	imu      sync.Mutex
+	icond    *sync.Cond
+	inflight int
 }
 
 // NewInproc returns an empty in-process network.
 func NewInproc() *Inproc {
-	return &Inproc{boxes: make(map[Addr]*mailbox)}
+	n := &Inproc{boxes: make(map[Addr]*mailbox)}
+	n.icond = sync.NewCond(&n.imu)
+	return n
 }
 
 // SetObserver installs the message observer. Pass nil to remove. Must not
@@ -73,7 +80,28 @@ func (n *Inproc) Kill(name Addr) {
 // Quiesce blocks until no message is queued or being handled anywhere in
 // the network. It is only meaningful while no external goroutine keeps
 // injecting messages.
-func (n *Inproc) Quiesce() { n.inflight.Wait() }
+func (n *Inproc) Quiesce() {
+	n.imu.Lock()
+	for n.inflight > 0 {
+		n.icond.Wait()
+	}
+	n.imu.Unlock()
+}
+
+func (n *Inproc) track() {
+	n.imu.Lock()
+	n.inflight++
+	n.imu.Unlock()
+}
+
+func (n *Inproc) done() {
+	n.imu.Lock()
+	n.inflight--
+	if n.inflight == 0 {
+		n.icond.Broadcast()
+	}
+	n.imu.Unlock()
+}
 
 func (n *Inproc) send(from, to Addr, msg any) error {
 	n.mu.Lock()
@@ -83,9 +111,9 @@ func (n *Inproc) send(from, to Addr, msg any) error {
 	if box == nil {
 		return ErrUnreachable
 	}
-	n.inflight.Add(1)
+	n.track()
 	if !box.enqueue(from, msg) {
-		n.inflight.Done()
+		n.done()
 		return ErrUnreachable
 	}
 	if obs != nil {
@@ -150,7 +178,7 @@ func (b *mailbox) close() {
 	b.cond.Signal()
 	b.mu.Unlock()
 	for i := 0; i < dropped; i++ {
-		b.net.inflight.Done()
+		b.net.done()
 	}
 }
 
@@ -169,6 +197,6 @@ func (b *mailbox) run() {
 		b.mu.Unlock()
 
 		b.handler.Deliver(env.from, env.msg)
-		b.net.inflight.Done()
+		b.net.done()
 	}
 }

@@ -5,6 +5,19 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+)
+
+// TCP endpoint I/O bounds. A peer that hangs mid-handshake or stops
+// draining its socket must cost a bounded amount of time, not wedge the
+// sender: dials and writes that exceed these fail with ErrUnreachable and
+// the connection is re-dialed on the next send. Overridable for tests.
+var (
+	// TCPDialTimeout bounds connection establishment to a peer.
+	TCPDialTimeout = 5 * time.Second
+	// TCPWriteTimeout bounds each message write on an established
+	// connection (0 disables the deadline).
+	TCPWriteTimeout = 10 * time.Second
 )
 
 // wireEnvelope is the gob frame exchanged between TCP endpoints. Payload
@@ -88,25 +101,32 @@ func (ep *TCPEndpoint) Send(to Addr, msg any) error {
 	if err != nil {
 		return err
 	}
-	oc.mu.Lock()
-	err = oc.enc.Encode(wireEnvelope{From: string(ep.addr), Payload: msg})
-	oc.mu.Unlock()
-	if err != nil {
+	if err := oc.encode(ep.addr, msg); err != nil {
 		// Drop the stale connection and retry once on a fresh dial.
 		ep.dropConn(to, oc)
 		oc, derr := ep.connTo(to)
 		if derr != nil {
 			return derr
 		}
-		oc.mu.Lock()
-		err = oc.enc.Encode(wireEnvelope{From: string(ep.addr), Payload: msg})
-		oc.mu.Unlock()
-		if err != nil {
+		if err := oc.encode(ep.addr, msg); err != nil {
 			ep.dropConn(to, oc)
 			return fmt.Errorf("%w: %v", ErrUnreachable, err)
 		}
 	}
 	return nil
+}
+
+// encode writes one framed message under the configured write deadline, so
+// a peer that stops reading cannot block the sender indefinitely.
+func (oc *outConn) encode(from Addr, msg any) error {
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if TCPWriteTimeout > 0 {
+		if err := oc.conn.SetWriteDeadline(time.Now().Add(TCPWriteTimeout)); err != nil {
+			return err
+		}
+	}
+	return oc.enc.Encode(wireEnvelope{From: string(from), Payload: msg})
 }
 
 func (ep *TCPEndpoint) connTo(to Addr) (*outConn, error) {
@@ -117,7 +137,7 @@ func (ep *TCPEndpoint) connTo(to Addr) (*outConn, error) {
 	}
 	ep.mu.Unlock()
 
-	conn, err := net.Dial("tcp", string(to))
+	conn, err := net.DialTimeout("tcp", string(to), TCPDialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, to, err)
 	}

@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+type tcpBlob struct{ B []byte }
+
+func init() { gob.Register(tcpBlob{}) }
+
+// TestTCPWriteDeadline: a peer that accepts connections but never drains
+// its socket must not wedge the sender — once the kernel buffers fill, the
+// write deadline fires and Send fails with ErrUnreachable in bounded time.
+func TestTCPWriteDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			<-stop // hold the connection open without ever reading
+		}
+	}()
+
+	oldWrite := TCPWriteTimeout
+	TCPWriteTimeout = 250 * time.Millisecond
+	defer func() { TCPWriteTimeout = oldWrite }()
+
+	ep, err := ListenTCP("127.0.0.1:0", &recorder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	// Large enough to overrun the socket buffers of both the first write
+	// and the retry on a fresh dial.
+	payload := tcpBlob{B: make([]byte, 16<<20)}
+	start := time.Now()
+	err = ep.Send(Addr(ln.Addr().String()), payload)
+	if err == nil {
+		t.Fatal("send to a non-reading peer succeeded; expected deadline failure")
+	}
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("send error = %v, want ErrUnreachable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("send took %v; write deadline did not bound it", elapsed)
+	}
+}
