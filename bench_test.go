@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"squid/internal/experiments"
+	"squid/internal/stats"
 )
 
 // benchFactor scales the paper's sweep for benchmark runs: 2% of full
@@ -118,9 +119,9 @@ func BenchmarkFig19_LoadBalance(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(giniInts(dists.Uniform), "gini-uniform")
-	b.ReportMetric(giniInts(dists.JoinOnly), "gini-joinLB")
-	b.ReportMetric(giniInts(dists.JoinAndRun), "gini-join+runtime")
+	b.ReportMetric(stats.Gini(dists.Uniform), "gini-uniform")
+	b.ReportMetric(stats.Gini(dists.JoinOnly), "gini-joinLB")
+	b.ReportMetric(stats.Gini(dists.JoinAndRun), "gini-join+runtime")
 }
 
 // BenchmarkAblation_Aggregation quantifies optimization 2 (A1).
@@ -265,24 +266,3 @@ func BenchmarkAblation_CurveChoice(b *testing.B) {
 	}
 }
 
-func giniInts(values []int) float64 {
-	n := len(values)
-	if n == 0 {
-		return 0
-	}
-	sorted := append([]int(nil), values...)
-	for i := 1; i < len(sorted); i++ {
-		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
-			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
-		}
-	}
-	var cum, total float64
-	for i, v := range sorted {
-		cum += float64(v) * float64(2*(i+1)-n-1)
-		total += float64(v)
-	}
-	if total == 0 {
-		return 0
-	}
-	return cum / (float64(n) * total)
-}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"squid/internal/experiments"
+	"squid/internal/sfc"
+)
+
+// The bench-regression harness: -bench-json runs the hot-path
+// microbenchmarks (curve transforms, refinement, decomposition — table
+// kernel and Skilling reference side by side) plus a Fig. 9 style
+// system-level measurement, and writes the snapshot other PRs diff
+// against (BENCH_*.json, see scripts/bench.sh).
+
+// benchResult is one microbenchmark's stats.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// fig9Result is the system-level section: the seeding cost (dominated by
+// store bulk-load) and the per-query message cost at the largest swept
+// scale.
+type fig9Result struct {
+	Factor           float64 `json:"factor"`
+	SeedNodes        int     `json:"seed_nodes"`
+	SeedKeys         int     `json:"seed_keys"`
+	SeedSeconds      float64 `json:"seed_seconds"`
+	SweepSeconds     float64 `json:"sweep_seconds"`
+	MessagesPerQuery float64 `json:"messages_per_query"`
+}
+
+type benchSnapshot struct {
+	Generated string                 `json:"generated"`
+	Go        string                 `json:"go"`
+	Micro     map[string]benchResult `json:"micro"`
+	Fig9      fig9Result             `json:"fig9"`
+}
+
+func record(micro map[string]benchResult, name string, fn func(b *testing.B)) {
+	r := testing.Benchmark(fn)
+	micro[name] = benchResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	fmt.Printf("%-28s %12.1f ns/op %6d allocs/op %8d B/op\n",
+		name, micro[name].NsPerOp, micro[name].AllocsPerOp, micro[name].BytesPerOp)
+}
+
+// benchQueryRegion mirrors the query shapes the engine produces: a range,
+// a wildcard dimension, endpoint-aligned.
+func benchQueryRegion(d, k int) sfc.Region {
+	q := uint64(1) << uint(k-4)
+	dims := make([][]sfc.Interval, d)
+	dims[0] = []sfc.Interval{{Lo: q, Hi: 5*q - 1}}
+	for i := 1; i < d; i++ {
+		if i%2 == 1 {
+			dims[i] = []sfc.Interval{{Lo: 0, Hi: uint64(1)<<uint(k) - 1}}
+		} else {
+			dims[i] = []sfc.Interval{{Lo: 3 * q, Hi: 9*q - 1}}
+		}
+	}
+	return sfc.NewRegion(dims)
+}
+
+func runBenchJSON(path string, factor float64) error {
+	snap := benchSnapshot{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		Micro:     make(map[string]benchResult),
+	}
+
+	for _, g := range []struct {
+		name string
+		d, k int
+	}{{"2x32", 2, 32}, {"3x21", 3, 21}} {
+		var h sfc.Curve = sfc.MustHilbert(g.d, g.k)
+		r := benchQueryRegion(g.d, g.k)
+		cl := sfc.Cluster{Prefix: 6, Level: 3}
+		pt := make([]uint64, g.d)
+		for i := range pt {
+			pt[i] = uint64(1)<<uint(g.k-2) + uint64(i*7919)
+		}
+		idx := h.Encode(pt)
+
+		record(snap.Micro, "encode_"+g.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				idx = h.Encode(pt)
+			}
+		})
+		record(snap.Micro, "decode_"+g.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Decode(idx, pt)
+			}
+		})
+		record(snap.Micro, "refinestep_"+g.name, func(b *testing.B) {
+			var sc sfc.Scratch
+			dst := sfc.RefineStepInto(nil, h, cl, r, &sc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = sfc.RefineStepInto(dst[:0], h, cl, r, &sc)
+			}
+		})
+		record(snap.Micro, "refinestep_ref_"+g.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = sfc.RefineStepReference(h, cl, r)
+			}
+		})
+		record(snap.Micro, "clusters_"+g.name, func(b *testing.B) {
+			var sc sfc.Scratch
+			dst := sfc.ClustersInto(nil, h, r, &sc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = sfc.ClustersInto(dst[:0], h, r, &sc)
+			}
+		})
+		record(snap.Micro, "clusters_ref_"+g.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = sfc.ClustersReference(h, r)
+			}
+		})
+		record(snap.Micro, "coarseclusters_"+g.name, func(b *testing.B) {
+			var sc sfc.Scratch
+			dst := sfc.CoarseClustersInto(nil, h, r, 64, &sc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = sfc.CoarseClustersInto(dst[:0], h, r, 64, &sc)
+			}
+		})
+	}
+
+	// System level: seed the largest Fig. 9 scale (bulk-load path), then
+	// sweep its six Q1 queries for the per-query message cost.
+	scales := experiments.PaperScales(factor)
+	largest := scales[len(scales)-1]
+	cfg := experiments.SweepConfig{
+		Dims: 2, Bits: 32, Scales: []experiments.Scale{largest},
+		Kind: experiments.Q1, Queries: 6, Seed: 9,
+	}
+	start := time.Now()
+	nw, _, err := experiments.BuildNetwork(cfg, largest)
+	if err != nil {
+		return err
+	}
+	seed := time.Since(start)
+	_ = nw // the sweep below rebuilds; this build times seeding in isolation
+
+	start = time.Now()
+	pts, err := experiments.Sweep(cfg)
+	if err != nil {
+		return err
+	}
+	sweep := time.Since(start)
+	var msgs, n float64
+	for _, p := range pts {
+		for _, row := range p.Rows {
+			msgs += float64(row.Messages)
+			n++
+		}
+	}
+	if n > 0 {
+		msgs /= n
+	}
+	snap.Fig9 = fig9Result{
+		Factor:           factor,
+		SeedNodes:        largest.Nodes,
+		SeedKeys:         largest.Keys,
+		SeedSeconds:      seed.Seconds(),
+		SweepSeconds:     sweep.Seconds(),
+		MessagesPerQuery: msgs,
+	}
+	fmt.Printf("fig9 (factor %g): %d nodes / %d keys seeded in %.2fs, sweep %.2fs, %.1f messages/query\n",
+		factor, largest.Nodes, largest.Keys, seed.Seconds(), sweep.Seconds(), msgs)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

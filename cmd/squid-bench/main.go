@@ -14,6 +14,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -22,14 +24,48 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig9..fig19, a1..a7, or all")
-		factor = flag.Float64("factor", 0.02, "fraction of the paper's scale for fig9-fig17 (1.0 = 1000-5400 nodes, 2e5-1e6 keys)")
-		nodes  = flag.Int("nodes", 100, "network size for fig19/a3/a4/a5")
-		keys   = flag.Int("keys", 20000, "stored keys for fig18/fig19/a5")
-		csv    = flag.String("csv", "", "also write sweep results (fig9-fig17) as CSV to this file")
+		exp        = flag.String("exp", "all", "experiment: fig9..fig19, a1..a7, or all")
+		factor     = flag.Float64("factor", 0.02, "fraction of the paper's scale for fig9-fig17 (1.0 = 1000-5400 nodes, 2e5-1e6 keys)")
+		nodes      = flag.Int("nodes", 100, "network size for fig19/a3/a4/a5")
+		keys       = flag.Int("keys", 20000, "stored keys for fig18/fig19/a5")
+		csv        = flag.String("csv", "", "also write sweep results (fig9-fig17) as CSV to this file")
+		benchJSON  = flag.String("bench-json", "", "run the hot-path benchmark suite instead of figures and write the snapshot (BENCH_*.json) to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
-	if err := run(*exp, *factor, *nodes, *keys, *csv); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("squid-bench: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("squid-bench: cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := func() error {
+		if *benchJSON != "" {
+			return runBenchJSON(*benchJSON, *factor)
+		}
+		return run(*exp, *factor, *nodes, *keys, *csv)
+	}()
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			log.Fatalf("squid-bench: %v", ferr)
+		}
+		runtime.GC()
+		if perr := pprof.WriteHeapProfile(f); perr != nil {
+			log.Fatalf("squid-bench: memprofile: %v", perr)
+		}
+		f.Close()
+	}
+	if err != nil {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile() // flush before the non-deferred exit
+		}
 		log.Fatalf("squid-bench: %v", err)
 	}
 }

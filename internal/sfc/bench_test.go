@@ -1,0 +1,132 @@
+package sfc
+
+import "testing"
+
+// Benchmark geometries: the 2x32 keyword space of the paper's experiments
+// and the 3-dimensional variant exercising a non-trivial state graph.
+var benchGeometries = []struct {
+	name string
+	d, k int
+}{
+	{"2x32", 2, 32},
+	{"3x21", 3, 21},
+}
+
+// benchRegion is a moderately complex query region for the geometry: a
+// range in dimension 0, a wildcard dimension, a union elsewhere — endpoint-
+// aligned so the exact decomposition stays small enough to iterate.
+func benchRegion(d, k int) Region {
+	q := uint64(1) << uint(k-4)
+	dims := make([][]Interval, d)
+	dims[0] = []Interval{{q, 5*q - 1}}
+	for i := 1; i < d; i++ {
+		switch i % 3 {
+		case 1:
+			dims[i] = []Interval{{0, maxCoord(k)}}
+		case 2:
+			dims[i] = []Interval{{0, 2*q - 1}, {8 * q, 11*q - 1}}
+		default:
+			dims[i] = []Interval{{3 * q, 9*q - 1}}
+		}
+	}
+	return NewRegion(dims)
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for _, g := range benchGeometries {
+		var h Curve = MustHilbert(g.d, g.k)
+		pt := make([]uint64, g.d)
+		for i := range pt {
+			pt[i] = maxCoord(g.k) / uint64(3*(i+1))
+		}
+		b.Run(g.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink = h.Encode(pt)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	for _, g := range benchGeometries {
+		var h Curve = MustHilbert(g.d, g.k)
+		pt := make([]uint64, g.d)
+		idx := spanOf(5, uint(h.IndexBits()-4)).Lo
+		b.Run(g.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Decode(idx, pt)
+			}
+		})
+	}
+}
+
+// BenchmarkRefineStep compares the table-driven kernel against the Skilling
+// reference on one refinement step — the unit of work every peer performs
+// per cluster message.
+func BenchmarkRefineStep(b *testing.B) {
+	for _, g := range benchGeometries {
+		var h Curve = MustHilbert(g.d, g.k)
+		r := benchRegion(g.d, g.k)
+		cl := Cluster{Prefix: 6, Level: 3}
+		b.Run(g.name+"/table", func(b *testing.B) {
+			var sc Scratch
+			dst := RefineStepInto(nil, h, cl, r, &sc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = RefineStepInto(dst[:0], h, cl, r, &sc)
+			}
+		})
+		b.Run(g.name+"/reference", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = RefineStepReference(h, cl, r)
+			}
+		})
+	}
+}
+
+// BenchmarkClusters compares the exact decomposition end to end.
+func BenchmarkClusters(b *testing.B) {
+	for _, g := range benchGeometries {
+		var h Curve = MustHilbert(g.d, g.k)
+		r := benchRegion(g.d, g.k)
+		b.Run(g.name+"/table", func(b *testing.B) {
+			var sc Scratch
+			dst := ClustersInto(nil, h, r, &sc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = ClustersInto(dst[:0], h, r, &sc)
+			}
+		})
+		b.Run(g.name+"/reference", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = ClustersReference(h, r)
+			}
+		})
+	}
+}
+
+// BenchmarkCoarseClusters measures the query initiator's bounded
+// decomposition (Engine.Query's first step).
+func BenchmarkCoarseClusters(b *testing.B) {
+	for _, g := range benchGeometries {
+		var h Curve = MustHilbert(g.d, g.k)
+		r := benchRegion(g.d, g.k)
+		b.Run(g.name, func(b *testing.B) {
+			var sc Scratch
+			dst := CoarseClustersInto(nil, h, r, 64, &sc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = CoarseClustersInto(dst[:0], h, r, 64, &sc)
+			}
+		})
+	}
+}

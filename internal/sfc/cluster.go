@@ -46,8 +46,42 @@ type Refined struct {
 // nil when cl is already at full resolution.
 //
 // The children's spans partition cl's span in increasing index order, so the
-// result is sorted by span.
+// result is sorted by span. This is the table-driven kernel path; hot
+// callers use RefineStepInto directly to also avoid the allocations.
 func RefineStep(c Curve, cl Cluster, r Region) []Refined {
+	return RefineStepInto(nil, c, cl, r, nil)
+}
+
+// Clusters computes the exact decomposition of a region into maximal
+// contiguous curve segments — the "clusters" of the paper's Figs. 3 and 5.
+// The result is sorted, disjoint and non-adjacent.
+//
+// The walk descends the refinement tree depth-first in curve order, emitting
+// whole spans as soon as a subcube is entirely inside the region; adjacent
+// spans are merged on the fly. Cost is proportional to the boundary of the
+// region, not its volume.
+func Clusters(c Curve, r Region) []Interval {
+	return ClustersInto(nil, c, r, nil)
+}
+
+// CoarseClusters decomposes the region level by level, stopping before the
+// number of clusters would exceed maxClusters (or full resolution is
+// reached). The result is an over-approximation: every matching index is
+// covered, but covered spans may contain non-matching indices. This is how a
+// query initiator bounds the number of initial cluster messages (the exact
+// pruning then happens distributedly, on the peers that own the spans).
+//
+// maxClusters < 2^Dims is raised to 2^Dims so at least one refinement step
+// can complete. The returned clusters are sorted by span.
+func CoarseClusters(c Curve, r Region, maxClusters int) []Refined {
+	return CoarseClustersInto(nil, c, r, maxClusters, nil)
+}
+
+// RefineStepReference is the reference implementation of RefineStep: one
+// full Skilling inverse transform per child. The table-driven kernel is
+// verified index-for-index against it (kernel_test.go, fuzz_test.go), and
+// the benchmark harness reports both so the speedup stays measurable.
+func RefineStepReference(c Curve, cl Cluster, r Region) []Refined {
 	k := c.Bits()
 	if cl.Level >= k {
 		return nil
@@ -80,15 +114,10 @@ func RefineStep(c Curve, cl Cluster, r Region) []Refined {
 	return out
 }
 
-// Clusters computes the exact decomposition of a region into maximal
-// contiguous curve segments — the "clusters" of the paper's Figs. 3 and 5.
-// The result is sorted, disjoint and non-adjacent.
-//
-// The walk descends the refinement tree depth-first in curve order, emitting
-// whole spans as soon as a subcube is entirely inside the region; adjacent
-// spans are merged on the fly. Cost is proportional to the boundary of the
-// region, not its volume.
-func Clusters(c Curve, r Region) []Interval {
+// ClustersReference is the reference implementation of Clusters, built on
+// RefineStepReference; the oracle for the kernel equivalence tests and the
+// "before" side of the decomposition benchmarks.
+func ClustersReference(c Curve, r Region) []Interval {
 	if r.Empty() || len(r) != c.Dims() {
 		return nil
 	}
@@ -102,7 +131,7 @@ func Clusters(c Curve, r Region) []Interval {
 	}
 	var walk func(cl Cluster)
 	walk = func(cl Cluster) {
-		for _, ch := range RefineStep(c, cl, r) {
+		for _, ch := range RefineStepReference(c, cl, r) {
 			if ch.Complete || ch.Level == c.Bits() {
 				emit(ch.Span(c))
 				continue
@@ -116,42 +145,4 @@ func Clusters(c Curve, r Region) []Interval {
 	}
 	walk(root)
 	return acc
-}
-
-// CoarseClusters decomposes the region level by level, stopping before the
-// number of clusters would exceed maxClusters (or full resolution is
-// reached). The result is an over-approximation: every matching index is
-// covered, but covered spans may contain non-matching indices. This is how a
-// query initiator bounds the number of initial cluster messages (the exact
-// pruning then happens distributedly, on the peers that own the spans).
-//
-// maxClusters < 2^Dims is raised to 2^Dims so at least one refinement step
-// can complete. The returned clusters are sorted by span.
-func CoarseClusters(c Curve, r Region, maxClusters int) []Refined {
-	if r.Empty() || len(r) != c.Dims() {
-		return nil
-	}
-	if fan := 1 << c.Dims(); maxClusters < fan {
-		maxClusters = fan
-	}
-	frontier := []Refined{{Cluster: Cluster{}, Complete: r.coversCube(make([]uint64, c.Dims()), uint(c.Bits()))}}
-	for {
-		next := make([]Refined, 0, len(frontier)*2)
-		done := true
-		for _, cl := range frontier {
-			if cl.Complete || cl.Level == c.Bits() {
-				next = append(next, cl)
-				continue
-			}
-			done = false
-			next = append(next, RefineStep(c, cl.Cluster, r)...)
-		}
-		if len(next) > maxClusters {
-			return frontier
-		}
-		frontier = next
-		if done {
-			return frontier
-		}
-	}
 }

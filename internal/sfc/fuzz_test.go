@@ -70,3 +70,62 @@ func FuzzRefineStepSound(f *testing.F) {
 		_ = Clusters(h, r) // must not panic
 	})
 }
+
+// FuzzKernelEquivalence checks that the table-driven refinement kernel is
+// index-for-index identical to the Skilling reference for arbitrary
+// geometries, regions and clusters.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add(2, 32, uint64(100), uint64(1)<<30, uint64(7), uint64(90000), uint64(3), 2)
+	f.Add(3, 21, uint64(0), uint64(5), uint64(5), uint64(0), uint64(0), 0)
+	f.Add(6, 10, uint64(1), uint64(1000), uint64(2), uint64(900), uint64(12), 4)
+	f.Add(8, 8, uint64(17), uint64(200), uint64(40), uint64(41), uint64(5), 1)
+	f.Fuzz(func(t *testing.T, d, k int, lo1, hi1, lo2, hi2, prefix uint64, level int) {
+		if d < 1 {
+			d = -d
+		}
+		d = d%8 + 1 // 1..8: spans table-driven and fallback ranges
+		if k < 1 {
+			k = -k
+		}
+		k = k%16 + 1
+		if d*k > 64 {
+			k = 64 / d
+		}
+		h := MustHilbert(d, k)
+		mask := maxCoord(k)
+		if lo1&mask > hi1&mask {
+			lo1, hi1 = hi1, lo1
+		}
+		if lo2&mask > hi2&mask {
+			lo2, hi2 = hi2, lo2
+		}
+		dims := make([][]Interval, d)
+		for i := range dims {
+			if i%2 == 0 {
+				dims[i] = []Interval{{lo1 & mask, hi1 & mask}}
+			} else {
+				dims[i] = []Interval{{lo2 & mask, hi2 & mask}}
+			}
+		}
+		r := NewRegion(dims)
+		if level < 0 {
+			level = -level
+		}
+		level %= k + 1
+		if s := uint(d * level); s < 64 {
+			prefix &= uint64(1)<<s - 1
+		}
+		cl := Cluster{Prefix: prefix, Level: level}
+		var sc Scratch
+		got := RefineStepInto(nil, h, cl, r, &sc)
+		want := RefineStepReference(h, cl, r)
+		if len(got) != len(want) {
+			t.Fatalf("d=%d k=%d %v over %v: got %v want %v", d, k, cl, r, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("d=%d k=%d %v over %v: child %d: got %v want %v", d, k, cl, r, i, got[i], want[i])
+			}
+		}
+	})
+}

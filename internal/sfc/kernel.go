@@ -1,0 +1,145 @@
+package sfc
+
+import "sync"
+
+// This file implements the table-driven Hilbert refinement kernel.
+//
+// RefineStep and the cluster decompositions spend essentially all their
+// time recovering the subcube of each child cluster: the straightforward
+// implementation runs a full Skilling inverse transform — O(bits·dims) bit
+// operations — for every one of the 2^dims children at every level of the
+// refinement tree. But a Hilbert curve is self-similar: the order in which
+// a node's children are visited, and the orientation of the curve inside
+// each child, depend only on a bounded per-node "state" (a rotation/
+// reflection of the canonical first-level curve — Butz's transformation
+// matrices, Lawder's state diagrams). For a fixed geometry there are
+// finitely many states, so enumerating a node's children reduces to two
+// table lookups per child:
+//
+//	cell[state][digit] -> subcube position of that curve-order child
+//	next[state][digit] -> state governing the child's own subtree
+//
+// Rather than hard-coding a published state diagram (which would describe
+// some Hilbert variant, not necessarily Skilling's), the tables are
+// derived once per (dims, bits) geometry from the Skilling reference
+// transform itself: a tree node's state is identified with its
+// digit->cell map, and the state graph is discovered by BFS from the
+// root. This keeps the kernel index-for-index identical to the reference
+// oracle by construction; the equivalence is asserted exhaustively by the
+// property and fuzz tests in kernel_test.go.
+
+const (
+	// kernelMaxDims bounds the per-state table width (2^dims entries) and,
+	// more importantly, the one-time build cost: discovering a state costs
+	// 2^dims probe decodes, and up to dims*2^dims states exist, so build
+	// work grows like dims*4^dims. Geometries beyond the cap — far past
+	// Squid's 2-3 dimensional keyword spaces — fall back to the reference
+	// transform.
+	kernelMaxDims = 6
+	// kernelMaxStates aborts table construction if the state count ever
+	// escaped its d*2^d bound (it cannot for a self-similar curve; this is
+	// a safety valve, not a tuning knob).
+	kernelMaxStates = 1 << 13
+)
+
+// kernel holds the refinement state-transition tables of one geometry.
+// cell and next are indexed [state*fan + digit]; a cell value packs one
+// bit per dimension, dimension i at bit position dims-1-i (the same
+// packing interleave uses for index digits).
+type kernel struct {
+	dims, bits int
+	fan        int
+	cell       []uint16
+	next       []uint16
+}
+
+type geometry struct{ dims, bits int }
+
+// kernels caches built tables per geometry (value is *kernel, nil when
+// the geometry is out of table range). Curves are stateless values, so
+// the cache is global.
+var kernels sync.Map
+
+// hilbertKernel returns the transition tables for h, building and caching
+// them on first use; nil when the geometry is unsupported.
+func hilbertKernel(h Hilbert) *kernel {
+	g := geometry{h.dims, h.bits}
+	if v, ok := kernels.Load(g); ok {
+		k, _ := v.(*kernel)
+		return k
+	}
+	v, _ := kernels.LoadOrStore(g, buildKernel(h))
+	k, _ := v.(*kernel)
+	return k
+}
+
+// buildKernel derives the tables by breadth-first discovery of the state
+// graph, probing the Skilling transform for each state's signature.
+func buildKernel(h Hilbert) *kernel {
+	d, bits := h.dims, h.bits
+	if d > kernelMaxDims {
+		return nil
+	}
+	fan := 1 << d
+	k := &kernel{dims: d, bits: bits, fan: fan}
+	pt := make([]uint64, d)
+	// sigOf probes the digit->cell map of the tree node (prefix, level):
+	// byte g is the subcube position of curve-order child g, recovered by
+	// decoding the child's lowest index and keeping the one coordinate bit
+	// that distinguishes it within the parent subcube.
+	sigOf := func(prefix uint64, level int) string {
+		idxShift := uint(d * (bits - level - 1))
+		coordShift := uint(bits - level - 1)
+		sig := make([]byte, fan)
+		for g := 0; g < fan; g++ {
+			h.Decode((prefix<<d|uint64(g))<<idxShift, pt)
+			var z byte
+			for i := 0; i < d; i++ {
+				z |= byte((pt[i]>>coordShift)&1) << (d - 1 - i)
+			}
+			sig[g] = z
+		}
+		return string(sig)
+	}
+	type rep struct {
+		prefix uint64
+		level  int
+		state  int
+	}
+	ids := make(map[string]int)
+	var queue []rep
+	add := func(prefix uint64, level int, sig string) int {
+		if id, ok := ids[sig]; ok {
+			return id
+		}
+		id := len(ids)
+		ids[sig] = id
+		for g := 0; g < fan; g++ {
+			k.cell = append(k.cell, uint16(sig[g]))
+		}
+		k.next = append(k.next, make([]uint16, fan)...)
+		queue = append(queue, rep{prefix, level, id})
+		return id
+	}
+	add(0, 0, sigOf(0, 0))
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.level+2 > bits {
+			// The node's children are leaf cells, never refined further.
+			// BFS visits representatives in level order, so a state first
+			// seen this deep only ever occurs this deep: its next row is
+			// never consulted and may stay zero.
+			continue
+		}
+		for g := 0; g < fan; g++ {
+			child := n.prefix<<d | uint64(g)
+			id := add(child, n.level+1, sigOf(child, n.level+1))
+			if len(ids) > kernelMaxStates {
+				return nil
+			}
+			k.next[n.state*fan+g] = uint16(id)
+		}
+	}
+	return k
+}

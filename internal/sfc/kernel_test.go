@@ -1,0 +1,235 @@
+package sfc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// kernelGeometries spans the table-driven range (dims <= kernelMaxDims,
+// including the paper's production geometries 2x32 and 3x21) plus
+// fallback geometries past the cap.
+var kernelGeometries = []struct{ d, k int }{
+	{1, 8}, {1, 64}, {2, 5}, {2, 16}, {2, 32}, {3, 4}, {3, 21},
+	{4, 4}, {4, 16}, {5, 3}, {6, 2}, {6, 10}, {7, 2}, {8, 8},
+}
+
+// kernelRandomRegion builds a seeded region with up to two intervals per
+// dimension (occasionally unconstrained, occasionally a single point) —
+// the shapes keyword/partial/range queries produce. Unlike randomRegion
+// (region_test.go) it supports 64-bit coordinates.
+func kernelRandomRegion(rng *rand.Rand, d, k int) Region {
+	maxc := maxCoord(k)
+	dims := make([][]Interval, d)
+	for i := range dims {
+		switch rng.Intn(5) {
+		case 0: // unconstrained
+			dims[i] = []Interval{{0, maxc}}
+		case 1: // single point
+			p := rng.Uint64() & maxc
+			dims[i] = []Interval{{p, p}}
+		default:
+			n := 1 + rng.Intn(2)
+			for j := 0; j < n; j++ {
+				a, b := rng.Uint64()&maxc, rng.Uint64()&maxc
+				if a > b {
+					a, b = b, a
+				}
+				dims[i] = append(dims[i], Interval{a, b})
+			}
+		}
+	}
+	return NewRegion(dims)
+}
+
+// alignedRandomRegion quantizes interval endpoints to a coarse 2^g-cell
+// grid per dimension, with g*d capped so the exact decomposition stays
+// small: the reference Clusters walk visits every boundary cell of the
+// region, which for fine-grained regions in higher dimensions is
+// astronomically many.
+func alignedRandomRegion(rng *rand.Rand, d, k int) Region {
+	g := 12 / d
+	if g < 1 {
+		g = 1
+	}
+	if g > k {
+		g = k
+	}
+	shift := uint(k - g)
+	r := kernelRandomRegion(rng, d, k)
+	aligned := make([][]Interval, d)
+	for i, set := range r {
+		for _, iv := range set {
+			aligned[i] = append(aligned[i], Interval{
+				Lo: (iv.Lo >> shift) << shift,
+				Hi: (iv.Hi>>shift)<<shift | (uint64(1)<<shift - 1),
+			})
+		}
+	}
+	return NewRegion(aligned)
+}
+
+// coarseClustersReference mirrors CoarseClusters on top of the reference
+// refinement step.
+func coarseClustersReference(c Curve, r Region, maxClusters int) []Refined {
+	if r.Empty() || len(r) != c.Dims() {
+		return nil
+	}
+	if fan := 1 << c.Dims(); maxClusters < fan {
+		maxClusters = fan
+	}
+	frontier := []Refined{{Cluster: Cluster{}, Complete: r.coversCube(make([]uint64, c.Dims()), uint(c.Bits()))}}
+	for {
+		next := make([]Refined, 0, len(frontier)*2)
+		done := true
+		for _, cl := range frontier {
+			if cl.Complete || cl.Level == c.Bits() {
+				next = append(next, cl)
+				continue
+			}
+			done = false
+			next = append(next, RefineStepReference(c, cl.Cluster, r)...)
+		}
+		if len(next) > maxClusters {
+			return frontier
+		}
+		frontier = next
+		if done {
+			return frontier
+		}
+	}
+}
+
+// TestKernelMatchesReference asserts the table-driven refinement is
+// index-for-index identical to the Skilling reference over random regions
+// and clusters on every supported geometry, for both curve families.
+func TestKernelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, geo := range kernelGeometries {
+		curves := []Curve{MustHilbert(geo.d, geo.k), MustMorton(geo.d, geo.k)}
+		for _, c := range curves {
+			var sc Scratch
+			for trial := 0; trial < 40; trial++ {
+				ar := alignedRandomRegion(rng, geo.d, geo.k)
+				want := ClustersReference(c, ar)
+				got := ClustersInto(nil, c, ar, &sc)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s d=%d k=%d trial %d: Clusters mismatch\nregion %v\n got %v\nwant %v",
+						c.Name(), geo.d, geo.k, trial, ar, got, want)
+				}
+
+				r := kernelRandomRegion(rng, geo.d, geo.k)
+				level := rng.Intn(geo.k + 1)
+				prefix := rng.Uint64()
+				if s := uint(geo.d * level); s < 64 {
+					prefix &= uint64(1)<<s - 1
+				}
+				cl := Cluster{Prefix: prefix, Level: level}
+				wantR := RefineStepReference(c, cl, r)
+				gotR := RefineStepInto(nil, c, cl, r, &sc)
+				if !reflect.DeepEqual(gotR, wantR) {
+					t.Fatalf("%s d=%d k=%d trial %d: RefineStep(%v) mismatch\nregion %v\n got %v\nwant %v",
+						c.Name(), geo.d, geo.k, trial, cl, r, gotR, wantR)
+				}
+
+				maxClusters := 1 << uint(rng.Intn(10))
+				wantC := coarseClustersReference(c, r, maxClusters)
+				gotC := CoarseClustersInto(nil, c, r, maxClusters, &sc)
+				if !reflect.DeepEqual(gotC, wantC) {
+					t.Fatalf("%s d=%d k=%d trial %d: CoarseClusters(%d) mismatch\nregion %v\n got %v\nwant %v",
+						c.Name(), geo.d, geo.k, trial, maxClusters, r, gotC, wantC)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelFallbackGeometry checks the generic fallback path (dims past
+// the table cap) still matches the reference.
+func TestKernelFallbackGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := MustHilbert(10, 4) // dims > kernelMaxDims: no tables
+	if hilbertKernel(h) != nil {
+		t.Fatal("geometry unexpectedly has tables; fallback untested")
+	}
+	var sc Scratch
+	for trial := 0; trial < 10; trial++ {
+		r := alignedRandomRegion(rng, 10, 4)
+		want := ClustersReference(h, r)
+		got := ClustersInto(nil, h, r, &sc)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("fallback trial %d: mismatch\n got %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+// TestRefinementAllocFree pins the acceptance criterion: with warm scratch
+// and destination buffers, the refinement inner loop performs zero
+// allocations per operation.
+func TestRefinementAllocFree(t *testing.T) {
+	// Converted to the interface once, as the engine does (it holds the
+	// space's Curve): a concrete Hilbert at the call site would heap-box
+	// per call, because the generic-curve fallback path makes the
+	// parameter escape.
+	var h Curve = MustHilbert(3, 21)
+	// Endpoints aligned to a 2^17-cell grid: the exact decomposition of an
+	// unaligned region walks every boundary cell, which at 21 bits would be
+	// millions of nodes per ClustersInto call (and AllocsPerRun repeats it
+	// 100 times).
+	const q = uint64(1) << 17
+	r := NewRegion([][]Interval{
+		{{0, 8*q - 1}},
+		{{0, maxCoord(21)}},
+		{{q, 2*q - 1}, {4 * q, 10*q - 1}},
+	})
+	var sc Scratch
+	cl := Cluster{Prefix: 3, Level: 2}
+
+	refined := RefineStepInto(nil, h, cl, r, &sc) // warm buffers + kernel tables
+	if n := testing.AllocsPerRun(100, func() {
+		refined = RefineStepInto(refined[:0], h, cl, r, &sc)
+	}); n != 0 {
+		t.Errorf("RefineStepInto allocates %.1f/op, want 0", n)
+	}
+
+	spans := ClustersInto(nil, h, r, &sc)
+	if n := testing.AllocsPerRun(100, func() {
+		spans = ClustersInto(spans[:0], h, r, &sc)
+	}); n != 0 {
+		t.Errorf("ClustersInto allocates %.1f/op, want 0", n)
+	}
+
+	coarse := CoarseClustersInto(nil, h, r, 64, &sc)
+	if n := testing.AllocsPerRun(100, func() {
+		coarse = CoarseClustersInto(coarse[:0], h, r, 64, &sc)
+	}); n != 0 {
+		t.Errorf("CoarseClustersInto allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestClustersIntoAppendBase checks that ClustersInto never merges its
+// output with pre-existing entries of dst, even when spans are adjacent.
+func TestClustersIntoAppendBase(t *testing.T) {
+	h := MustHilbert(2, 4)
+	full := FullRegion(2, 4)
+	pre := []Interval{{200, 300}}
+	got := ClustersInto(pre, h, full, nil)
+	want := []Interval{{200, 300}, {0, 255}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Adjacent pre-existing tail must stay untouched too.
+	r := NewRegion([][]Interval{{{0, 0}}, {{0, 0}}})
+	spans := ClustersReference(h, r)
+	if len(spans) != 1 {
+		t.Fatalf("setup: %v", spans)
+	}
+	pre = []Interval{{0, spans[0].Lo - 1}}
+	if spans[0].Lo == 0 {
+		pre = []Interval{{5, 5}}
+	}
+	got = ClustersInto(pre, h, r, nil)
+	if len(got) != 2 {
+		t.Fatalf("merged across base: %v", got)
+	}
+}

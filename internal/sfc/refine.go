@@ -1,0 +1,306 @@
+package sfc
+
+// Allocation-free variants of the refinement entry points. The exported
+// RefineStep/Clusters/CoarseClusters wrappers in cluster.go delegate here;
+// hot callers (the query engine, the decomposition benchmarks) call the
+// ...Into forms directly with a reused destination slice and Scratch so
+// the refinement inner loop performs no allocation at all.
+
+// Scratch holds the reusable buffers of the ...Into refinement entry
+// points. The zero value is ready to use. A Scratch must not be shared by
+// concurrent callers; buffers grow to the largest geometry seen and are
+// retained across calls.
+type Scratch struct {
+	coords   []uint64 // bits+1 rows of dims cell coordinates
+	frontier []Refined
+	spill    []Refined
+	rf       refiner // cached refiner of the last standard curve seen
+	rfg      refiner // generic-curve refiner, rebuilt per call
+}
+
+// coordRows returns the coordinate arena: bits+1 rows of dims values, one
+// row per refinement level (row l holds the cell coordinates, l
+// significant bits each, of the tree node currently visited at level l).
+func (sc *Scratch) coordRows(dims, bits int) []uint64 {
+	n := (bits + 1) * dims
+	if cap(sc.coords) < n {
+		sc.coords = make([]uint64, n)
+	}
+	return sc.coords[:n]
+}
+
+// Refiner modes. The standard curves never store the Curve interface value
+// in the (heap-resident) Scratch — that would make the interface parameter
+// of every ...Into entry point escape, forcing callers that pass a concrete
+// Hilbert/Morton to heap-allocate the conversion on each call.
+const (
+	modeGeneric = iota // unknown Curve implementation: interface Decode per child
+	modeKernel         // table-driven Hilbert
+	modeHilbert        // Hilbert past the table range: concrete Decode per child
+	modeZorder         // Morton: cell == digit, stateless
+)
+
+// refiner enumerates the child subcubes of refinement-tree nodes for one
+// curve: through the transition tables when available, through a decode of
+// the child's lowest index otherwise.
+type refiner struct {
+	mode int
+	kern *kernel // modeKernel
+	hil  Hilbert // modeKernel, modeHilbert (cache key / fallback decoder)
+	c    Curve   // modeGeneric only
+
+	dims, bits int
+	fan        int
+}
+
+func (sc *Scratch) hilbertRefiner(h Hilbert) *refiner {
+	if (sc.rf.mode == modeKernel || sc.rf.mode == modeHilbert) && sc.rf.hil == h {
+		return &sc.rf
+	}
+	rf := refiner{mode: modeHilbert, hil: h, dims: h.dims, bits: h.bits, fan: 1 << h.dims}
+	if k := hilbertKernel(h); k != nil {
+		rf.mode = modeKernel
+		rf.kern = k
+	}
+	sc.rf = rf
+	return &sc.rf
+}
+
+func (sc *Scratch) mortonRefiner(m Morton) *refiner {
+	if sc.rf.mode == modeZorder && sc.rf.dims == m.dims && sc.rf.bits == m.bits {
+		return &sc.rf
+	}
+	sc.rf = refiner{mode: modeZorder, dims: m.dims, bits: m.bits, fan: 1 << m.dims}
+	return &sc.rf
+}
+
+// refinerSetup returns the refiner for c: sc's cached one for the standard
+// curves. Foreign Curve implementations get sc.rfg rebuilt on every call —
+// dynamic types need not be comparable, so the cache key test that would
+// make reuse safe is unavailable (and the rebuild is a struct store).
+func refinerSetup(c Curve, sc *Scratch) *refiner {
+	switch cv := c.(type) {
+	case Hilbert:
+		return sc.hilbertRefiner(cv)
+	case Morton:
+		return sc.mortonRefiner(cv)
+	}
+	sc.rfg = refiner{mode: modeGeneric, c: c, dims: c.Dims(), bits: c.Bits(), fan: 1 << c.Dims()}
+	return &sc.rfg
+}
+
+// stateAt fills coords with the cell coordinates of the tree node
+// (prefix, level) — level significant bits per dimension — and returns
+// the node's state: O(level) table lookups on the kernel path, one
+// reference decode otherwise.
+func (rf *refiner) stateAt(prefix uint64, level int, coords []uint64) int {
+	d := rf.dims
+	for i := 0; i < d; i++ {
+		coords[i] = 0
+	}
+	if level == 0 {
+		return 0
+	}
+	switch rf.mode {
+	case modeKernel:
+		state := 0
+		for j := 0; j < level; j++ {
+			g := int(prefix>>uint((level-1-j)*d)) & (rf.fan - 1)
+			z := rf.kern.cell[state*rf.fan+g]
+			for i := 0; i < d; i++ {
+				coords[i] = coords[i]<<1 | uint64(z>>uint(d-1-i))&1
+			}
+			state = int(rf.kern.next[state*rf.fan+g])
+		}
+		return state
+	case modeZorder:
+		for j := 0; j < level; j++ {
+			g := prefix >> uint((level-1-j)*d)
+			for i := 0; i < d; i++ {
+				coords[i] = coords[i]<<1 | (g>>uint(d-1-i))&1
+			}
+		}
+		return 0
+	case modeHilbert:
+		rf.hil.Decode(prefix<<uint(d*(rf.bits-level)), coords)
+	default:
+		rf.c.Decode(prefix<<uint(d*(rf.bits-level)), coords)
+	}
+	for i := 0; i < d; i++ {
+		coords[i] >>= uint(rf.bits - level)
+	}
+	return 0
+}
+
+// child fills cc with the cell coordinates of curve-order child g of the
+// node (prefix, level, state) whose own coordinates are pc, and returns
+// the child's state.
+func (rf *refiner) child(prefix uint64, level, state, g int, pc, cc []uint64) int {
+	d := rf.dims
+	switch rf.mode {
+	case modeKernel:
+		z := rf.kern.cell[state*rf.fan+g]
+		for i := 0; i < d; i++ {
+			cc[i] = pc[i]<<1 | uint64(z>>uint(d-1-i))&1
+		}
+		return int(rf.kern.next[state*rf.fan+g])
+	case modeZorder:
+		for i := 0; i < d; i++ {
+			cc[i] = pc[i]<<1 | uint64(g>>uint(d-1-i))&1
+		}
+		return 0
+	}
+	childLevel := level + 1
+	idx := (prefix<<uint(d) | uint64(g)) << uint(d*(rf.bits-childLevel))
+	if rf.mode == modeHilbert {
+		rf.hil.Decode(idx, cc)
+	} else {
+		rf.c.Decode(idx, cc)
+	}
+	for i := 0; i < d; i++ {
+		cc[i] >>= uint(rf.bits - childLevel)
+	}
+	return 0
+}
+
+// RefineStepInto is RefineStep appending into dst: children of cl whose
+// subcube intersects r, in curve order. With a reused dst and sc the call
+// allocates nothing. sc may be nil at the cost of a transient scratch.
+func RefineStepInto(dst []Refined, c Curve, cl Cluster, r Region, sc *Scratch) []Refined {
+	k := c.Bits()
+	if cl.Level >= k {
+		return dst
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	d := c.Dims()
+	rf := refinerSetup(c, sc)
+	rows := sc.coordRows(d, k)
+	pc := rows[:d]
+	cc := rows[d : 2*d]
+	state := rf.stateAt(cl.Prefix, cl.Level, pc)
+	childLevel := cl.Level + 1
+	coordShift := uint(k - childLevel)
+	for g := 0; g < rf.fan; g++ {
+		rf.child(cl.Prefix, cl.Level, state, g, pc, cc)
+		if !r.overlapsCube(cc, coordShift) {
+			continue
+		}
+		dst = append(dst, Refined{
+			Cluster:  Cluster{Prefix: cl.Prefix<<uint(d) | uint64(g), Level: childLevel},
+			Complete: r.coversCube(cc, coordShift),
+		})
+	}
+	return dst
+}
+
+// ClustersInto is Clusters appending into dst. The decomposition appended
+// by one call is sorted, disjoint and non-adjacent; pre-existing entries
+// of dst are never merged with. With a reused dst and sc the steady-state
+// walk allocates nothing.
+func ClustersInto(dst []Interval, c Curve, r Region, sc *Scratch) []Interval {
+	if r.Empty() || len(r) != c.Dims() {
+		return dst
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	d, k := c.Dims(), c.Bits()
+	rows := sc.coordRows(d, k)
+	root := rows[:d]
+	for i := range root {
+		root[i] = 0
+	}
+	if r.coversCube(root, uint(k)) {
+		return append(dst, spanOf(0, uint(d*k)))
+	}
+	w := clusterWalk{rf: refinerSetup(c, sc), r: r, rows: rows, d: d, k: k, base: len(dst)}
+	return w.walk(dst, 0, 0, 0)
+}
+
+// clusterWalk is the depth-first cluster decomposition: it descends the
+// refinement tree in curve order carrying (state, cell coordinates) down,
+// so each child costs two table lookups instead of a curve decode.
+type clusterWalk struct {
+	rf   *refiner
+	r    Region
+	rows []uint64
+	d, k int
+	base int // merge only above this dst index
+}
+
+func (w *clusterWalk) walk(dst []Interval, prefix uint64, level, state int) []Interval {
+	d := w.d
+	pc := w.rows[level*d : level*d+d]
+	cc := w.rows[(level+1)*d : (level+1)*d+d]
+	childLevel := level + 1
+	shift := uint(w.k - childLevel)
+	for g := 0; g < w.rf.fan; g++ {
+		cs := w.rf.child(prefix, level, state, g, pc, cc)
+		if !w.r.overlapsCube(cc, shift) {
+			continue
+		}
+		childPrefix := prefix<<uint(d) | uint64(g)
+		if childLevel == w.k || w.r.coversCube(cc, shift) {
+			dst = w.emit(dst, spanOf(childPrefix, uint(d)*shift))
+			continue
+		}
+		dst = w.walk(dst, childPrefix, childLevel, cs)
+	}
+	return dst
+}
+
+// emit appends iv, merging it with the previous span when adjacent (the
+// walk emits in increasing index order, so merging the tail suffices).
+func (w *clusterWalk) emit(dst []Interval, iv Interval) []Interval {
+	if n := len(dst); n > w.base && dst[n-1].Hi != ^uint64(0) && dst[n-1].Hi+1 == iv.Lo {
+		dst[n-1].Hi = iv.Hi
+		return dst
+	}
+	return append(dst, iv)
+}
+
+// CoarseClustersInto is CoarseClusters appending into dst, refining the
+// frontier level-synchronously in sc's double buffer until the next level
+// would exceed maxClusters.
+func CoarseClustersInto(dst []Refined, c Curve, r Region, maxClusters int, sc *Scratch) []Refined {
+	if r.Empty() || len(r) != c.Dims() {
+		return dst
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	d, k := c.Dims(), c.Bits()
+	if fan := 1 << d; maxClusters < fan {
+		maxClusters = fan
+	}
+	rows := sc.coordRows(d, k)
+	root := rows[:d]
+	for i := range root {
+		root[i] = 0
+	}
+	frontier := append(sc.frontier[:0], Refined{Cluster: Cluster{}, Complete: r.coversCube(root, uint(k))})
+	next := sc.spill[:0]
+	for {
+		next = next[:0]
+		done := true
+		for _, cl := range frontier {
+			if cl.Complete || cl.Level == k {
+				next = append(next, cl)
+				continue
+			}
+			done = false
+			next = RefineStepInto(next, c, cl.Cluster, r, sc)
+		}
+		if len(next) > maxClusters {
+			break
+		}
+		frontier, next = next, frontier
+		if done {
+			break
+		}
+	}
+	sc.frontier, sc.spill = frontier, next
+	return append(dst, frontier...)
+}

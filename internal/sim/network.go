@@ -256,9 +256,7 @@ func (nw *Network) Preload(elems []squid.Element) error {
 	for p, batch := range groups {
 		p, batch := p, batch
 		if err := p.Node.Invoke(func() {
-			for _, e := range batch {
-				_ = p.Engine.StoreDirect(e)
-			}
+			_ = p.Engine.StoreDirectBatch(batch)
 		}); err != nil {
 			return err
 		}
@@ -396,7 +394,7 @@ func (nw *Network) StabilizeAll(rounds int) {
 func (nw *Network) PushReplicasAll() {
 	for _, p := range nw.Peers {
 		p := p
-		p.Node.Invoke(p.Engine.PushReplicas)
+		p.Node.Invoke(func() { p.Engine.PushReplicas() })
 	}
 	nw.Quiesce()
 }

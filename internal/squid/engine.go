@@ -116,6 +116,19 @@ type Engine struct {
 	nextToken uint64
 	arcCache  []cachedArc
 	ctr       recoveryCounters
+
+	// Per-engine refinement scratch. Engine state is confined to the
+	// node's delivery goroutine, so the buffers are reused across queries:
+	// the refinement inner loop of processClusters and the coarse
+	// decomposition in Query allocate nothing in steady state.
+	scratch  sfc.Scratch
+	coarse   []sfc.Refined
+	frontier []sfc.Refined
+
+	// Delta-replication state: the keys mutated since the last push and
+	// the fingerprint of the replica set the last full push went to.
+	dirtyKeys      []uint64
+	lastReplicaSet string
 }
 
 // subtree tracks one node's in-flight piece of a query's refinement tree:
@@ -165,13 +178,18 @@ func NewEngine(space *keyspace.Space, opts Options) *Engine {
 	if opts.SubtreeTimeout > 0 && opts.SubtreeRetries <= 0 {
 		opts.SubtreeRetries = 3
 	}
-	return &Engine{
+	e := &Engine{
 		space:    space,
 		store:    NewStore(chord.Space{Bits: space.IndexBits()}),
 		replicas: NewStore(chord.Space{Bits: space.IndexBits()}),
 		opts:     opts,
 		children: make(map[uint64]*childCall),
 	}
+	if opts.Replicas > 0 {
+		// Replication pushes deltas: track which keys change between ticks.
+		e.store.TrackDirty()
+	}
+	return e
 }
 
 // Attach binds the engine to its ring node.
@@ -186,6 +204,10 @@ func (e *Engine) Space() *keyspace.Space { return e.space }
 // LocalStore exposes the node's local index fragment (for inspection and
 // oracle preloading by the simulator).
 func (e *Engine) LocalStore() *Store { return e.store }
+
+// ReplicaStore exposes the node's replica buffer (for inspection by tests
+// and the simulator's consistency checks).
+func (e *Engine) ReplicaStore() *Store { return e.replicas }
 
 // Publish routes a data element to the node owning its curve index.
 func (e *Engine) Publish(elem Element) error {
@@ -222,6 +244,22 @@ func (e *Engine) StoreDirect(elem Element) error {
 	return nil
 }
 
+// StoreDirectBatch bulk-loads elements into the local store bypassing
+// routing, through the store's sorted-merge path — seeding n elements
+// costs O(n log n) instead of the O(n²) of n StoreDirect calls.
+func (e *Engine) StoreDirectBatch(elems []Element) error {
+	items := make([]chord.Item, 0, len(elems))
+	for _, elem := range elems {
+		idx, err := e.space.Index(elem.Values)
+		if err != nil {
+			return err
+		}
+		items = append(items, chord.Item{Key: chord.ID(idx), Value: []Element{elem}})
+	}
+	e.store.AddBatch(items)
+	return nil
+}
+
 // Query resolves a flexible query and calls cb exactly once with the
 // complete result set (all matching elements in the system). It returns
 // the query's id for metrics correlation.
@@ -253,8 +291,8 @@ func (e *Engine) Query(q keyspace.Query, cb func(Result)) uint64 {
 	// Compute the first levels of the refinement tree locally, then act as
 	// the root of the distributed refinement: process locally rooted
 	// clusters here and dispatch the rest.
-	initial := sfc.CoarseClusters(e.space.Curve(), region, e.opts.InitialClusters)
-	matches, remote, local := e.processClusters(qid, initial, q, region)
+	e.coarse = sfc.CoarseClustersInto(e.coarse[:0], e.space.Curve(), region, e.opts.InitialClusters, &e.scratch)
+	matches, remote, local := e.processClusters(qid, e.coarse, q, region)
 	if local > 0 && e.opts.Sink != nil {
 		e.opts.Sink.Processed(qid, e.node.Self().ID, local, len(matches))
 	}
@@ -444,7 +482,9 @@ var debugScan func(node chord.ID, qid uint64, span sfc.Interval)
 // the run boundary keeps every key in exactly one scanned subtree.
 func (e *Engine) processClusters(qidDebug uint64, cls []sfc.Refined, q keyspace.Query, region sfc.Region) (matches []Element, remote []sfc.Refined, local int) {
 	curve := e.space.Curve()
-	var frontier []sfc.Refined
+	// The frontier is a per-engine stack (reused across queries; matches
+	// and remote escape to async dispatch, so they stay per-call).
+	frontier := e.frontier[:0]
 	for _, c := range cls {
 		if !e.node.Owns(chord.ID(c.Span(curve).Lo)) {
 			remote = append(remote, c)
@@ -477,8 +517,9 @@ func (e *Engine) processClusters(qidDebug uint64, cls []sfc.Refined, q keyspace.
 		}
 		// Starts inside the owned run but extends beyond it: refine (with
 		// region pruning) and reclassify the children.
-		frontier = append(frontier, sfc.RefineStep(curve, x.Cluster, region)...)
+		frontier = sfc.RefineStepInto(frontier, curve, x.Cluster, region, &e.scratch)
 	}
+	e.frontier = frontier[:0]
 	return matches, remote, local
 }
 
@@ -746,11 +787,7 @@ func (e *Engine) handleSubResult(m SubResultMsg) {
 func (e *Engine) HandoverOut(a, b chord.ID) []chord.Item {
 	items := e.store.HandoverOut(a, b)
 	if e.opts.Replicas > 0 {
-		for _, it := range items {
-			for _, elem := range it.Value.([]Element) {
-				e.replicas.AddUnique(uint64(it.Key), elem)
-			}
-		}
+		e.replicas.AddBatchUnique(items)
 	}
 	return items
 }

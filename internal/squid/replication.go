@@ -1,6 +1,8 @@
 package squid
 
 import (
+	"strings"
+
 	"squid/internal/chord"
 	"squid/internal/sfc"
 	"squid/internal/transport"
@@ -40,29 +42,80 @@ func (e *Engine) replicate(items []chord.Item) {
 	}
 }
 
-// PushReplicas re-replicates every locally owned item to the current
-// successors. Run it after bulk loads and periodically alongside
+// PushReplicas replicates to the current successors, pushing only the
+// delta — items whose keys changed since the last push. A full Snapshot
+// is pushed only when the replica set itself changed (successors joined,
+// failed or reordered), so steady-state ticks cost nothing when nothing
+// happened. It returns the number of items pushed and whether the push
+// was a full one. Run it after bulk loads and periodically alongside
 // stabilization so replica placement tracks ring changes.
-func (e *Engine) PushReplicas() {
-	e.replicate(e.store.Snapshot())
+func (e *Engine) PushReplicas() (items int, full bool) {
+	if e.opts.Replicas <= 0 {
+		return 0, false
+	}
+	if e.replicaSet() != e.lastReplicaSet {
+		return e.PushReplicasFull(), true
+	}
+	e.dirtyKeys = e.store.TakeDirty(e.dirtyKeys[:0])
+	if len(e.dirtyKeys) == 0 {
+		return 0, false
+	}
+	delta := e.store.SnapshotKeys(e.dirtyKeys)
+	e.replicate(delta)
+	return len(delta), false
+}
+
+// PushReplicasFull unconditionally re-replicates every locally owned item
+// to the current successors and records the replica set it went to.
+func (e *Engine) PushReplicasFull() int {
+	if e.opts.Replicas <= 0 {
+		return 0
+	}
+	// The full snapshot covers everything; pending dirty keys are hereby
+	// consumed too.
+	e.dirtyKeys = e.store.TakeDirty(e.dirtyKeys[:0])
+	snap := e.store.Snapshot()
+	e.replicate(snap)
+	e.lastReplicaSet = e.replicaSet()
+	return len(snap)
+}
+
+// replicaSet fingerprints the nodes a push would currently go to: the
+// first Replicas non-self live successors, in order. Order matters — it is
+// what replicate traverses — so any reordering triggers a full push.
+func (e *Engine) replicaSet() string {
+	var b strings.Builder
+	n := 0
+	for _, s := range e.node.SuccList() {
+		if s.Addr == e.node.Self().Addr {
+			continue
+		}
+		b.WriteString(string(s.Addr))
+		b.WriteByte(';')
+		n++
+		if n == e.opts.Replicas {
+			break
+		}
+	}
+	return b.String()
 }
 
 // handleReplica stores pushed copies, or promotes them straight into the
 // main store if this node already owns them (the pusher's view was stale).
 func (e *Engine) handleReplica(m ReplicaMsg) {
+	var owned, held []chord.Item
 	for _, it := range m.Items {
-		bucket, ok := it.Value.([]Element)
-		if !ok {
+		if _, ok := it.Value.([]Element); !ok {
 			continue
 		}
-		for _, elem := range bucket {
-			if e.node.Owns(it.Key) {
-				e.store.AddUnique(uint64(it.Key), elem)
-			} else {
-				e.replicas.AddUnique(uint64(it.Key), elem)
-			}
+		if e.node.Owns(it.Key) {
+			owned = append(owned, it)
+		} else {
+			held = append(held, it)
 		}
 	}
+	e.store.AddBatchUnique(owned)
+	e.replicas.AddBatchUnique(held)
 }
 
 // ArcChanged implements chord.ArcWatcher and keeps the primary/replica
@@ -85,11 +138,7 @@ func (e *Engine) ArcChanged(oldPred, newPred chord.NodeRef) {
 		return
 	}
 	// Demote: everything outside (newPred, self] stops being primary.
-	for _, it := range e.store.HandoverOut(e.node.Self().ID, newPred.ID) {
-		for _, elem := range it.Value.([]Element) {
-			e.replicas.AddUnique(uint64(it.Key), elem)
-		}
-	}
+	e.replicas.AddBatchUnique(e.store.HandoverOut(e.node.Self().ID, newPred.ID))
 	// Promote: replicas inside the (possibly grown) arc become primary.
 	if e.replicas.Keys() == 0 {
 		return
@@ -103,11 +152,7 @@ func (e *Engine) ArcChanged(oldPred, newPred chord.NodeRef) {
 	if len(promoted) == 0 {
 		return
 	}
-	for _, it := range promoted {
-		for _, elem := range it.Value.([]Element) {
-			e.store.AddUnique(uint64(it.Key), elem)
-		}
-	}
+	e.store.AddBatchUnique(promoted)
 	// Remove the promoted keys from the replica set and push fresh copies
 	// of the newly owned data onward so the replication degree recovers.
 	e.replicas.HandoverOut(newPred.ID, e.node.Self().ID)

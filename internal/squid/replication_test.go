@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"squid/internal/keyspace"
+	"squid/internal/sfc"
 	"squid/internal/sim"
 	"squid/internal/squid"
 )
@@ -151,6 +152,139 @@ func TestReplicationDoesNotDuplicateQueries(t *testing.T) {
 				t.Errorf("%s: duplicate %s", qs, m.Data)
 			}
 			seen[m.Data] = true
+		}
+	}
+}
+
+// pushAllCounting runs PushReplicas on every peer and aggregates how many
+// items were pushed and how many peers fell back to a full push.
+func pushAllCounting(nw *sim.Network) (items, fulls int) {
+	for _, p := range nw.Peers {
+		p := p
+		ch := make(chan [2]int, 1)
+		p.Node.Invoke(func() {
+			n, full := p.Engine.PushReplicas()
+			f := 0
+			if full {
+				f = 1
+			}
+			ch <- [2]int{n, f}
+		})
+		v := <-ch
+		items += v[0]
+		fulls += v[1]
+	}
+	nw.Quiesce()
+	return items, fulls
+}
+
+// replicaContents captures every peer's replica buffer as key/payload sets,
+// keyed by peer address.
+func replicaContents(nw *sim.Network) map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	for _, p := range nw.Peers {
+		p := p
+		set := make(map[string]bool)
+		done := make(chan struct{})
+		p.Node.Invoke(func() {
+			p.Engine.ReplicaStore().ScanSpan(sfc.Interval{Lo: 0, Hi: ^uint64(0)}, func(k uint64, e squid.Element) {
+				set[fmt.Sprintf("%d/%s", k, e.Data)] = true
+			})
+			close(done)
+		})
+		<-done
+		out[string(p.Addr())] = set
+	}
+	return out
+}
+
+// TestDeltaReplicationSteadyState pins the delta protocol's cost model: a
+// tick with no mutations and no ring changes pushes nothing (in particular
+// it does not snapshot the store), a publish costs one delta item at its
+// owner, and a ring change falls back to a full push.
+func TestDeltaReplicationSteadyState(t *testing.T) {
+	nw := buildReplicated(t, 20, 1000, 2)
+
+	// Steady state: nothing dirty, replica sets unchanged since the
+	// initial PushReplicasAll.
+	items, fulls := pushAllCounting(nw)
+	if items != 0 || fulls != 0 {
+		t.Fatalf("steady-state tick pushed %d items (%d full pushes), want 0/0", items, fulls)
+	}
+
+	// One publish dirties exactly one key at its owner.
+	if err := nw.Publish(0, squid.Element{Values: []string{"computer", "network"}, Data: "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	nw.Quiesce()
+	items, fulls = pushAllCounting(nw)
+	if items != 1 || fulls != 0 {
+		t.Fatalf("post-publish tick pushed %d items (%d full pushes), want 1 delta item", items, fulls)
+	}
+
+	// A ring change makes the affected peers push full snapshots again.
+	nw.KillPeer(len(nw.Peers) / 2)
+	nw.StabilizeAll(8)
+	if err := nw.VerifyConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	_, fulls = pushAllCounting(nw)
+	if fulls == 0 {
+		t.Fatal("no peer full-pushed after its successor list changed")
+	}
+	// And the tick after that is quiet again (promotions during healing may
+	// leave a few dirty keys behind; they drain in one delta tick).
+	pushAllCounting(nw)
+	items, fulls = pushAllCounting(nw)
+	if items != 0 || fulls != 0 {
+		t.Fatalf("post-heal steady tick pushed %d items (%d full pushes), want 0/0", items, fulls)
+	}
+}
+
+// TestDeltaReplicationConverges checks the delta protocol reaches the same
+// replica placement as full pushes: after churn rounds replicated with
+// deltas, forcing a full push on every peer changes nothing.
+func TestDeltaReplicationConverges(t *testing.T) {
+	nw := buildReplicated(t, 25, 1500, 2)
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 3; round++ {
+		nw.KillPeer(rng.Intn(len(nw.Peers)))
+		for i := 0; i < 5; i++ {
+			elem := squid.Element{
+				Values: []string{testVocab[rng.Intn(len(testVocab))], testVocab[rng.Intn(len(testVocab))]},
+				Data:   fmt.Sprintf("churn%d-%d", round, i),
+			}
+			if err := nw.Publish(0, elem); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nw.Quiesce()
+		nw.StabilizeAll(8)
+		nw.PushReplicasAll() // delta path with full fallback on set changes
+	}
+	if err := nw.VerifyConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	// Let any outstanding deltas drain, then compare against full pushes.
+	nw.PushReplicasAll()
+	before := replicaContents(nw)
+	for _, p := range nw.Peers {
+		p := p
+		p.Node.Invoke(func() { p.Engine.PushReplicasFull() })
+	}
+	nw.Quiesce()
+	after := replicaContents(nw)
+	for addr, want := range after {
+		got := before[addr]
+		for item := range want {
+			if !got[item] {
+				t.Errorf("peer %s: delta replication missed %s (full push added it)", addr, item)
+			}
+		}
+		for item := range got {
+			if !want[item] {
+				t.Errorf("peer %s: delta replication left stale %s", addr, item)
+			}
 		}
 	}
 }

@@ -23,11 +23,59 @@ type Store struct {
 	space  chord.Space
 	byKey  map[uint64][]Element
 	sorted []uint64 // keys in ascending order
+
+	// dirty accumulates keys mutated since the last TakeDirty, for delta
+	// replication pushes. nil unless TrackDirty was called: stores that are
+	// never replicated (replica buffers, Replicas=0 deployments) skip the
+	// bookkeeping entirely.
+	dirty map[uint64]struct{}
 }
 
 // NewStore returns an empty store over the given identifier space.
 func NewStore(space chord.Space) *Store {
 	return &Store{space: space, byKey: make(map[uint64][]Element)}
+}
+
+// TrackDirty enables dirty-key tracking. Mutations from this point on are
+// recorded and handed out by TakeDirty.
+func (s *Store) TrackDirty() {
+	if s.dirty == nil {
+		s.dirty = make(map[uint64]struct{})
+	}
+}
+
+func (s *Store) markDirty(key uint64) {
+	if s.dirty != nil {
+		s.dirty[key] = struct{}{}
+	}
+}
+
+// TakeDirty appends the tracked dirty keys to dst in ascending order and
+// clears the tracking set. Keys whose items were since removed entirely are
+// skipped (deletions are not delta-replicated; they age out on full pushes).
+func (s *Store) TakeDirty(dst []uint64) []uint64 {
+	base := len(dst)
+	for k := range s.dirty {
+		if _, ok := s.byKey[k]; ok {
+			dst = append(dst, k)
+		}
+		delete(s.dirty, k)
+	}
+	tail := dst[base:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return dst
+}
+
+// SnapshotKeys copies the stored items under exactly the given keys (the
+// delta counterpart of Snapshot). Keys with nothing stored are skipped.
+func (s *Store) SnapshotKeys(keys []uint64) []chord.Item {
+	out := make([]chord.Item, 0, len(keys))
+	for _, k := range keys {
+		if bucket, ok := s.byKey[k]; ok {
+			out = append(out, chord.Item{Key: chord.ID(k), Value: append([]Element(nil), bucket...)})
+		}
+	}
+	return out
 }
 
 // Add stores an element under its curve index. Multiple elements may share
@@ -41,6 +89,7 @@ func (s *Store) Add(key uint64, e Element) {
 		s.sorted[i] = key
 	}
 	s.byKey[key] = append(s.byKey[key], e)
+	s.markDirty(key)
 }
 
 // Keys returns the number of distinct keys stored — the paper's load
@@ -84,13 +133,82 @@ func (s *Store) Snapshot() []chord.Item {
 // payload) already exists under the key; reports whether it was added.
 // Replication uses it so repeated pushes and promotions never duplicate.
 func (s *Store) AddUnique(key uint64, e Element) bool {
-	for _, have := range s.byKey[key] {
-		if have.Data == e.Data && equalValues(have.Values, e.Values) {
-			return false
-		}
+	if s.contains(key, e) {
+		return false
 	}
 	s.Add(key, e)
 	return true
+}
+
+func (s *Store) contains(key uint64, e Element) bool {
+	for _, have := range s.byKey[key] {
+		if have.Data == e.Data && equalValues(have.Values, e.Values) {
+			return true
+		}
+	}
+	return false
+}
+
+// AddBatch bulk-loads items: elements are appended to their key buckets and
+// all fresh keys are merged into the sorted index in one pass, so loading n
+// items costs O(n log n + existing) instead of the O(n·existing) of n Add
+// calls. Non-element item values are skipped.
+func (s *Store) AddBatch(items []chord.Item) {
+	s.addBatch(items, false)
+}
+
+// AddBatchUnique is AddBatch with AddUnique's dedup semantics; it returns
+// how many elements were actually added.
+func (s *Store) AddBatchUnique(items []chord.Item) int {
+	return s.addBatch(items, true)
+}
+
+func (s *Store) addBatch(items []chord.Item, unique bool) int {
+	added := 0
+	var fresh []uint64
+	for _, it := range items {
+		bucket, ok := it.Value.([]Element)
+		if !ok {
+			continue
+		}
+		key := uint64(it.Key)
+		for _, e := range bucket {
+			if unique && s.contains(key, e) {
+				continue
+			}
+			if _, exists := s.byKey[key]; !exists {
+				fresh = append(fresh, key)
+			}
+			s.byKey[key] = append(s.byKey[key], e)
+			s.markDirty(key)
+			added++
+		}
+	}
+	if len(fresh) > 0 {
+		s.mergeSorted(fresh)
+	}
+	return added
+}
+
+// mergeSorted merges the fresh (unsorted, duplicate-free) keys into the
+// ascending key index.
+func (s *Store) mergeSorted(fresh []uint64) {
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+	old := s.sorted
+	merged := make([]uint64, 0, len(old)+len(fresh))
+	i, j := 0, 0
+	for i < len(old) && j < len(fresh) {
+		if old[i] <= fresh[j] {
+			merged = append(merged, old[i])
+			i++
+		} else {
+			merged = append(merged, fresh[j])
+			j++
+		}
+	}
+	merged = append(merged, old[i:]...)
+	merged = append(merged, fresh[j:]...)
+	s.sorted = merged
 }
 
 func equalValues(a, b []string) bool {
@@ -124,6 +242,7 @@ func (s *Store) Remove(key uint64, e Element) bool {
 			} else {
 				s.byKey[key] = bucket
 			}
+			s.markDirty(key)
 			return true
 		}
 	}
@@ -159,13 +278,5 @@ func (s *Store) HandoverOut(a, b chord.ID) []chord.Item {
 
 // HandoverIn ingests items transferred from another node.
 func (s *Store) HandoverIn(items []chord.Item) {
-	for _, it := range items {
-		bucket, ok := it.Value.([]Element)
-		if !ok {
-			continue
-		}
-		for _, e := range bucket {
-			s.Add(uint64(it.Key), e)
-		}
-	}
+	s.AddBatch(items)
 }

@@ -138,3 +138,104 @@ func TestStoreRemove(t *testing.T) {
 		t.Error("remove from absent key should fail")
 	}
 }
+
+func TestStoreAddBatchEquivalence(t *testing.T) {
+	seq := NewStore(chord.Space{Bits: 16})
+	bat := NewStore(chord.Space{Bits: 16})
+	elems := []struct {
+		key  uint64
+		data string
+	}{
+		{300, "a"}, {100, "b"}, {300, "c"}, {50, "d"}, {200, "e"},
+		{100, "f"}, {7, "g"}, {65535, "h"}, {0, "i"}, {200, "j"},
+	}
+	var items []chord.Item
+	for _, e := range elems {
+		seq.Add(e.key, Element{Data: e.data})
+		items = append(items, chord.Item{Key: chord.ID(e.key), Value: []Element{{Data: e.data}}})
+	}
+	// Half pre-loaded one by one, half batched: exercises merging fresh
+	// keys into an existing sorted index.
+	bat.Add(100, Element{Data: "b"})
+	bat.Add(50, Element{Data: "d"})
+	rest := make([]chord.Item, 0, len(items))
+	for _, it := range items {
+		if (uint64(it.Key) == 100 && it.Value.([]Element)[0].Data == "b") ||
+			(uint64(it.Key) == 50 && it.Value.([]Element)[0].Data == "d") {
+			continue
+		}
+		rest = append(rest, it)
+	}
+	bat.AddBatch(rest)
+
+	if seq.Keys() != bat.Keys() || seq.Elements() != bat.Elements() {
+		t.Fatalf("keys/elements: seq %d/%d, batch %d/%d", seq.Keys(), seq.Elements(), bat.Keys(), bat.Elements())
+	}
+	var sk, bk []uint64
+	seq.ScanSpan(sfc.Interval{Lo: 0, Hi: ^uint64(0)}, func(k uint64, e Element) { sk = append(sk, k) })
+	bat.ScanSpan(sfc.Interval{Lo: 0, Hi: ^uint64(0)}, func(k uint64, e Element) { bk = append(bk, k) })
+	if len(sk) != len(bk) {
+		t.Fatalf("scan lengths differ: %d vs %d", len(sk), len(bk))
+	}
+	for i := range sk {
+		if sk[i] != bk[i] {
+			t.Fatalf("scan order differs at %d: %d vs %d", i, sk[i], bk[i])
+		}
+	}
+}
+
+func TestStoreAddBatchUnique(t *testing.T) {
+	s := NewStore(chord.Space{Bits: 16})
+	s.Add(10, Element{Data: "x"})
+	items := []chord.Item{
+		{Key: 10, Value: []Element{{Data: "x"}, {Data: "y"}}}, // x dup, y new
+		{Key: 20, Value: []Element{{Data: "z"}, {Data: "z"}}}, // second z dup within batch
+		{Key: 30, Value: "not elements"},                      // skipped
+	}
+	if added := s.AddBatchUnique(items); added != 2 {
+		t.Fatalf("added = %d, want 2", added)
+	}
+	if s.Elements() != 3 || s.Keys() != 2 {
+		t.Fatalf("elements/keys = %d/%d, want 3/2", s.Elements(), s.Keys())
+	}
+	// Re-applying the same batch must be a no-op.
+	if added := s.AddBatchUnique(items); added != 0 {
+		t.Fatalf("re-add = %d, want 0", added)
+	}
+}
+
+func TestStoreDirtyTracking(t *testing.T) {
+	s := NewStore(chord.Space{Bits: 16})
+	s.Add(1, Element{Data: "before"}) // untracked: TrackDirty not yet on
+	s.TrackDirty()
+	if got := s.TakeDirty(nil); len(got) != 0 {
+		t.Fatalf("dirty before any tracked mutation: %v", got)
+	}
+	s.Add(300, Element{Data: "a"})
+	s.Add(100, Element{Data: "b"})
+	s.AddBatch([]chord.Item{{Key: 200, Value: []Element{{Data: "c"}}}})
+	got := s.TakeDirty(nil)
+	want := []uint64{100, 200, 300}
+	if len(got) != len(want) {
+		t.Fatalf("dirty = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dirty = %v, want %v (sorted)", got, want)
+		}
+	}
+	// Cleared after Take; removals of the whole key are not reported.
+	if got := s.TakeDirty(nil); len(got) != 0 {
+		t.Fatalf("dirty not cleared: %v", got)
+	}
+	s.Add(400, Element{Data: "d"})
+	s.Remove(400, Element{Data: "d"})
+	if got := s.TakeDirty(nil); len(got) != 0 {
+		t.Fatalf("fully removed key reported dirty: %v", got)
+	}
+	// SnapshotKeys copies exactly the asked-for keys.
+	snap := s.SnapshotKeys([]uint64{100, 999})
+	if len(snap) != 1 || uint64(snap[0].Key) != 100 {
+		t.Fatalf("SnapshotKeys = %v", snap)
+	}
+}

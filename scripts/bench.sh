@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Refresh the benchmark-regression snapshot: runs the hot-path
+# microbenchmarks and a Fig. 9 system measurement, writing BENCH_<id>.json
+# at the repo root. Usage:
+#
+#   scripts/bench.sh [id] [factor]
+#
+# id     snapshot number (default 1  -> BENCH_1.json)
+# factor fraction of the paper's scale for the system section (default 0.02)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+id="${1:-1}"
+factor="${2:-0.02}"
+go run ./cmd/squid-bench -bench-json "BENCH_${id}.json" -factor "$factor"
