@@ -265,4 +265,3 @@ func BenchmarkAblation_CurveChoice(b *testing.B) {
 		}
 	}
 }
-

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTreeIsLintClean is the regression net for every fix and annotation
+// squid-lint forced: the whole module must stay finding-free. It is the
+// same invocation CI's squid-lint gate runs.
+func TestTreeIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("squid-lint ./... exit %d\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"ringcmp", "scratchalias", "nondet", "rpcerr"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("-only nosuch exit %d, want 2", code)
+	}
+}
+
+// TestSingleAnalyzerOnCleanPackage exercises -only over one package — the
+// cheap smoke path.
+func TestSingleAnalyzerOnCleanPackage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "ringcmp", "./internal/stats"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, out.String(), errOut.String())
+	}
+}

@@ -31,13 +31,13 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:0", "address to listen on")
-		create    = flag.Bool("create", false, "create a new ring")
-		join      = flag.String("join", "", "address of a ring member to join through")
-		dims      = flag.Int("dims", 2, "keyword space dimensionality")
-		bits      = flag.Int("bits", 32, "bits per keyword dimension")
-		id        = flag.Uint64("id", 0, "node identifier (0: random)")
-		stabilize = flag.Duration("stabilize", 2*time.Second, "stabilization interval")
+		listen     = flag.String("listen", "127.0.0.1:0", "address to listen on")
+		create     = flag.Bool("create", false, "create a new ring")
+		join       = flag.String("join", "", "address of a ring member to join through")
+		dims       = flag.Int("dims", 2, "keyword space dimensionality")
+		bits       = flag.Int("bits", 32, "bits per keyword dimension")
+		id         = flag.Uint64("id", 0, "node identifier (0: random)")
+		stabilize  = flag.Duration("stabilize", 2*time.Second, "stabilization interval")
 		state      = flag.String("state", "", "path for persisted store state (loaded at start, saved on exit)")
 		replicas   = flag.Int("replicas", 0, "successor replicas kept per stored item")
 		rpcRetries = flag.Int("rpc-retries", 3, "retries per failed ring RPC (0: fail fast)")
@@ -81,7 +81,7 @@ func run(listen string, create bool, join string, dims, bits int, id uint64, sta
 	if err != nil {
 		return err
 	}
-	defer ep.Close()
+	defer func() { _ = ep.Close() }() // exit path: a failed detach has no consumer
 	node.Start(ep)
 
 	log.Printf("squid-node %x listening on %s (%d-D keyword space, %d-bit axes)",
@@ -116,14 +116,16 @@ func run(listen string, create bool, join string, dims, bits int, id uint64, sta
 		}
 		log.Printf("joined ring via %s", join)
 		if statePath != "" {
-			node.Invoke(func() {
+			if err := node.Invoke(func() {
 				if n := eng.ReconcileOwnership(); n > 0 {
 					log.Printf("re-routed %d restored items to their current owners", n)
 				}
 				if replicas > 0 {
 					eng.PushReplicas()
 				}
-			})
+			}); err != nil {
+				return fmt.Errorf("reconcile restored state: %w", err)
+			}
 		}
 	}
 
@@ -134,7 +136,7 @@ func run(listen string, create bool, join string, dims, bits int, id uint64, sta
 	for {
 		select {
 		case <-ticker.C:
-			node.Invoke(func() {
+			if err := node.Invoke(func() {
 				node.CheckPredecessor()
 				node.Stabilize()
 				node.FixFingers()
@@ -144,17 +146,22 @@ func run(listen string, create bool, join string, dims, bits int, id uint64, sta
 				if replicas > 0 {
 					eng.PushReplicas()
 				}
-			})
+			}); err != nil {
+				return fmt.Errorf("stabilize tick: endpoint lost: %w", err)
+			}
 		case s := <-sigc:
 			log.Printf("received %v: leaving ring", s)
 			if statePath != "" {
 				saveState(node, eng, statePath)
 			}
 			left := make(chan struct{})
-			node.Invoke(func() {
+			if err := node.Invoke(func() {
 				node.Leave()
 				close(left)
-			})
+			}); err != nil {
+				log.Printf("leave: endpoint already gone: %v", err)
+				close(left) // nothing to wait for; fall through to the timeout select
+			}
 			select {
 			case <-left:
 			case <-time.After(3 * time.Second):
@@ -174,7 +181,9 @@ func saveState(node *chord.Node, eng *squid.Engine, path string) {
 		return
 	}
 	done := make(chan error, 1)
-	node.Invoke(func() { done <- eng.SaveState(f) })
+	if ierr := node.Invoke(func() { done <- eng.SaveState(f) }); ierr != nil {
+		done <- ierr // endpoint gone: report it as the save outcome instead of deadlocking below
+	}
 	err = <-done
 	if cerr := f.Close(); err == nil {
 		err = cerr

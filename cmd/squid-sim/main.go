@@ -308,9 +308,11 @@ func (s *session) keywords(words []string) error {
 	}
 	p := s.nw.Peers[s.rng.Intn(len(s.nw.Peers))]
 	ch := make(chan squid.Result, 1)
-	p.Node.Invoke(func() {
+	if err := p.Node.Invoke(func() {
 		p.Engine.QueryKeywords(words, func(r squid.Result) { ch <- r })
-	})
+	}); err != nil {
+		return fmt.Errorf("query via dead peer %s: %w", p.Addr(), err)
+	}
 	res := <-ch
 	s.nw.Quiesce()
 	if res.Err != nil {

@@ -62,7 +62,7 @@ func run(node transport.Addr, timeout time.Duration, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer ep.Close()
+	defer func() { _ = ep.Close() }() // exit path: a failed detach has no consumer
 
 	switch args[0] {
 	case "publish":

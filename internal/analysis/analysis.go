@@ -1,0 +1,177 @@
+// Package analysis is a self-contained miniature of golang.org/x/tools'
+// go/analysis framework: an Analyzer inspects one type-checked package at a
+// time and reports Diagnostics. The toolchain here vendors nothing — the
+// loader in load.go type-checks from source with only the standard library,
+// so the suite builds in the same zero-dependency envelope as the rest of
+// Squid.
+//
+// Squid's correctness rests on invariants the compiler cannot see: ring
+// arithmetic must flow through the modular helpers of chord.Space, the
+// zero-alloc ...Into refinement APIs have an aliasing contract, the
+// simulation layer must draw all randomness and time from seeded sources,
+// and errors on the RPC path must never be dropped silently. The analyzers
+// in the subpackages (ringcmp, scratchalias, nodeterminism, rpcerr) make
+// those invariants executable; cmd/squid-lint runs them all.
+//
+// Deliberate exceptions are annotated in source with
+//
+//	//lint:allow-<analyzer> <reason>
+//
+// on the offending line or the line above it. The reason is mandatory —
+// a bare marker does not suppress the diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in the
+	// //lint:allow-<name> escape-comment convention.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects the package held by pass and reports findings via
+	// pass.Reportf. A non-nil error aborts the whole run (it signals a
+	// broken analyzer or loader, not a finding).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+
+	// allowLines caches, per file, the set of lines carrying a valid
+	// //lint:allow-<name> comment for this pass's analyzer.
+	allowLines map[*ast.File]map[int]bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos unless an escape comment
+// (//lint:allow-<analyzer> <reason>) covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowedAt reports whether the line holding pos — or the line directly
+// above it — carries //lint:allow-<analyzer> with a non-empty reason.
+func (p *Pass) allowedAt(pos token.Pos) bool {
+	file := p.fileAt(pos)
+	if file == nil {
+		return false
+	}
+	if p.allowLines == nil {
+		p.allowLines = make(map[*ast.File]map[int]bool)
+	}
+	lines, ok := p.allowLines[file]
+	if !ok {
+		lines = make(map[int]bool)
+		marker := "lint:allow-" + p.Analyzer.Name
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, marker) {
+					continue
+				}
+				reason := strings.TrimPrefix(text, marker)
+				if reason == "" || strings.TrimSpace(reason) == "" {
+					continue // a bare marker carries no rationale: not a valid escape
+				}
+				if reason[0] != ' ' && reason[0] != '\t' {
+					continue // e.g. lint:allow-ringcmpX — different marker
+				}
+				lines[p.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+		p.allowLines[file] = lines
+	}
+	line := p.Fset.Position(pos).Line
+	return lines[line] || lines[line-1]
+}
+
+// fileAt returns the *ast.File of the pass containing pos.
+func (p *Pass) fileAt(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Run applies each analyzer to each package and returns all findings
+// sorted by position. Analyzer errors (not findings) abort the run.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// PkgPathTail returns the last element of a package import path:
+// "squid/internal/chord" → "chord". Analyzers match packages by tail so
+// the same rules bind the real tree and the analysistest fixtures.
+func PkgPathTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,151 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"squid/internal/analysis"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func inspectReturns(f *ast.File, report func(token.Pos)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			report(ret.Pos())
+		}
+		return true
+	})
+}
+
+func newLoader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLoaderLoadsModulePackage(t *testing.T) {
+	l := newLoader(t)
+	if l.ModulePath != "squid" {
+		t.Fatalf("module path = %q, want squid", l.ModulePath)
+	}
+	pkg, err := l.Load("squid/internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types == nil || pkg.Types.Name() != "stats" {
+		t.Fatalf("loaded package %v, want stats", pkg.Types)
+	}
+	if pkg.Info == nil || len(pkg.Info.Defs) == 0 {
+		t.Fatal("no type info recorded")
+	}
+	// Memoized: the same *Package comes back.
+	again, err := l.Load("squid/internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pkg {
+		t.Fatal("Load is not memoized")
+	}
+}
+
+func TestExpandPatterns(t *testing.T) {
+	l := newLoader(t)
+	paths, err := l.ExpandPatterns([]string{"./internal/sfc", "squid/internal/chord"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"squid/internal/chord", "squid/internal/sfc"}
+	if len(paths) != 2 || paths[0] != want[0] || paths[1] != want[1] {
+		t.Fatalf("paths = %v, want %v", paths, want)
+	}
+
+	all, err := l.ExpandPatterns(nil) // defaults to ./...
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, p := range all {
+		seen[p] = true
+		if strings.Contains(p, "testdata") {
+			t.Fatalf("testdata package leaked into ./...: %s", p)
+		}
+	}
+	for _, must := range []string{"squid/internal/chord", "squid/internal/sfc", "squid/cmd/squid-lint"} {
+		if !seen[must] {
+			t.Fatalf("./... missed %s (got %d packages)", must, len(all))
+		}
+	}
+}
+
+func TestAllowComment(t *testing.T) {
+	// A one-off analyzer that flags every return statement; the fixture
+	// below suppresses one of two findings with an escape comment.
+	dir := t.TempDir()
+	src := `package fix
+
+func a() int {
+	//lint:allow-flagret constant result, checked by hand
+	return 1
+}
+
+func b() int {
+	return 2
+}
+
+func c() int {
+	//lint:allow-flagret
+	return 3
+}
+`
+	if err := writeFile(filepath.Join(dir, "fix.go"), src); err != nil {
+		t.Fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.ExtraDirs["fix"] = dir
+	pkg, err := l.Load("fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagret := &analysis.Analyzer{
+		Name: "flagret",
+		Doc:  "flags every return",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				inspectReturns(f, func(pos token.Pos) {
+					pass.Reportf(pos, "return flagged")
+				})
+			}
+			return nil
+		},
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{flagret}, []*analysis.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a() is suppressed with a reason; b() flagged; c()'s bare marker has
+	// no reason and must NOT suppress.
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics %v, want 2 (reasonless escape must not count)", len(diags), diags)
+	}
+}

@@ -1,0 +1,112 @@
+// Package nodeterminism forbids wall-clock and global-randomness calls in
+// the packages whose behaviour must replay bit-for-bit from a seed.
+//
+// The simulation substrate (internal/sim), the curve kernels
+// (internal/sfc) and the fault-injection layer (internal/transport's
+// faulty*.go files) are only reproducible if every random draw flows from
+// the seeded *rand.Rand they were configured with and no decision reads
+// the wall clock. time.Now/Since/After/Tick/NewTimer/NewTicker/AfterFunc
+// and the package-level math/rand convenience functions (which share one
+// global, unseeded source) are therefore banned there.
+//
+// Constructing seeded sources (rand.New, rand.NewSource) is always
+// allowed, as are methods on an explicit *rand.Rand value. Deliberate
+// wall-clock use carries //lint:allow-nondet <reason>.
+package nodeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"squid/internal/analysis"
+)
+
+// Analyzer is the nodeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondet",
+	Doc:  "forbids time.Now/timers and global math/rand in determinism-critical packages (sim, sfc, transport's faulty layer)",
+	Run:  run,
+}
+
+// criticalPkgs lists package-path tails that are determinism-critical in
+// their entirety.
+var criticalPkgs = map[string]bool{"sim": true, "sfc": true}
+
+// bannedTime are the time package functions that read or schedule against
+// the wall clock.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true, "Sleep": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// allowedRand are the package-level math/rand functions that construct
+// explicit sources rather than draw from the global one.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	tail := analysis.PkgPathTail(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		if !criticalFile(pass, tail, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are explicit sources
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] {
+					pass.Reportf(call.Pos(), "time.%s is wall-clock and breaks seeded replay; thread the virtual clock / deterministic scheduling instead", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					pass.Reportf(call.Pos(), "global %s.%s draws from an unseeded shared source; use the seeded *rand.Rand threaded through the config", analysis.PkgPathTail(fn.Pkg().Path()), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// criticalFile reports whether file is under the determinism contract:
+// every file of a critical package, and the faulty*.go files of a
+// transport package.
+func criticalFile(pass *analysis.Pass, pkgTail string, file *ast.File) bool {
+	if criticalPkgs[pkgTail] {
+		return true
+	}
+	if pkgTail != "transport" {
+		return false
+	}
+	name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+	return strings.HasPrefix(name, "faulty")
+}
+
+// calleeFunc resolves the static callee of a call, if it is a declared
+// function or method.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package nodeterminism_test
+
+import (
+	"testing"
+
+	"squid/internal/analysis/analysistest"
+	"squid/internal/analysis/nodeterminism"
+)
+
+func TestNoDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", nodeterminism.Analyzer, "sim", "transport", "other")
+}

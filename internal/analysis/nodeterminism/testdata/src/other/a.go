@@ -1,0 +1,6 @@
+package other
+
+import "time"
+
+// now is in a non-critical package: no diagnostic.
+func now() time.Time { return time.Now() }

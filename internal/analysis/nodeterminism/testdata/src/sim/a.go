@@ -1,0 +1,29 @@
+// Fixture: packages with tail "sim" are determinism-critical throughout.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock`
+}
+
+func globalRand() int {
+	return rand.Intn(16) // want `unseeded shared source`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(16)
+}
+
+func timer(d time.Duration, f func()) {
+	time.AfterFunc(d, f) // want `wall-clock`
+}
+
+func annotated() time.Time {
+	//lint:allow-nondet operator-facing timestamp, not simulation state
+	return time.Now()
+}

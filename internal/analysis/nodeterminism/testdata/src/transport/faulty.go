@@ -1,0 +1,9 @@
+// Fixture: in a transport package, only the faulty*.go files are under
+// the determinism contract.
+package transport
+
+import "time"
+
+func schedule(f func()) {
+	time.AfterFunc(time.Millisecond, f) // want `wall-clock`
+}

@@ -1,0 +1,7 @@
+package transport
+
+import "time"
+
+// stamp lives outside faulty*.go: the wall clock is fine here (real
+// transports need deadlines).
+func stamp() time.Time { return time.Now() }

@@ -1,0 +1,106 @@
+// Package ringcmp flags relational comparisons of ring identifiers.
+//
+// Chord identifiers live on a ring: "a < b" is meaningless across the wrap
+// point (the bug class wraparc_test.go exists to catch). Every ordering
+// decision must flow through the modular helpers — Space.Between,
+// Space.BetweenOpen, Space.Dist, Space.Add — which are themselves the only
+// allowlisted home for raw operator arithmetic (methods on the Space type
+// of the package defining the identifier type).
+//
+// Deliberate linear comparisons (e.g. sorting a snapshot for deterministic
+// iteration, with wrap-around handled explicitly) carry
+// //lint:allow-ringcmp <reason>.
+package ringcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"squid/internal/analysis"
+)
+
+// ringPkgs are the package-path tails whose identifier types are ring
+// coordinates; ringTypes are the type names within them.
+var (
+	ringPkgs  = map[string]bool{"chord": true, "keyspace": true}
+	ringTypes = map[string]bool{"ID": true}
+)
+
+// Analyzer is the ringcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ringcmp",
+	Doc:  "flags <, >, <=, >= on ring identifier types; ring order is modular, use Space.Between/BetweenOpen/Dist",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && isModularHelper(pass, fn) {
+				continue // the allowlisted arithmetic helpers themselves
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch be.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				default:
+					return true
+				}
+				t := ringOperand(pass, be.X)
+				if t == "" {
+					t = ringOperand(pass, be.Y)
+				}
+				if t != "" {
+					pass.Reportf(be.OpPos, "%q on ring identifier type %s ignores wrap-around; use Space.Between/BetweenOpen or compare Space.Dist values", be.Op, t)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// ringOperand returns the printed type of e when e's type is a ring
+// identifier, "" otherwise.
+func ringOperand(pass *analysis.Pass, e ast.Expr) string {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	if ringPkgs[analysis.PkgPathTail(obj.Pkg().Path())] && ringTypes[obj.Name()] {
+		return types.TypeString(named, nil)
+	}
+	return ""
+}
+
+// isModularHelper reports whether fn is a method on the Space type of the
+// package under analysis — the one place allowed to do raw identifier
+// arithmetic, because it implements the modular helpers everyone else must
+// call.
+func isModularHelper(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	if !ringPkgs[analysis.PkgPathTail(pass.Pkg.Path())] {
+		return false
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "Space"
+}

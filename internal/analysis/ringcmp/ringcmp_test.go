@@ -1,0 +1,12 @@
+package ringcmp_test
+
+import (
+	"testing"
+
+	"squid/internal/analysis/analysistest"
+	"squid/internal/analysis/ringcmp"
+)
+
+func TestRingCmp(t *testing.T) {
+	analysistest.Run(t, "testdata", ringcmp.Analyzer, "ringcmp", "chord")
+}

@@ -1,0 +1,17 @@
+// Fixture: inside a ring package, methods on Space are the allowlisted
+// modular-arithmetic helpers; free functions get no such exemption.
+package chord
+
+// ID is a ring identifier (fixture twin of the real chord.ID).
+type ID uint64
+
+// Space is the ring geometry.
+type Space struct{ Bits int }
+
+// Less may compare raw identifiers: Space methods implement the modular
+// helpers themselves.
+func (s Space) Less(a, b ID) bool { return a < b }
+
+func free(a, b ID) bool {
+	return a > b // want `ring identifier`
+}

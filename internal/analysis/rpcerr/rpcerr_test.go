@@ -1,0 +1,12 @@
+package rpcerr_test
+
+import (
+	"testing"
+
+	"squid/internal/analysis/analysistest"
+	"squid/internal/analysis/rpcerr"
+)
+
+func TestRPCErr(t *testing.T) {
+	analysistest.Run(t, "testdata", rpcerr.Analyzer, "rpcerr")
+}

@@ -1,0 +1,12 @@
+package scratchalias_test
+
+import (
+	"testing"
+
+	"squid/internal/analysis/analysistest"
+	"squid/internal/analysis/scratchalias"
+)
+
+func TestScratchAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", scratchalias.Analyzer, "scratchalias")
+}

@@ -436,7 +436,7 @@ func (n *Node) findOnce(target ID, trace uint64, cb func(FoundMsg, error)) {
 	pc := &pendingCall[FoundMsg]{cb: cb}
 	if n.cfg.RPCTimeout > 0 {
 		pc.timer = time.AfterFunc(n.cfg.RPCTimeout, func() {
-			n.Invoke(func() {
+			_ = n.Invoke(func() { // endpoint closed: the node is detached, its pending map dies with it
 				if _, ok := n.pendingFinds[tok]; ok {
 					delete(n.pendingFinds, tok)
 					cb(FoundMsg{}, ErrTimeout)
@@ -514,7 +514,7 @@ func (n *Node) stateOnce(peer transport.Addr, cb func(StateMsg, error)) {
 	pc := &pendingCall[StateMsg]{cb: cb}
 	if n.cfg.RPCTimeout > 0 {
 		pc.timer = time.AfterFunc(n.cfg.RPCTimeout, func() {
-			n.Invoke(func() {
+			_ = n.Invoke(func() { // endpoint closed: the node is detached, its pending map dies with it
 				if _, ok := n.pendingStates[tok]; ok {
 					delete(n.pendingStates, tok)
 					cb(StateMsg{}, ErrTimeout)

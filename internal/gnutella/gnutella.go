@@ -116,7 +116,7 @@ func (p *Peer) handleQuery(m queryMsg) {
 	p.mu.Unlock()
 
 	if len(local) > 0 {
-		p.ep.Send(m.Origin, resultMsg{QID: m.QID, Matches: local})
+		_ = p.ep.Send(m.Origin, resultMsg{QID: m.QID, Matches: local}) // origin may have left; flooding makes no delivery guarantee
 	}
 	if m.TTL <= 0 {
 		return

@@ -307,6 +307,7 @@ func BuildNetwork(bits, n int, seed int64) (*Network, error) {
 		node.Start(ep)
 		nw.peers = append(nw.peers, &peer{node: node, app: app})
 	}
+	//lint:allow-ringcmp canonical linear order of the bootstrap table; the wrap-around successor is index 0, taken below
 	sort.Slice(nw.peers, func(i, j int) bool { return nw.peers[i].node.Self().ID < nw.peers[j].node.Self().ID })
 	for i, p := range nw.peers {
 		pred := nw.peers[(i+len(nw.peers)-1)%len(nw.peers)].node.Self()
@@ -317,6 +318,7 @@ func BuildNetwork(bits, n int, seed int64) (*Network, error) {
 		fingers := make([]chord.NodeRef, bits)
 		for b := 0; b < bits; b++ {
 			target := space.Add(p.node.Self().ID, uint64(1)<<uint(b))
+			//lint:allow-ringcmp binary search over the sorted bootstrap table; wrap handled by the j == len reset below
 			j := sort.Search(len(nw.peers), func(j int) bool { return nw.peers[j].node.Self().ID >= target })
 			if j == len(nw.peers) {
 				j = 0
@@ -326,16 +328,27 @@ func BuildNetwork(bits, n int, seed int64) (*Network, error) {
 		p := p
 		pr, ss, fg := pred, succs, fingers
 		done := make(chan struct{})
-		p.node.Invoke(func() { p.node.InstallRing(pr, ss, fg); close(done) })
+		if err := p.node.Invoke(func() { p.node.InstallRing(pr, ss, fg); close(done) }); err != nil {
+			return nil, fmt.Errorf("invindex: bootstrap invoke: %w", err)
+		}
 		<-done
 	}
 	return nw, nil
 }
 
+// mustInvoke schedules fn on n's delivery goroutine. The baseline network
+// never detaches peers, so a refused Invoke is a harness bug; panicking
+// beats the silent channel-wait deadlock the dropped error would become.
+func mustInvoke(n *chord.Node, fn func()) {
+	if err := n.Invoke(fn); err != nil {
+		panic(fmt.Sprintf("invindex: Invoke on %x: %v", uint64(n.Self().ID), err))
+	}
+}
+
 // Publish indexes an element (k routed messages for k keywords).
 func (nw *Network) Publish(via int, e squid.Element) {
 	p := nw.peers[via%len(nw.peers)]
-	p.node.Invoke(func() { p.app.Publish(e, 0) })
+	mustInvoke(p.node, func() { p.app.Publish(e, 0) })
 }
 
 // QueryResult reports one conjunctive query's outcome and cost.
@@ -353,7 +366,7 @@ func (nw *Network) Query(via int, words []string) QueryResult {
 
 	p := nw.peers[via%len(nw.peers)]
 	ch := make(chan map[string][]squid.Element, 1)
-	p.node.Invoke(func() {
+	mustInvoke(p.node, func() {
 		p.app.Lookup(qid, words, func(m map[string][]squid.Element) { ch <- m })
 	})
 	byWord := <-ch

@@ -102,9 +102,11 @@ func SampledJoin(nw *sim.Network, samples int, randID func() chord.ID) (*sim.Pee
 		candidates[i] = randID()
 	}
 	ch := make(chan []CandidateLoad, 1)
-	member.Invoke(func() {
+	if err := member.Invoke(func() {
 		ProbeLoads(member, candidates, func(ls []CandidateLoad) { ch <- ls })
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("loadbalance: probe invoke: %w", err)
+	}
 	loads := <-ch
 	nw.Quiesce()
 	id, ok := ChooseBest(loads)
@@ -191,7 +193,7 @@ func medianKey(p *sim.Peer) (uint64, bool) {
 		k  uint64
 		ok bool
 	}, 1)
-	p.Node.Invoke(func() {
+	sim.MustInvoke(p, func() {
 		k, ok := p.Engine.LocalStore().MedianKey()
 		ch <- struct {
 			k  uint64

@@ -181,7 +181,22 @@ func (nw *Network) kill(addr transport.Addr) {
 	nw.Inproc.Kill(addr)
 }
 
+// MustInvoke schedules fn on p's delivery goroutine and panics if the
+// node's endpoint refuses the work. Driver helpers pair an Invoke with a
+// blocking channel read; a silently dropped Invoke error turns into a
+// deadlock (the hang class rpcerr exists to prevent), so in the
+// deterministic harness a refused Invoke — the driver addressing a dead
+// peer — fails loudly instead.
+func MustInvoke(p *Peer, fn func()) {
+	if err := p.Node.Invoke(fn); err != nil {
+		panic(fmt.Sprintf("sim: Invoke on dead peer %s: %v", p.Addr(), err))
+	}
+}
+
 func (nw *Network) sortPeers() {
+	// The ring is kept as a linearly sorted snapshot; successorPeer handles
+	// the wrap point by taking index 0 past the last peer.
+	//lint:allow-ringcmp canonical linear order of the snapshot table; wrap handled in successorPeer
 	sort.Slice(nw.Peers, func(i, j int) bool { return nw.Peers[i].ID() < nw.Peers[j].ID() })
 }
 
@@ -210,7 +225,7 @@ func (nw *Network) installRing() {
 		}
 		p := p
 		done := make(chan struct{})
-		p.Node.Invoke(func() {
+		MustInvoke(p, func() {
 			p.Node.InstallRing(pred, succs, fingers)
 			close(done)
 		})
@@ -220,6 +235,7 @@ func (nw *Network) installRing() {
 
 // successorPeer returns the live peer owning the given identifier.
 func (nw *Network) successorPeer(id chord.ID) *Peer {
+	//lint:allow-ringcmp binary search over the sorted snapshot; the wrap-around successor is index 0, taken below
 	i := sort.Search(len(nw.Peers), func(i int) bool { return nw.Peers[i].ID() >= id })
 	if i == len(nw.Peers) {
 		i = 0
@@ -281,7 +297,7 @@ func (nw *Network) Query(via int, q keyspace.Query) (squid.Result, QueryMetrics)
 	p := nw.Peers[via]
 	resCh := make(chan squid.Result, 1)
 	qidCh := make(chan uint64, 1)
-	p.Node.Invoke(func() {
+	MustInvoke(p, func() {
 		qidCh <- p.Engine.Query(q, func(r squid.Result) { resCh <- r })
 	})
 	qid := <-qidCh
@@ -297,7 +313,7 @@ func (nw *Network) BruteForceMatches(q keyspace.Query) []squid.Element {
 	for _, p := range nw.Peers {
 		p := p
 		done := make(chan []squid.Element, 1)
-		p.Node.Invoke(func() {
+		MustInvoke(p, func() {
 			var local []squid.Element
 			st := p.Engine.LocalStore()
 			st.ScanSpan(fullSpan(nw.Space.IndexBits()), func(_ uint64, e squid.Element) {
@@ -327,7 +343,7 @@ func (nw *Network) LoadVector() []int {
 	for i, p := range nw.Peers {
 		p := p
 		ch := make(chan int, 1)
-		p.Node.Invoke(func() { ch <- p.Engine.LocalStore().Keys() })
+		MustInvoke(p, func() { ch <- p.Engine.LocalStore().Keys() })
 		out[i] = <-ch
 	}
 	return out
@@ -342,7 +358,7 @@ func (nw *Network) AddPeer(id chord.ID) (*Peer, error) {
 	}
 	seed := nw.Peers[nw.rng.Intn(len(nw.Peers))]
 	errCh := make(chan error, 1)
-	p.Node.Invoke(func() { p.Node.Join(seed.Addr(), func(e error) { errCh <- e }) })
+	MustInvoke(p, func() { p.Node.Join(seed.Addr(), func(e error) { errCh <- e }) })
 	if err := <-errCh; err != nil {
 		nw.kill(p.Addr())
 		return nil, err
@@ -358,7 +374,7 @@ func (nw *Network) AddPeer(id chord.ID) (*Peer, error) {
 func (nw *Network) RemovePeer(i int) {
 	p := nw.Peers[i]
 	done := make(chan struct{})
-	p.Node.Invoke(func() { p.Node.Leave(); close(done) })
+	MustInvoke(p, func() { p.Node.Leave(); close(done) })
 	<-done
 	nw.Quiesce()
 	nw.kill(p.Addr())
@@ -379,7 +395,7 @@ func (nw *Network) StabilizeAll(rounds int) {
 	for r := 0; r < rounds; r++ {
 		for _, p := range nw.Peers {
 			p := p
-			p.Node.Invoke(func() {
+			MustInvoke(p, func() {
 				p.Node.CheckPredecessor()
 				p.Node.Stabilize()
 				p.Node.FixFingers()
@@ -394,7 +410,7 @@ func (nw *Network) StabilizeAll(rounds int) {
 func (nw *Network) PushReplicasAll() {
 	for _, p := range nw.Peers {
 		p := p
-		p.Node.Invoke(func() { p.Engine.PushReplicas() })
+		MustInvoke(p, func() { p.Engine.PushReplicas() })
 	}
 	nw.Quiesce()
 }
@@ -413,7 +429,7 @@ func (nw *Network) VerifyConsistent() error {
 	for i, p := range nw.Peers {
 		p := p
 		ch := make(chan snap, 1)
-		p.Node.Invoke(func() {
+		MustInvoke(p, func() {
 			var keys []uint64
 			p.Engine.LocalStore().ScanSpan(fullSpan(nw.Space.IndexBits()), func(k uint64, _ squid.Element) {
 				if len(keys) == 0 || keys[len(keys)-1] != k {

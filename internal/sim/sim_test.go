@@ -284,3 +284,31 @@ func TestInstalledFingersCorrect(t *testing.T) {
 		}
 	}
 }
+
+// Regression for the silent-Invoke-drop hang class (squid-lint rpcerr):
+// driver helpers pair Invoke with a blocking channel read, so an Invoke
+// refused by a dead endpoint must fail loudly instead of deadlocking.
+func TestMustInvokePanicsOnDeadPeer(t *testing.T) {
+	nw, err := Build(Config{Nodes: 3, Space: testSpace(t), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nw.Peers[0]
+	nw.kill(p.Addr())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInvoke on a killed peer did not panic")
+		}
+	}()
+	MustInvoke(p, func() {})
+}
+
+func TestMustInvokeRunsOnLivePeer(t *testing.T) {
+	nw, err := Build(Config{Nodes: 1, Space: testSpace(t), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	MustInvoke(nw.Peers[0], func() { close(done) })
+	<-done
+}

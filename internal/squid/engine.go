@@ -338,7 +338,7 @@ func (e *Engine) armChild(c *childCall) {
 	}
 	tok := c.token
 	c.timer = time.AfterFunc(e.opts.SubtreeTimeout, func() {
-		_ = e.node.Invoke(func() { e.childExpired(tok) })
+		_ = e.node.Invoke(func() { e.childExpired(tok) }) // node detached: no children left to expire
 	})
 }
 
@@ -403,7 +403,7 @@ func (e *Engine) startDeadline(st *subtree) {
 		return
 	}
 	st.deadline = time.AfterFunc(e.opts.QueryDeadline, func() {
-		_ = e.node.Invoke(func() { e.queryExpired(st) })
+		_ = e.node.Invoke(func() { e.queryExpired(st) }) // node detached: the query died with its node
 	})
 }
 

@@ -262,6 +262,7 @@ func (f *Faulty) send(ep Endpoint, to Addr, msg any) error {
 		f.dmu.Lock()
 		f.pending++
 		f.dmu.Unlock()
+		//lint:allow-nondet delay injection is wall-clock by design: every drop/delay decision is a seeded draw above, only the delivery timing rides the real clock
 		time.AfterFunc(d, func() {
 			f.delivered.Add(1)
 			_ = ep.Send(to, msg) // destination may have died meanwhile

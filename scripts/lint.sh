@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run the full static-analysis gate locally — the same checks CI requires:
+#
+#   scripts/lint.sh [packages ...]
+#
+# Packages default to ./... . Always runs go vet and the in-repo
+# squid-lint analyzer suite (see DESIGN.md §4e); staticcheck and
+# govulncheck run too when they are on PATH (CI installs them, local
+# machines may not have them).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+pkgs=("${@:-./...}")
+
+echo "== go vet ${pkgs[*]}"
+go vet "${pkgs[@]}"
+
+echo "== squid-lint ${pkgs[*]}"
+go run ./cmd/squid-lint "${pkgs[@]}"
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck ${pkgs[*]}"
+  staticcheck "${pkgs[@]}"
+else
+  echo "== staticcheck: not installed, skipping (CI runs it)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "== govulncheck ${pkgs[*]}"
+  govulncheck "${pkgs[@]}"
+else
+  echo "== govulncheck: not installed, skipping (CI runs it)"
+fi
+
+echo "lint: clean"
