@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint bench fuzz
+.PHONY: all build test race cover lint bench fuzz
 
 all: build test lint
 
@@ -12,6 +12,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Coverage profile + per-function summary; CI uploads cover.out as an
+# artifact from the cover job.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 # The full local static-analysis gate: go vet + the in-repo squid-lint
 # analyzer suite (+ staticcheck/govulncheck when installed). See

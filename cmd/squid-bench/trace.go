@@ -1,0 +1,81 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+	"squid/internal/transport"
+	"squid/internal/workload"
+)
+
+// runTraceDemo builds a traced simulated network, runs one flexible query
+// under message drops, and renders the reassembled refinement tree — the
+// EXPERIMENTS.md observability walkthrough.
+func runTraceDemo(nodes, keys int, drop float64) error {
+	space, err := keyspace.NewWordSpace(2, 32)
+	if err != nil {
+		return err
+	}
+	nw, err := sim.Build(sim.Config{
+		Nodes: nodes, Space: space, Seed: 1,
+		Engine: squid.Options{
+			SubtreeTimeout: 150 * time.Millisecond,
+			QueryDeadline:  10 * time.Second,
+		},
+		Chord:  chord.Config{RPCTimeout: 100 * time.Millisecond, RPCRetries: 4},
+		Faults: &transport.FaultConfig{Seed: 2, DropRate: drop},
+		Trace:  true,
+	})
+	if err != nil {
+		return err
+	}
+	vocab := workload.NewVocabulary(3, maxOf(200, keys/20), 1.2)
+	tuples := workload.KeyTuples(vocab, 4, keys, space.Dims())
+	if err := nw.Preload(workload.Elements(tuples)); err != nil {
+		return err
+	}
+
+	qs := "(" + vocab.Words[0][:3] + "*, *)"
+	q, err := keyspace.Parse(qs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traced query %s over %d nodes, %d keys, %.0f%% message drops\n\n",
+		qs, nodes, keys, drop*100)
+	res, qm := nw.Query(0, q)
+	if res.Err != nil && !errors.Is(res.Err, squid.ErrPartialResult) {
+		return res.Err
+	}
+
+	status := "complete"
+	if res.Err != nil {
+		status = "PARTIAL: " + res.Err.Error()
+	}
+	fmt.Printf("%d matches (%s)  processing=%d data=%d messages=%d redispatches=%d\n\n",
+		len(res.Matches), status, len(qm.ProcessingNodes), len(qm.DataNodes),
+		qm.Messages(), qm.Redispatches)
+
+	t, ok := nw.TraceForQuery(res.QID)
+	if !ok {
+		return fmt.Errorf("no trace recorded for query %d", res.QID)
+	}
+	t.Render(os.Stdout)
+
+	fs := nw.Faulty.Stats()
+	fmt.Printf("\ntransport: delivered=%d dropped=%d\n", fs.Delivered, fs.Dropped)
+	fmt.Println("full metric dump: start a node with 'squid-node -http' and run 'squidctl metrics'")
+	return nil
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

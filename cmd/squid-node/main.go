@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,80 +28,113 @@ import (
 	"squid/internal/chord"
 	"squid/internal/keyspace"
 	"squid/internal/squid"
+	"squid/internal/telemetry"
 	"squid/internal/transport"
 )
 
+// config carries every squid-node flag.
+type config struct {
+	listen     string
+	create     bool
+	join       string
+	dims, bits int
+	id         uint64
+	stabilize  time.Duration
+	statePath  string
+	replicas   int
+	rpcRetries int
+	rpcBackoff time.Duration
+	httpAddr   string
+}
+
 func main() {
-	var (
-		listen     = flag.String("listen", "127.0.0.1:0", "address to listen on")
-		create     = flag.Bool("create", false, "create a new ring")
-		join       = flag.String("join", "", "address of a ring member to join through")
-		dims       = flag.Int("dims", 2, "keyword space dimensionality")
-		bits       = flag.Int("bits", 32, "bits per keyword dimension")
-		id         = flag.Uint64("id", 0, "node identifier (0: random)")
-		stabilize  = flag.Duration("stabilize", 2*time.Second, "stabilization interval")
-		state      = flag.String("state", "", "path for persisted store state (loaded at start, saved on exit)")
-		replicas   = flag.Int("replicas", 0, "successor replicas kept per stored item")
-		rpcRetries = flag.Int("rpc-retries", 3, "retries per failed ring RPC (0: fail fast)")
-		rpcBackoff = flag.Duration("rpc-backoff", 100*time.Millisecond, "delay before the first RPC retry (doubles per retry, jittered)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:0", "address to listen on")
+	flag.BoolVar(&cfg.create, "create", false, "create a new ring")
+	flag.StringVar(&cfg.join, "join", "", "address of a ring member to join through")
+	flag.IntVar(&cfg.dims, "dims", 2, "keyword space dimensionality")
+	flag.IntVar(&cfg.bits, "bits", 32, "bits per keyword dimension")
+	flag.Uint64Var(&cfg.id, "id", 0, "node identifier (0: random)")
+	flag.DurationVar(&cfg.stabilize, "stabilize", 2*time.Second, "stabilization interval")
+	flag.StringVar(&cfg.statePath, "state", "", "path for persisted store state (loaded at start, saved on exit)")
+	flag.IntVar(&cfg.replicas, "replicas", 0, "successor replicas kept per stored item")
+	flag.IntVar(&cfg.rpcRetries, "rpc-retries", 3, "retries per failed ring RPC (0: fail fast)")
+	flag.DurationVar(&cfg.rpcBackoff, "rpc-backoff", 100*time.Millisecond, "delay before the first RPC retry (doubles per retry, jittered)")
+	flag.StringVar(&cfg.httpAddr, "http", "", "serve telemetry over HTTP on this address: /metrics, /traces, /trace?id=N (empty: disabled)")
 	flag.Parse()
-	if err := run(*listen, *create, *join, *dims, *bits, *id, *stabilize, *state, *replicas, *rpcRetries, *rpcBackoff); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatalf("squid-node: %v", err)
 	}
 }
 
-func run(listen string, create bool, join string, dims, bits int, id uint64, stabilizeEvery time.Duration, statePath string, replicas, rpcRetries int, rpcBackoff time.Duration) error {
-	if create == (join != "") {
+func run(cfg config) error {
+	if cfg.create == (cfg.join != "") {
 		return fmt.Errorf("pass exactly one of -create or -join")
 	}
-	space, err := keyspace.NewWordSpace(dims, bits)
+	space, err := keyspace.NewWordSpace(cfg.dims, cfg.bits)
 	if err != nil {
 		return err
 	}
 	ring := chord.Space{Bits: space.IndexBits()}
+	id := cfg.id
 	if id == 0 {
 		id = rand.New(rand.NewSource(time.Now().UnixNano())).Uint64() & ring.Mask()
 	}
 
+	reg := telemetry.NewRegistry(time.Now)
+	traces := telemetry.NewTraceStore(0)
 	eng := squid.NewEngine(space, squid.Options{
-		Replicas: replicas,
+		Replicas: cfg.replicas,
 		// Over a real network queries must degrade, not hang: lost subtrees
 		// are re-dispatched and eventually surfaced as partial results.
 		SubtreeTimeout: 5 * time.Second,
 		QueryDeadline:  60 * time.Second,
+		Telemetry:      reg,
+		Traces:         traces,
 	})
 	node := chord.NewNode(chord.Config{
 		Space:      ring,
 		RPCTimeout: 5 * time.Second,
-		RPCRetries: rpcRetries,
-		RPCBackoff: rpcBackoff,
+		RPCRetries: cfg.rpcRetries,
+		RPCBackoff: cfg.rpcBackoff,
+		Telemetry:  reg,
 	}, chord.ID(id), eng)
 	eng.Attach(node)
 
-	ep, err := transport.ListenTCP(listen, node)
+	ep, err := transport.ListenTCP(cfg.listen, node)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = ep.Close() }() // exit path: a failed detach has no consumer
+	ep.Instrument(reg)
 	node.Start(ep)
 
 	log.Printf("squid-node %x listening on %s (%d-D keyword space, %d-bit axes)",
-		uint64(node.Self().ID), ep.Addr(), dims, bits)
+		uint64(node.Self().ID), ep.Addr(), cfg.dims, cfg.bits)
 
-	if statePath != "" {
-		if f, err := os.Open(statePath); err == nil {
+	if cfg.httpAddr != "" {
+		ln, err := net.Listen("tcp", cfg.httpAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry listen %s: %w", cfg.httpAddr, err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, telemetry.NewHandler(reg, traces)) }()
+		log.Printf("telemetry HTTP on http://%s (/metrics, /traces, /trace?id=N)", ln.Addr())
+	}
+
+	if cfg.statePath != "" {
+		if f, err := os.Open(cfg.statePath); err == nil {
 			loadErr := eng.LoadState(f)
 			f.Close()
 			if loadErr != nil {
-				return fmt.Errorf("load state %s: %w", statePath, loadErr)
+				return fmt.Errorf("load state %s: %w", cfg.statePath, loadErr)
 			}
-			log.Printf("loaded persisted state from %s", statePath)
+			log.Printf("loaded persisted state from %s", cfg.statePath)
 		} else if !os.IsNotExist(err) {
 			return err
 		}
 	}
-	if create {
+	if cfg.create {
 		if err := node.Invoke(node.Create); err != nil {
 			return err
 		}
@@ -107,20 +142,20 @@ func run(listen string, create bool, join string, dims, bits int, id uint64, sta
 	} else {
 		done := make(chan error, 1)
 		if err := node.Invoke(func() {
-			node.Join(transport.Addr(join), func(err error) { done <- err })
+			node.Join(transport.Addr(cfg.join), func(err error) { done <- err })
 		}); err != nil {
 			return err
 		}
 		if err := <-done; err != nil {
-			return fmt.Errorf("join via %s: %w", join, err)
+			return fmt.Errorf("join via %s: %w", cfg.join, err)
 		}
-		log.Printf("joined ring via %s", join)
-		if statePath != "" {
+		log.Printf("joined ring via %s", cfg.join)
+		if cfg.statePath != "" {
 			if err := node.Invoke(func() {
 				if n := eng.ReconcileOwnership(); n > 0 {
 					log.Printf("re-routed %d restored items to their current owners", n)
 				}
-				if replicas > 0 {
+				if cfg.replicas > 0 {
 					eng.PushReplicas()
 				}
 			}); err != nil {
@@ -129,7 +164,7 @@ func run(listen string, create bool, join string, dims, bits int, id uint64, sta
 		}
 	}
 
-	ticker := time.NewTicker(stabilizeEvery)
+	ticker := time.NewTicker(cfg.stabilize)
 	defer ticker.Stop()
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -143,7 +178,7 @@ func run(listen string, create bool, join string, dims, bits int, id uint64, sta
 				// Re-push replicas every round so successor-list changes
 				// (joins, failures) restore the replication factor before
 				// the next fault can strike.
-				if replicas > 0 {
+				if cfg.replicas > 0 {
 					eng.PushReplicas()
 				}
 			}); err != nil {
@@ -151,8 +186,8 @@ func run(listen string, create bool, join string, dims, bits int, id uint64, sta
 			}
 		case s := <-sigc:
 			log.Printf("received %v: leaving ring", s)
-			if statePath != "" {
-				saveState(node, eng, statePath)
+			if cfg.statePath != "" {
+				saveState(node, eng, cfg.statePath)
 			}
 			left := make(chan struct{})
 			if err := node.Invoke(func() {

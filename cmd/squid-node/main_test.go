@@ -7,21 +7,35 @@ import (
 )
 
 func TestRunFlagValidation(t *testing.T) {
+	base := config{listen: "127.0.0.1:0", dims: 2, bits: 32, stabilize: time.Second}
+
 	// Neither -create nor -join.
-	if err := run("127.0.0.1:0", false, "", 2, 32, 0, time.Second, "", 0, 0, 0); err == nil {
+	if err := run(base); err == nil {
 		t.Error("missing create/join should fail")
 	}
 	// Both.
-	if err := run("127.0.0.1:0", true, "127.0.0.1:9", 2, 32, 0, time.Second, "", 0, 0, 0); err == nil {
+	both := base
+	both.create, both.join = true, "127.0.0.1:9"
+	if err := run(both); err == nil {
 		t.Error("create+join should fail")
 	}
 	// Bad geometry.
-	if err := run("127.0.0.1:0", true, "", 0, 32, 0, time.Second, "", 0, 0, 0); err == nil {
+	bad := base
+	bad.create, bad.dims = true, 0
+	if err := run(bad); err == nil {
 		t.Error("bad dims should fail")
 	}
 	// Unreachable seed fails the join.
-	if err := run("127.0.0.1:0", false, "127.0.0.1:1", 2, 32, 7, time.Second, "", 0, 0, 0); err == nil {
+	unreach := base
+	unreach.join, unreach.id = "127.0.0.1:1", 7
+	if err := run(unreach); err == nil {
 		t.Error("unreachable seed should fail")
+	}
+	// A bad telemetry address fails before serving starts.
+	badHTTP := base
+	badHTTP.create, badHTTP.httpAddr = true, "256.0.0.1:bad"
+	if err := run(badHTTP); err == nil {
+		t.Error("bad -http address should fail")
 	}
 	// A corrupt state file fails the load before serving starts.
 	f, err := os.CreateTemp(t.TempDir(), "state")
@@ -30,7 +44,9 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 	f.WriteString("not a gob stream")
 	f.Close()
-	if err := run("127.0.0.1:0", true, "", 2, 32, 7, time.Second, f.Name(), 0, 0, 0); err == nil {
+	corrupt := base
+	corrupt.create, corrupt.statePath, corrupt.id = true, f.Name(), 7
+	if err := run(corrupt); err == nil {
 		t.Error("corrupt state should fail")
 	}
 }

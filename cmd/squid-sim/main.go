@@ -26,6 +26,7 @@ import (
 	"squid/internal/sim"
 	"squid/internal/squid"
 	"squid/internal/stats"
+	"squid/internal/telemetry"
 	"squid/internal/transport"
 	"squid/internal/workload"
 )
@@ -47,6 +48,8 @@ const helpText = `commands:
   faults <drop-rate>            inject message loss (0..1; 0 heals)
   crash <i> | restart <i>       black-hole / revive peer i (state survives)
   stats                         fault, retry and recovery counters
+  trace [qid]                   render a query's refinement tree (default: last query)
+  metrics                       dump the telemetry registry (Prometheus text)
   help                          this text
   quit`
 
@@ -140,6 +143,10 @@ func (s *session) exec(line string) error {
 		return s.crash(args, false)
 	case "stats":
 		return s.stats()
+	case "trace":
+		return s.trace(args)
+	case "metrics":
+		return s.nw.Telemetry.WritePrometheus(os.Stdout)
 	}
 	return fmt.Errorf("unknown command %q (try 'help')", cmd)
 }
@@ -233,6 +240,7 @@ func (s *session) build(args []string) error {
 			RPCRetries: 4,
 		},
 		Faults: &transport.FaultConfig{Seed: s.rng.Int63()},
+		Trace:  true,
 	})
 	if err != nil {
 		return err
@@ -290,8 +298,8 @@ func (s *session) query(qs string) error {
 	if res.Err != nil && !errors.Is(res.Err, squid.ErrPartialResult) {
 		return res.Err
 	}
-	fmt.Printf("%d matches  routing=%d processing=%d data=%d messages=%d\n",
-		len(res.Matches), len(qm.RoutingNodes), len(qm.ProcessingNodes), len(qm.DataNodes), qm.Messages())
+	fmt.Printf("%d matches  routing=%d processing=%d data=%d messages=%d  (qid %d; 'trace' renders the tree)\n",
+		len(res.Matches), len(qm.RoutingNodes), len(qm.ProcessingNodes), len(qm.DataNodes), qm.Messages(), res.QID)
 	if qm.Redispatches > 0 || qm.Abandoned > 0 {
 		fmt.Printf("recovery: %d subtree re-dispatches, %d abandoned\n", qm.Redispatches, qm.Abandoned)
 	}
@@ -320,6 +328,27 @@ func (s *session) keywords(words []string) error {
 	}
 	fmt.Printf("%d matches\n", len(res.Matches))
 	printMatches(res.Matches)
+	return nil
+}
+
+func (s *session) trace(args []string) error {
+	var (
+		t  telemetry.Trace
+		ok bool
+	)
+	if len(args) > 0 {
+		qid, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("trace: bad query id %q", args[0])
+		}
+		t, ok = s.nw.Traces.Get(qid)
+	} else {
+		t, ok = s.nw.Traces.Last()
+	}
+	if !ok {
+		return fmt.Errorf("no trace recorded (run a query first)")
+	}
+	t.Render(os.Stdout)
 	return nil
 }
 

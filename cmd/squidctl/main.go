@@ -3,28 +3,41 @@
 //	squidctl -node 127.0.0.1:7001 publish -values "computer,network" -data report.pdf
 //	squidctl -node 127.0.0.1:7001 query "(comp*, *)"
 //	squidctl -node 127.0.0.1:7001 status
+//
+// Against a node started with -http, it also reads telemetry:
+//
+//	squidctl -http 127.0.0.1:8080 metrics
+//	squidctl -http 127.0.0.1:8080 trace          # list recorded traces
+//	squidctl -http 127.0.0.1:8080 trace 42       # render one query tree
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"squid/internal/chord"
 	"squid/internal/squid"
+	"squid/internal/telemetry"
 	"squid/internal/transport"
 )
 
 func main() {
 	var (
-		node    = flag.String("node", "127.0.0.1:7001", "address of any ring member")
-		timeout = flag.Duration("timeout", 10*time.Second, "reply timeout")
+		node     = flag.String("node", "127.0.0.1:7001", "address of any ring member")
+		httpAddr = flag.String("http", "127.0.0.1:8080", "telemetry HTTP address of a node started with -http")
+		timeout  = flag.Duration("timeout", 10*time.Second, "reply timeout")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: squidctl -node ADDR {publish -values a,b [-data NAME] | unpublish -values a,b [-data NAME] | query QUERY | status}\n")
+		fmt.Fprintf(os.Stderr, "       squidctl -http ADDR {metrics | trace [QID]}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -33,8 +46,93 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(transport.Addr(*node), *timeout, args); err != nil {
+	var err error
+	switch args[0] {
+	case "metrics", "trace":
+		err = runHTTP(*httpAddr, *timeout, args)
+	default:
+		err = run(transport.Addr(*node), *timeout, args)
+	}
+	if err != nil {
 		log.Fatalf("squidctl: %v", err)
+	}
+}
+
+// runHTTP serves the telemetry subcommands against a node's -http endpoint.
+func runHTTP(addr string, timeout time.Duration, args []string) error {
+	cl := &http.Client{Timeout: timeout}
+	get := func(path string) ([]byte, error) {
+		resp, err := cl.Get("http://" + addr + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+		}
+		return body, nil
+	}
+
+	switch args[0] {
+	case "metrics":
+		body, err := get("/metrics")
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(body)
+		return nil
+
+	case "trace":
+		if len(args) < 2 {
+			body, err := get("/traces")
+			if err != nil {
+				return err
+			}
+			var list []struct {
+				QID     uint64 `json:"qid"`
+				Partial bool   `json:"partial"`
+				Spans   int    `json:"spans"`
+				Matches int    `json:"matches"`
+				Nodes   int    `json:"nodes"`
+			}
+			if err := json.Unmarshal(body, &list); err != nil {
+				return fmt.Errorf("decode /traces: %w", err)
+			}
+			if len(list) == 0 {
+				fmt.Println("no traces recorded")
+				return nil
+			}
+			fmt.Printf("%-20s %8s %8s %8s %s\n", "QID", "SPANS", "NODES", "MATCHES", "STATUS")
+			for _, t := range list {
+				status := "complete"
+				if t.Partial {
+					status = "partial"
+				}
+				fmt.Printf("%-20d %8d %8d %8d %s\n", t.QID, t.Spans, t.Nodes, t.Matches, status)
+			}
+			return nil
+		}
+		qid, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("trace: bad query id %q", args[1])
+		}
+		body, err := get("/trace?id=" + strconv.FormatUint(qid, 10))
+		if err != nil {
+			return err
+		}
+		var t telemetry.Trace
+		if err := json.Unmarshal(body, &t); err != nil {
+			return fmt.Errorf("decode /trace: %w", err)
+		}
+		t.Render(os.Stdout)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown telemetry command %q", args[0])
 	}
 }
 
@@ -130,7 +228,7 @@ func run(node transport.Addr, timeout time.Duration, args []string) error {
 			if res.Err != "" {
 				return fmt.Errorf("query failed: %s", res.Err)
 			}
-			fmt.Printf("%d matches for %s\n", len(res.Matches), q)
+			fmt.Printf("%d matches for %s (query id %d)\n", len(res.Matches), q, res.QID)
 			for _, m := range res.Matches {
 				fmt.Printf("  %-24s %v\n", m.Data, m.Values)
 			}

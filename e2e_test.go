@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"syscall"
 	"testing"
@@ -64,11 +65,14 @@ func TestBinariesEndToEnd(t *testing.T) {
 		return cmd
 	}
 
+	httpAddr := freeAddr(t)
 	start("-listen", addrs[0], "-create", "-dims", "2", "-bits", "16", "-stabilize", "200ms")
 	waitListening(t, addrs[0])
 	start("-listen", addrs[1], "-join", addrs[0], "-dims", "2", "-bits", "16", "-stabilize", "200ms")
 	waitListening(t, addrs[1])
-	start("-listen", addrs[2], "-join", addrs[0], "-dims", "2", "-bits", "16", "-stabilize", "200ms")
+	// The third node serves telemetry; queries below run through it, so its
+	// trace store holds their reassembled query trees.
+	start("-listen", addrs[2], "-join", addrs[0], "-dims", "2", "-bits", "16", "-stabilize", "200ms", "-http", httpAddr)
 	waitListening(t, addrs[2])
 
 	ctl := func(args ...string) (string, error) {
@@ -108,6 +112,34 @@ func TestBinariesEndToEnd(t *testing.T) {
 		t.Errorf("query output missing docs:\n%s", lastOut)
 	}
 
+	// Telemetry over HTTP, consumed by squidctl: Prometheus metrics, the
+	// trace listing, and the rendered query tree of the query that just ran.
+	waitListening(t, httpAddr)
+	out, err := ctl("-http", httpAddr, "metrics")
+	if err != nil {
+		t.Fatalf("squidctl metrics: %v\n%s", err, out)
+	}
+	for _, want := range []string{"squid_engine_queries_total", "squid_transport_tcp_sent_total", "squid_chord_stabilize_rounds_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("squidctl metrics missing %s:\n%s", want, out)
+		}
+	}
+	qidMatch := regexp.MustCompile(`query id (\d+)`).FindStringSubmatch(lastOut)
+	if qidMatch == nil {
+		t.Fatalf("query output has no query id:\n%s", lastOut)
+	}
+	qid := qidMatch[1]
+	if out, err = ctl("-http", httpAddr, "trace"); err != nil {
+		t.Fatalf("squidctl trace: %v\n%s", err, out)
+	} else if !strings.Contains(out, qid) {
+		t.Errorf("trace listing missing query %s:\n%s", qid, out)
+	}
+	if out, err = ctl("-http", httpAddr, "trace", qid); err != nil {
+		t.Fatalf("squidctl trace %s: %v\n%s", qid, err, out)
+	} else if !strings.Contains(out, "query "+qid+": complete") || !strings.Contains(out, "root") {
+		t.Errorf("rendered trace malformed:\n%s", out)
+	}
+
 	// Unpublish through the CLI; the doc must disappear.
 	if out, err := ctl("-node", addrs[0], "unpublish", "-values", "computer,graphics", "-data", "gfxdoc"); err != nil {
 		t.Fatalf("unpublish: %v\n%s", err, out)
@@ -123,7 +155,7 @@ func TestBinariesEndToEnd(t *testing.T) {
 	}
 
 	// Status through the CLI.
-	out, err := ctl("-node", addrs[1], "status")
+	out, err = ctl("-node", addrs[1], "status")
 	if err != nil {
 		t.Fatalf("status: %v\n%s", err, out)
 	}

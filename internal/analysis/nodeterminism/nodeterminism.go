@@ -2,12 +2,15 @@
 // the packages whose behaviour must replay bit-for-bit from a seed.
 //
 // The simulation substrate (internal/sim), the curve kernels
-// (internal/sfc) and the fault-injection layer (internal/transport's
-// faulty*.go files) are only reproducible if every random draw flows from
-// the seeded *rand.Rand they were configured with and no decision reads
-// the wall clock. time.Now/Since/After/Tick/NewTimer/NewTicker/AfterFunc
-// and the package-level math/rand convenience functions (which share one
-// global, unseeded source) are therefore banned there.
+// (internal/sfc), the telemetry registry (internal/telemetry, whose
+// injectable clock is the whole point — reading the wall clock directly
+// would leak nondeterminism into every instrumented package) and the
+// fault-injection layer (internal/transport's faulty*.go files) are only
+// reproducible if every random draw flows from the seeded *rand.Rand they
+// were configured with and no decision reads the wall clock.
+// time.Now/Since/After/Tick/NewTimer/NewTicker/AfterFunc and the
+// package-level math/rand convenience functions (which share one global,
+// unseeded source) are therefore banned there.
 //
 // Constructing seeded sources (rand.New, rand.NewSource) is always
 // allowed, as are methods on an explicit *rand.Rand value. Deliberate
@@ -26,13 +29,13 @@ import (
 // Analyzer is the nodeterminism pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "nondet",
-	Doc:  "forbids time.Now/timers and global math/rand in determinism-critical packages (sim, sfc, transport's faulty layer)",
+	Doc:  "forbids time.Now/timers and global math/rand in determinism-critical packages (sim, sfc, telemetry, transport's faulty layer)",
 	Run:  run,
 }
 
 // criticalPkgs lists package-path tails that are determinism-critical in
 // their entirety.
-var criticalPkgs = map[string]bool{"sim": true, "sfc": true}
+var criticalPkgs = map[string]bool{"sim": true, "sfc": true, "telemetry": true}
 
 // bannedTime are the time package functions that read or schedule against
 // the wall clock.

@@ -1,0 +1,25 @@
+// Fixture: the telemetry registry is determinism-critical — its clock is
+// injected, so reading the wall clock directly would leak nondeterminism
+// into every instrumented package.
+package telemetry
+
+import "time"
+
+type registry struct {
+	clock func() time.Time
+}
+
+func (r *registry) now() time.Time {
+	if r.clock == nil {
+		return time.Time{}
+	}
+	return r.clock() // injected clock: allowed
+}
+
+func (r *registry) wallClock() time.Time {
+	return time.Now() // want `wall-clock`
+}
+
+func (r *registry) wallElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock`
+}

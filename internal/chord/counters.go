@@ -1,6 +1,10 @@
 package chord
 
-import "sync/atomic"
+import (
+	"strconv"
+
+	"squid/internal/telemetry"
+)
 
 // Counters is a snapshot of a node's cumulative fault-recovery counters.
 // They quantify recovery cost under churn: every retry is a failed RPC the
@@ -25,22 +29,55 @@ func (c *Counters) Add(o Counters) {
 	c.StateFailures += o.StateFailures
 }
 
-// counters is the node-internal atomic representation; atomics so any
-// goroutine (metric scrapers, the simulator) may snapshot without entering
-// the node's delivery goroutine.
-type counters struct {
-	findRetries   atomic.Uint64
-	stateRetries  atomic.Uint64
-	findFailures  atomic.Uint64
-	stateFailures atomic.Uint64
+// lookupHopBuckets bounds the lookup-hop histogram: a consistent ring
+// resolves in O(log N) hops, so small powers of two cover realistic rings
+// and the +Inf bucket catches churn detours.
+var lookupHopBuckets = []int64{1, 2, 4, 8, 16, 32, 64}
+
+// nodeMetrics holds this node's children of the shared telemetry families.
+// The instruments are atomic, so any goroutine (metric scrapers, the
+// simulator) may snapshot them without entering the delivery goroutine.
+type nodeMetrics struct {
+	findRetries     *telemetry.Counter
+	stateRetries    *telemetry.Counter
+	findFailures    *telemetry.Counter
+	stateFailures   *telemetry.Counter
+	lookupHops      *telemetry.Histogram
+	stabilizeRounds *telemetry.Counter
+	fingerFixes     *telemetry.Counter
+	routeForwards   *telemetry.Counter
+}
+
+// newNodeMetrics resolves the node's metric children once, so every
+// increment on the hot path is a single lock-free atomic op.
+func newNodeMetrics(reg *telemetry.Registry, id ID) nodeMetrics {
+	node := strconv.FormatUint(uint64(id), 16)
+	retries := reg.CounterVec("squid_chord_rpc_retries_total",
+		"ring RPC attempts beyond each call's first, by operation", "node", "op")
+	failures := reg.CounterVec("squid_chord_rpc_failures_total",
+		"ring RPCs that failed after all configured retries, by operation", "node", "op")
+	return nodeMetrics{
+		findRetries:   retries.With(node, "find"),
+		stateRetries:  retries.With(node, "state"),
+		findFailures:  failures.With(node, "find"),
+		stateFailures: failures.With(node, "state"),
+		lookupHops: reg.HistogramVec("squid_chord_lookup_hops",
+			"ring hops per resolved FindSuccessor lookup", lookupHopBuckets, "node").With(node),
+		stabilizeRounds: reg.CounterVec("squid_chord_stabilize_rounds_total",
+			"stabilization rounds that probed the successor", "node").With(node),
+		fingerFixes: reg.CounterVec("squid_chord_finger_fixes_total",
+			"periodic finger-table refresh probes issued", "node").With(node),
+		routeForwards: reg.CounterVec("squid_chord_route_forwards_total",
+			"routed messages forwarded one hop toward their key", "node").With(node),
+	}
 }
 
 // Counters snapshots the node's recovery counters. Safe from any goroutine.
 func (n *Node) Counters() Counters {
 	return Counters{
-		FindRetries:   n.ctr.findRetries.Load(),
-		StateRetries:  n.ctr.stateRetries.Load(),
-		FindFailures:  n.ctr.findFailures.Load(),
-		StateFailures: n.ctr.stateFailures.Load(),
+		FindRetries:   n.ctr.findRetries.Value(),
+		StateRetries:  n.ctr.stateRetries.Value(),
+		FindFailures:  n.ctr.findFailures.Value(),
+		StateFailures: n.ctr.stateFailures.Value(),
 	}
 }

@@ -185,6 +185,7 @@ func (n *Node) Stabilize() {
 	if succ.Addr == n.self.Addr {
 		return
 	}
+	n.ctr.stabilizeRounds.Inc()
 	n.getState(succ.Addr, func(st StateMsg, err error) {
 		if err != nil {
 			n.dropDead(succ)
@@ -220,6 +221,7 @@ func (n *Node) FixFingers() {
 	}
 	i := n.fixNext
 	n.fixNext = (n.fixNext + 1) % n.cfg.Space.Bits
+	n.ctr.fingerFixes.Inc()
 	target := n.cfg.Space.Add(n.self.ID, uint64(1)<<uint(i))
 	n.FindSuccessor(target, 0, func(m FoundMsg, err error) {
 		if err == nil && !m.Owner.IsZero() {

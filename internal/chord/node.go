@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"squid/internal/telemetry"
 	"squid/internal/transport"
 )
 
@@ -30,6 +31,11 @@ type Config struct {
 	// doubles it, with ±50% jitter drawn from a per-node deterministic
 	// source. Zero retries immediately.
 	RPCBackoff time.Duration
+	// Telemetry receives the node's metrics (RPC retries/failures, lookup
+	// hops, stabilization activity) as per-node labeled children. Nil gets
+	// a private clock-less registry, so instrumentation always has one code
+	// path and Node.Counters keeps working standalone.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -76,7 +82,7 @@ type Node struct {
 	// schedules are deterministic per node. Confined to the delivery
 	// goroutine like the rest of the mutable state.
 	rng *rand.Rand
-	ctr counters
+	ctr nodeMetrics
 
 	running bool
 }
@@ -92,14 +98,19 @@ func NewNode(cfg Config, id ID, app App) *Node {
 	if app == nil {
 		app = NopApp{}
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry(nil)
+	}
+	folded := cfg.Space.Fold(uint64(id))
 	return &Node{
 		cfg:           cfg,
-		self:          NodeRef{ID: cfg.Space.Fold(uint64(id))},
+		self:          NodeRef{ID: folded},
 		app:           app,
 		fingers:       make([]NodeRef, cfg.Space.Bits),
 		pendingFinds:  make(map[uint64]*pendingCall[FoundMsg]),
 		pendingStates: make(map[uint64]*pendingCall[StateMsg]),
 		rng:           rand.New(rand.NewSource(int64(uint64(id)) + 1)),
+		ctr:           newNodeMetrics(cfg.Telemetry, folded),
 	}
 }
 
@@ -363,6 +374,7 @@ func (n *Node) handleRoute(m RouteMsg) {
 		return // transient routing loop; drop rather than spin forever
 	}
 	m.Hops++
+	n.ctr.routeForwards.Inc()
 	n.forwardToward(m.Key, m)
 }
 
@@ -416,11 +428,11 @@ func (n *Node) findAttempt(target ID, trace uint64, attempt int, cb func(FoundMs
 			return
 		}
 		if attempt >= n.cfg.RPCRetries || !retryable(err) {
-			n.ctr.findFailures.Add(1)
+			n.ctr.findFailures.Inc()
 			cb(m, err)
 			return
 		}
-		n.ctr.findRetries.Add(1)
+		n.ctr.findRetries.Inc()
 		n.retryAfter(attempt, func() { n.findAttempt(target, trace, attempt+1, cb) })
 	})
 }
@@ -483,6 +495,7 @@ func (n *Node) handleFound(m FoundMsg) {
 		pc.cb(m, ErrLookupFailed)
 		return
 	}
+	n.ctr.lookupHops.Observe(int64(m.Hops))
 	pc.cb(m, nil)
 }
 
@@ -499,11 +512,11 @@ func (n *Node) stateAttempt(peer transport.Addr, attempt int, cb func(StateMsg, 
 			return
 		}
 		if attempt >= n.cfg.RPCRetries || !retryable(err) {
-			n.ctr.stateFailures.Add(1)
+			n.ctr.stateFailures.Inc()
 			cb(m, err)
 			return
 		}
-		n.ctr.stateRetries.Add(1)
+		n.ctr.stateRetries.Inc()
 		n.retryAfter(attempt, func() { n.stateAttempt(peer, attempt+1, cb) })
 	})
 }

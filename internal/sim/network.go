@@ -13,6 +13,7 @@ import (
 	"squid/internal/keyspace"
 	"squid/internal/sfc"
 	"squid/internal/squid"
+	"squid/internal/telemetry"
 	"squid/internal/transport"
 )
 
@@ -37,6 +38,9 @@ type Config struct {
 	// deterministic fault-injecting layer (drops, delays, partitions,
 	// crashes) exposed as Network.Faulty.
 	Faults *transport.FaultConfig
+	// Trace enables distributed query tracing: every Query records its
+	// reassembled refinement-tree spans in Network.Traces.
+	Trace bool
 }
 
 // Peer is one simulated participant.
@@ -59,6 +63,12 @@ type Network struct {
 	Faulty  *transport.Faulty
 	Space   *keyspace.Space
 	Metrics *Metrics
+	// Telemetry aggregates every peer's and transport layer's instruments.
+	// It runs clock-less (timestamps read as zero) so simulated runs stay
+	// deterministic.
+	Telemetry *telemetry.Registry
+	// Traces holds reassembled query traces; nil unless Config.Trace was set.
+	Traces *telemetry.TraceStore
 	// Peers is sorted by ring identifier.
 	Peers []*Peer
 
@@ -77,17 +87,7 @@ func Build(cfg Config) (*Network, error) {
 	if cfg.Space == nil {
 		return nil, fmt.Errorf("sim: nil keyword space")
 	}
-	nw := &Network{
-		cfg:     cfg,
-		Inproc:  transport.NewInproc(),
-		Space:   cfg.Space,
-		Metrics: NewMetrics(),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-	}
-	nw.Inproc.SetObserver(nw.Metrics.Observe)
-	if cfg.Faults != nil {
-		nw.Faulty = transport.NewFaulty(nw.Inproc, *cfg.Faults)
-	}
+	nw := newNetwork(cfg)
 
 	space := chord.Space{Bits: cfg.Space.IndexBits()}
 	ids := nw.uniqueIDs(cfg.Nodes, space)
@@ -108,17 +108,7 @@ func BuildWithIDs(cfg Config, ids []uint64) (*Network, error) {
 	if cfg.Space == nil {
 		return nil, fmt.Errorf("sim: nil keyword space")
 	}
-	nw := &Network{
-		cfg:     cfg,
-		Inproc:  transport.NewInproc(),
-		Space:   cfg.Space,
-		Metrics: NewMetrics(),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-	}
-	nw.Inproc.SetObserver(nw.Metrics.Observe)
-	if cfg.Faults != nil {
-		nw.Faulty = transport.NewFaulty(nw.Inproc, *cfg.Faults)
-	}
+	nw := newNetwork(cfg)
 	for _, id := range ids {
 		p, err := nw.newPeer(chord.ID(id))
 		if err != nil {
@@ -129,6 +119,29 @@ func BuildWithIDs(cfg Config, ids []uint64) (*Network, error) {
 	nw.sortPeers()
 	nw.installRing()
 	return nw, nil
+}
+
+// newNetwork builds the transport stack, metrics collector, and telemetry
+// shared by Build and BuildWithIDs.
+func newNetwork(cfg Config) *Network {
+	nw := &Network{
+		cfg:       cfg,
+		Inproc:    transport.NewInproc(),
+		Space:     cfg.Space,
+		Metrics:   NewMetrics(),
+		Telemetry: telemetry.NewRegistry(nil),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+	nw.Inproc.SetObserver(nw.Metrics.Observe)
+	nw.Inproc.Instrument(nw.Telemetry)
+	if cfg.Faults != nil {
+		nw.Faulty = transport.NewFaulty(nw.Inproc, *cfg.Faults)
+		nw.Faulty.Instrument(nw.Telemetry)
+	}
+	if cfg.Trace {
+		nw.Traces = telemetry.NewTraceStore(0)
+	}
+	return nw
 }
 
 func (nw *Network) uniqueIDs(n int, space chord.Space) []uint64 {
@@ -147,10 +160,13 @@ func (nw *Network) uniqueIDs(n int, space chord.Space) []uint64 {
 func (nw *Network) newPeer(id chord.ID) (*Peer, error) {
 	opts := nw.cfg.Engine
 	opts.Sink = nw.Metrics
+	opts.Telemetry = nw.Telemetry
+	opts.Traces = nw.Traces
 	eng := squid.NewEngine(nw.Space, opts)
 	ccfg := nw.cfg.Chord
 	ccfg.Space = chord.Space{Bits: nw.Space.IndexBits()}
 	ccfg.SuccListLen = nw.cfg.SuccListLen
+	ccfg.Telemetry = nw.Telemetry
 	node := chord.NewNode(ccfg, id, eng)
 	eng.Attach(node)
 	addr := transport.Addr(fmt.Sprintf("p%d", nw.nextIdx))
@@ -475,6 +491,16 @@ func (nw *Network) ChordCounters() chord.Counters {
 		out.Add(p.Node.Counters())
 	}
 	return out
+}
+
+// TraceForQuery returns a query's reassembled refinement-tree trace.
+// Requires Config.Trace; the trace is complete once Query has returned
+// (result delivery happens-after the root records the trace).
+func (nw *Network) TraceForQuery(qid uint64) (telemetry.Trace, bool) {
+	if nw.Traces == nil {
+		return telemetry.Trace{}, false
+	}
+	return nw.Traces.Get(qid)
 }
 
 // RecoveryCounters sums every live peer's query-recovery counters — the

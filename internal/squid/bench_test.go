@@ -11,12 +11,16 @@ import (
 )
 
 func benchNetwork(b *testing.B, nodes, elems int) *sim.Network {
+	return buildBenchNetwork(b, nodes, elems, false)
+}
+
+func buildBenchNetwork(b *testing.B, nodes, elems int, traced bool) *sim.Network {
 	b.Helper()
 	space, err := keyspace.NewWordSpace(2, 32)
 	if err != nil {
 		b.Fatal(err)
 	}
-	nw, err := sim.Build(sim.Config{Nodes: nodes, Space: space, Seed: 42})
+	nw, err := sim.Build(sim.Config{Nodes: nodes, Space: space, Seed: 42, Trace: traced})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -80,6 +84,37 @@ func BenchmarkPrefixQuery(b *testing.B) {
 			b.Fatal(res.Err)
 		}
 	}
+}
+
+// benchEngineQuery is the shared body of the telemetry cost guard: the
+// same prefix query as BenchmarkPrefixQuery (distributed refinement,
+// aggregation, result collection).
+func benchEngineQuery(b *testing.B, nw *sim.Network) {
+	q := keyspace.MustParse("(comp*, *)")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := nw.Query(i%len(nw.Peers), q)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkEngineQuery_Uninstrumented is the baseline for the telemetry
+// cost guard: metric counters are wired (they always are) but query
+// tracing is off, so no spans are recorded or shipped.
+func BenchmarkEngineQuery_Uninstrumented(b *testing.B) {
+	benchEngineQuery(b, buildBenchNetwork(b, 100, 10_000, false))
+}
+
+// BenchmarkEngineQuery_Instrumented runs the same query with tracing on:
+// every refinement hop records a span and ships it up the result path.
+// EXPERIMENTS.md records the delta. The <5% budget applies to untraced
+// queries (always-on counters only; single atomic ops, 0 allocs);
+// per-query sampled tracing costs more and is opt-in.
+func BenchmarkEngineQuery_Instrumented(b *testing.B) {
+	benchEngineQuery(b, buildBenchNetwork(b, 100, 10_000, true))
 }
 
 // BenchmarkWildcardQuery measures the worst-case full-space query.

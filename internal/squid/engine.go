@@ -10,6 +10,7 @@ import (
 	"squid/internal/chord"
 	"squid/internal/keyspace"
 	"squid/internal/sfc"
+	"squid/internal/telemetry"
 	"squid/internal/transport"
 )
 
@@ -66,6 +67,16 @@ type Options struct {
 	// Err = ErrPartialResult. 0 disables; queries then complete only via
 	// subtree accounting.
 	QueryDeadline time.Duration
+	// Telemetry receives the engine's metrics as per-node labeled children.
+	// Nil gets a private clock-less registry so instrumentation has one
+	// code path; share one registry across node and engine to scrape both.
+	Telemetry *telemetry.Registry
+	// Traces enables query tracing at this node: every query rooted here is
+	// sampled, its refinement hops record spans that flow back up the query
+	// tree, and the reassembled tree lands in the store on completion. Nil
+	// disables sampling for queries rooted here (subtrees of queries rooted
+	// at tracing peers are still recorded and shipped up).
+	Traces *telemetry.TraceStore
 }
 
 // ErrPartialResult marks a Result gathered under failures: some subtree of
@@ -115,7 +126,8 @@ type Engine struct {
 	children  map[uint64]*childCall
 	nextToken uint64
 	arcCache  []cachedArc
-	ctr       recoveryCounters
+	met       engineMetrics
+	spanSeq   uint64
 
 	// Per-engine refinement scratch. Engine state is confined to the
 	// node's delivery goroutine, so the buffers are reused across queries:
@@ -148,6 +160,30 @@ type subtree struct {
 	finished    bool // result already delivered; ignore stragglers
 	deadline    *time.Timer
 	cb          func(Result)
+
+	// Tracing state. spanID is 0 when the query is not sampled; when set,
+	// this subtree records one span on completion (attached under ref's
+	// parent) and accumulates its children's spans for the trip upward.
+	spanID       uint64
+	ref          telemetry.TraceRef
+	kind         string // "root" or "cluster"
+	prefix       uint64 // representative cluster (first of the batch)
+	level        int
+	clustersIn   int // clusters this subtree received
+	localDone    int // clusters resolved against the local store
+	localMatches int // matches found locally (st.matches also aggregates children)
+	retries      int // re-dispatches this subtree performed on its children
+	startNS      int64
+	spans        []telemetry.Span
+}
+
+// childRef derives the trace context for a child subtree dispatched from
+// st: sampled children attach under st's span one level deeper.
+func (st *subtree) childRef() telemetry.TraceRef {
+	if st.spanID == 0 {
+		return telemetry.TraceRef{Mode: telemetry.TraceOff}
+	}
+	return telemetry.TraceRef{Parent: st.spanID, Depth: st.ref.Depth + 1, Mode: telemetry.TraceOn}
 }
 
 // childCall tracks one dispatched child subtree awaiting its SubResultMsg.
@@ -178,6 +214,9 @@ func NewEngine(space *keyspace.Space, opts Options) *Engine {
 	if opts.SubtreeTimeout > 0 && opts.SubtreeRetries <= 0 {
 		opts.SubtreeRetries = 3
 	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = telemetry.NewRegistry(nil)
+	}
 	e := &Engine{
 		space:    space,
 		store:    NewStore(chord.Space{Bits: space.IndexBits()}),
@@ -192,8 +231,88 @@ func NewEngine(space *keyspace.Space, opts Options) *Engine {
 	return e
 }
 
-// Attach binds the engine to its ring node.
-func (e *Engine) Attach(n *chord.Node) { e.node = n }
+// Attach binds the engine to its ring node and resolves the engine's
+// per-node metric children (the node identifier is the metric label).
+func (e *Engine) Attach(n *chord.Node) {
+	e.node = n
+	e.met = newEngineMetrics(e.opts.Telemetry, uint64(n.Self().ID))
+}
+
+// newSpanID issues a span identifier unique across the query tree: a
+// splitmix64-style mix of the node identifier and a per-engine sequence,
+// deterministic under the simulator and allocation-free.
+func (e *Engine) newSpanID() uint64 {
+	e.spanSeq++
+	x := uint64(e.node.Self().ID) ^ mix64(e.spanSeq)
+	if id := mix64(x); id != 0 {
+		return id
+	}
+	return 1
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// nowNS reads the registry's injected clock as Unix nanoseconds; 0 under
+// the simulator's nil clock, so span timing never perturbs determinism.
+func (e *Engine) nowNS() int64 {
+	t := e.opts.Telemetry.Now()
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// span builds this subtree's own completed span.
+func (e *Engine) span(st *subtree) telemetry.Span {
+	return telemetry.Span{
+		QID:      st.qid,
+		ID:       st.spanID,
+		Parent:   st.ref.Parent,
+		Depth:    st.ref.Depth,
+		Node:     uint64(e.node.Self().ID),
+		Addr:     string(e.node.Self().Addr),
+		Kind:     st.kind,
+		Prefix:   st.prefix,
+		Level:    st.level,
+		Clusters: st.clustersIn,
+		Local:    st.localDone,
+		Children: st.sent,
+		Matches:  st.localMatches,
+		Retries:  st.retries,
+		StartNS:  st.startNS,
+		EndNS:    e.nowNS(),
+	}
+}
+
+// lostSpan marks a child subtree the dispatcher gave up on: the subtree
+// never reported, so the dispatcher records a synthetic placeholder in its
+// place (the node that should have answered is unknown by definition).
+func (e *Engine) lostSpan(st *subtree, c *childCall) telemetry.Span {
+	s := telemetry.Span{
+		QID:       st.qid,
+		ID:        e.newSpanID(),
+		Parent:    st.spanID,
+		Depth:     st.ref.Depth + 1,
+		Kind:      "lost",
+		Prefix:    c.key,
+		Abandoned: true,
+		StartNS:   e.nowNS(),
+		EndNS:     e.nowNS(),
+	}
+	if len(c.clusters) > 0 {
+		s.Prefix = c.clusters[0].Prefix
+		s.Level = c.clusters[0].Level
+		s.Clusters = len(c.clusters)
+	}
+	return s
+}
 
 // Node returns the ring node the engine is attached to.
 func (e *Engine) Node() *chord.Node { return e.node }
@@ -241,6 +360,7 @@ func (e *Engine) StoreDirect(elem Element) error {
 		return err
 	}
 	e.store.Add(idx, elem)
+	e.syncKeys()
 	return nil
 }
 
@@ -257,6 +377,7 @@ func (e *Engine) StoreDirectBatch(elems []Element) error {
 		items = append(items, chord.Item{Key: chord.ID(idx), Value: []Element{elem}})
 	}
 	e.store.AddBatch(items)
+	e.syncKeys()
 	return nil
 }
 
@@ -265,6 +386,7 @@ func (e *Engine) StoreDirectBatch(elems []Element) error {
 // the query's id for metrics correlation.
 func (e *Engine) Query(q keyspace.Query, cb func(Result)) uint64 {
 	qid := nextQID()
+	e.met.queries.Inc()
 	region, err := e.space.Region(q)
 	if err != nil {
 		cb(Result{QID: qid, Query: q, Err: err})
@@ -279,11 +401,13 @@ func (e *Engine) Query(q keyspace.Query, cb func(Result)) uint64 {
 	// Section 3.4.1).
 	if pt, ok := region.IsPoint(); ok {
 		idx := e.space.Curve().Encode(pt)
-		st := &subtree{qid: qid, q: q, cb: cb, dispatched: true}
+		st := &subtree{qid: qid, q: q, cb: cb, dispatched: true, kind: "root"}
+		e.sampleRoot(st)
 		e.startDeadline(st)
 		tok := e.addChild(st, idx, nil)
 		e.node.Route(chord.ID(idx), LookupMsg{
 			QID: qid, Query: q, Key: idx, ReplyTo: e.node.Self().Addr, Token: tok,
+			Trace: st.childRef(),
 		}, qid)
 		return qid
 	}
@@ -293,16 +417,39 @@ func (e *Engine) Query(q keyspace.Query, cb func(Result)) uint64 {
 	// clusters here and dispatch the rest.
 	e.coarse = sfc.CoarseClustersInto(e.coarse[:0], e.space.Curve(), region, e.opts.InitialClusters, &e.scratch)
 	matches, remote, local := e.processClusters(qid, e.coarse, q, region)
-	if local > 0 && e.opts.Sink != nil {
-		e.opts.Sink.Processed(qid, e.node.Self().ID, local, len(matches))
+	e.noteProcessed(qid, local, len(matches), e.opts.Sink != nil && local > 0)
+	st := &subtree{
+		qid: qid, q: q, cb: cb, matches: matches, kind: "root",
+		clustersIn: len(e.coarse), localDone: local, localMatches: len(matches),
 	}
-	st := &subtree{qid: qid, q: q, cb: cb, matches: matches}
+	e.sampleRoot(st)
 	e.startDeadline(st)
 	e.dispatchRemote(remote, q, qid, st, true, func() {
 		st.dispatched = true
 		e.checkSubtree(st)
 	})
 	return qid
+}
+
+// sampleRoot turns tracing on for a root subtree when this node collects
+// traces.
+func (e *Engine) sampleRoot(st *subtree) {
+	if e.opts.Traces == nil {
+		return
+	}
+	st.spanID = e.newSpanID()
+	st.ref = telemetry.TraceRef{Mode: telemetry.TraceOn}
+	st.startNS = e.nowNS()
+}
+
+// noteProcessed feeds the local processing counters and, when sink is set,
+// the per-query metrics sink.
+func (e *Engine) noteProcessed(qid uint64, clusters, matches int, sink bool) {
+	e.met.clustersDone.Add(uint64(clusters))
+	e.met.matches.Add(uint64(matches))
+	if sink {
+		e.opts.Sink.Processed(qid, e.node.Self().ID, clusters, matches)
+	}
 }
 
 // addChild registers one dispatched child of st under a fresh token and
@@ -313,6 +460,7 @@ func (e *Engine) addChild(st *subtree, key uint64, clusters []ClusterRef) uint64
 	c := &childCall{st: st, token: e.nextToken, key: key, clusters: clusters}
 	e.children[c.token] = c
 	st.sent++
+	e.met.subtreesSent.Inc()
 	e.armChild(c)
 	return c.token
 }
@@ -354,9 +502,12 @@ func (e *Engine) childExpired(tok uint64) {
 	}
 	if c.attempts >= e.opts.SubtreeRetries {
 		delete(e.children, tok)
-		e.ctr.abandoned.Add(1)
+		e.met.abandoned.Inc()
 		if rs, ok := e.opts.Sink.(RecoverySink); ok {
 			rs.Abandoned(c.st.qid)
+		}
+		if c.st.spanID != 0 {
+			c.st.spans = append(c.st.spans, e.lostSpan(c.st, c))
 		}
 		c.st.incomplete = true
 		c.st.done++
@@ -365,19 +516,22 @@ func (e *Engine) childExpired(tok uint64) {
 	}
 	c.attempts++
 	c.acked = false
-	e.ctr.redispatches.Add(1)
+	e.met.redispatches.Inc()
 	if rs, ok := e.opts.Sink.(RecoverySink); ok {
 		rs.Redispatched(c.st.qid)
 	}
 	st := c.st
+	st.retries++
 	if c.clusters == nil {
 		e.node.Route(chord.ID(c.key), LookupMsg{
 			QID: st.qid, Query: st.q, Key: c.key, ReplyTo: e.node.Self().Addr, Token: c.token,
+			Trace: st.childRef(),
 		}, st.qid)
 	} else {
 		e.node.Route(chord.ID(c.key), ClusterQueryMsg{
 			QID: st.qid, Query: st.q, Clusters: c.clusters,
 			ReplyTo: e.node.Self().Addr, Token: c.token, Ack: true,
+			Trace: st.childRef(),
 		}, st.qid)
 	}
 	e.armChild(c)
@@ -391,7 +545,7 @@ func (e *Engine) handleAck(m QueryAckMsg) {
 		return
 	}
 	c.acked = true
-	e.ctr.acks.Add(1)
+	e.met.acks.Inc()
 	if c.timer != nil {
 		c.timer.Reset(e.opts.SubtreeTimeout)
 	}
@@ -420,6 +574,11 @@ func (e *Engine) queryExpired(st *subtree) {
 			if c.timer != nil {
 				c.timer.Stop()
 			}
+			// Cancelled children never reported: mark them lost in the
+			// trace so the dump shows where the deadline cut the tree.
+			if st.spanID != 0 {
+				st.spans = append(st.spans, e.lostSpan(st, c))
+			}
 		}
 	}
 	st.incomplete = true
@@ -445,14 +604,20 @@ func (e *Engine) finishSubtree(st *subtree) {
 	if st.deadline != nil {
 		st.deadline.Stop()
 	}
+	if st.spanID != 0 {
+		st.spans = append(st.spans, e.span(st))
+	}
 	if st.parent == "" {
 		var err error
 		if st.incomplete {
 			err = ErrPartialResult
-			e.ctr.partials.Add(1)
+			e.met.partials.Inc()
 			if rs, ok := e.opts.Sink.(RecoverySink); ok {
 				rs.Partial(st.qid)
 			}
+		}
+		if st.spanID != 0 && e.opts.Traces != nil {
+			e.opts.Traces.Add(telemetry.Trace{QID: st.qid, Partial: st.incomplete, Spans: st.spans})
 		}
 		if st.cb != nil {
 			st.cb(Result{QID: st.qid, Query: st.q, Matches: st.matches, Err: err})
@@ -461,6 +626,7 @@ func (e *Engine) finishSubtree(st *subtree) {
 	}
 	e.send(st.parent, SubResultMsg{
 		QID: st.qid, Token: st.parentToken, Matches: st.matches, Incomplete: st.incomplete,
+		Spans: st.spans,
 	})
 }
 
@@ -567,6 +733,7 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid uint
 		tok := e.addChild(st, lo, refs)
 		e.node.Route(chord.ID(lo), ClusterQueryMsg{
 			QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack,
+			Trace: st.childRef(),
 		}, qid)
 	}
 	if e.opts.DisableAggregation {
@@ -586,7 +753,9 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid uint
 		}
 		head := chord.ID(rem[0].Span(curve).Lo)
 		if root && e.opts.ProbeCacheSize > 0 {
-			if arc, ok := e.cacheLookup(head); ok {
+			arc, ok := e.cacheLookup(head)
+			if ok {
+				e.met.probeHits.Inc()
 				n := 1
 				sp := e.node.Space()
 				for n < len(rem) && sp.Between(chord.ID(rem[n].Span(curve).Lo), arc.pred.ID, arc.owner.ID) {
@@ -594,13 +763,15 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid uint
 				}
 				refs := toRefs(rem[:n])
 				tok := e.addChild(st, uint64(head), refs)
-				msg := ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack}
+				msg := ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack, Trace: st.childRef()}
 				if e.send(arc.owner.Addr, msg) {
 					step(rem[n:])
 					return
 				}
 				e.dropChild(tok)
 				e.cacheDrop(arc.owner.Addr) // dead peer: fall through to probing
+			} else {
+				e.met.probeMisses.Inc()
 			}
 		}
 		e.node.FindSuccessor(head, qid, func(m chord.FoundMsg, err error) {
@@ -623,7 +794,7 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid uint
 			}
 			refs := toRefs(rem[:n])
 			tok := e.addChild(st, uint64(chord.ID(rem[0].Span(curve).Lo)), refs)
-			msg := ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack}
+			msg := ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack, Trace: st.childRef()}
 			if !e.send(m.Owner.Addr, msg) {
 				// Owner died between probe and send: blind-route each.
 				e.dropChild(tok)
@@ -643,6 +814,16 @@ func (e *Engine) send(to transport.Addr, msg any) bool {
 	return e.node.SendApp(to, msg)
 }
 
+// syncKeys refreshes the keys-held gauge after a store mutation. The Store
+// itself is goroutine-confined, so the gauge (atomic) is the only store
+// statistic a scrape goroutine may read.
+func (e *Engine) syncKeys() {
+	if e.met.keysHeld == nil {
+		return // not attached yet (bulk preload before Attach)
+	}
+	e.met.keysHeld.Set(int64(e.store.Keys()))
+}
+
 // Deliver implements chord.App: application payloads routed to this node.
 func (e *Engine) Deliver(from transport.Addr, key chord.ID, payload any) {
 	switch m := payload.(type) {
@@ -652,6 +833,7 @@ func (e *Engine) Deliver(from transport.Addr, key chord.ID, payload any) {
 			return
 		}
 		e.store.Add(idx, m.Elem)
+		e.syncKeys()
 		e.replicate([]chord.Item{{Key: chord.ID(idx), Value: []Element{m.Elem}}})
 	case UnpublishMsg:
 		e.handleUnpublish(m)
@@ -687,9 +869,11 @@ func (e *Engine) handleUnpublish(m UnpublishMsg) {
 		// The arc may have shifted since replication: clear a promoted copy
 		// too so owner changes cannot resurrect the element.
 		e.store.Remove(idx, m.Elem)
+		e.syncKeys()
 		return
 	}
 	e.store.Remove(idx, m.Elem)
+	e.syncKeys()
 	if e.opts.Replicas > 0 {
 		fanned := 0
 		for _, s := range e.node.SuccList() {
@@ -715,7 +899,7 @@ func (e *Engine) handleClientQuery(m ClientQueryMsg) {
 		return
 	}
 	e.Query(q, func(r Result) {
-		out := ClientResultMsg{Token: m.Token, Matches: r.Matches}
+		out := ClientResultMsg{Token: m.Token, QID: r.QID, Matches: r.Matches}
 		if r.Err != nil {
 			out.Err = r.Err.Error()
 		}
@@ -730,30 +914,52 @@ func (e *Engine) handleLookup(m LookupMsg) {
 			matches = append(matches, elem)
 		}
 	}
-	if e.opts.Sink != nil {
-		e.opts.Sink.Processed(m.QID, e.node.Self().ID, 1, len(matches))
+	e.noteProcessed(m.QID, 1, len(matches), e.opts.Sink != nil)
+	var spans []telemetry.Span
+	if ref := m.Trace.OrRoot(); ref.Sampled() {
+		now := e.nowNS()
+		spans = []telemetry.Span{{
+			QID: m.QID, ID: e.newSpanID(), Parent: ref.Parent, Depth: ref.Depth,
+			Node: uint64(e.node.Self().ID), Addr: string(e.node.Self().Addr),
+			Kind: "lookup", Prefix: m.Key, Clusters: 1, Local: 1,
+			Matches: len(matches), StartNS: now, EndNS: now,
+		}}
 	}
-	e.send(m.ReplyTo, SubResultMsg{QID: m.QID, Token: m.Token, Matches: matches})
+	e.send(m.ReplyTo, SubResultMsg{QID: m.QID, Token: m.Token, Matches: matches, Spans: spans})
 }
 
 func (e *Engine) handleClusterQuery(m ClusterQueryMsg) {
 	if m.Ack {
 		e.send(m.ReplyTo, QueryAckMsg{QID: m.QID, Token: m.Token})
 	}
+	ref := m.Trace.OrRoot()
 	region, err := e.space.Region(m.Query)
 	if err != nil {
 		e.send(m.ReplyTo, SubResultMsg{QID: m.QID, Token: m.Token})
 		return
 	}
 	matches, remote, local := e.processClusters(m.QID, fromRefs(m.Clusters), m.Query, region)
-	if e.opts.Sink != nil {
-		e.opts.Sink.Processed(m.QID, e.node.Self().ID, local, len(matches))
+	e.noteProcessed(m.QID, local, len(matches), e.opts.Sink != nil)
+	st := &subtree{
+		qid: m.QID, q: m.Query, parent: m.ReplyTo, parentToken: m.Token, matches: matches,
+		kind: "cluster", clustersIn: len(m.Clusters), localDone: local, localMatches: len(matches),
+	}
+	if len(m.Clusters) > 0 {
+		st.prefix = m.Clusters[0].Prefix
+		st.level = m.Clusters[0].Level
+	}
+	if ref.Sampled() {
+		st.spanID = e.newSpanID()
+		st.ref = ref
+		st.startNS = e.nowNS()
 	}
 	if len(remote) == 0 {
-		e.send(m.ReplyTo, SubResultMsg{QID: m.QID, Token: m.Token, Matches: matches})
+		// Leaf of the query tree: finish immediately (records the span and
+		// ships it with the result).
+		st.dispatched = true
+		e.finishSubtree(st)
 		return
 	}
-	st := &subtree{qid: m.QID, q: m.Query, parent: m.ReplyTo, parentToken: m.Token, matches: matches}
 	e.dispatchRemote(remote, m.Query, m.QID, st, false, func() {
 		st.dispatched = true
 		e.checkSubtree(st)
@@ -774,6 +980,9 @@ func (e *Engine) handleSubResult(m SubResultMsg) {
 		return
 	}
 	st.matches = append(st.matches, m.Matches...)
+	if st.spanID != 0 {
+		st.spans = append(st.spans, m.Spans...)
+	}
 	if m.Incomplete {
 		st.incomplete = true
 	}
@@ -789,11 +998,15 @@ func (e *Engine) HandoverOut(a, b chord.ID) []chord.Item {
 	if e.opts.Replicas > 0 {
 		e.replicas.AddBatchUnique(items)
 	}
+	e.syncKeys()
 	return items
 }
 
 // HandoverIn implements chord.App.
-func (e *Engine) HandoverIn(items []chord.Item) { e.store.HandoverIn(items) }
+func (e *Engine) HandoverIn(items []chord.Item) {
+	e.store.HandoverIn(items)
+	e.syncKeys()
+}
 
 // Load implements chord.App: the number of stored keys.
 func (e *Engine) Load() int { return e.store.Keys() }

@@ -3,6 +3,7 @@ package squid
 import (
 	"squid/internal/keyspace"
 	"squid/internal/sfc"
+	"squid/internal/telemetry"
 	"squid/internal/transport"
 )
 
@@ -27,6 +28,10 @@ type LookupMsg struct {
 	Key     uint64
 	ReplyTo transport.Addr
 	Token   uint64
+	// Trace is the tracing context of the dispatching subtree. Old-format
+	// payloads decode it as the zero ref, which OrRoot defaults to a root
+	// span — wire compatibility is a protocol promise.
+	Trace telemetry.TraceRef
 }
 
 // ClusterRef is a cluster of the query's refinement tree in transit:
@@ -73,6 +78,9 @@ type ClusterQueryMsg struct {
 	// processing. Dispatchers running a recovery deadline set it so a
 	// slow-but-alive subtree can be told apart from a lost one.
 	Ack bool
+	// Trace is the tracing context of the dispatching subtree (see
+	// LookupMsg.Trace for the old-format default).
+	Trace telemetry.TraceRef
 }
 
 // QueryAckMsg confirms receipt of a ClusterQueryMsg (sent only when the
@@ -93,6 +101,10 @@ type SubResultMsg struct {
 	Token      uint64
 	Matches    []Element
 	Incomplete bool
+	// Spans carries the subtree's collected trace spans up toward the query
+	// root (empty when the query is not sampled). Old-format receivers
+	// ignore the field; old-format senders omit it.
+	Spans []telemetry.Span
 }
 
 // ClientPublishMsg lets a non-member client (squidctl) publish through any
@@ -116,9 +128,11 @@ type ClientQueryMsg struct {
 	Token   uint64
 }
 
-// ClientResultMsg answers a ClientQueryMsg.
+// ClientResultMsg answers a ClientQueryMsg. QID is the ring-side query
+// identifier, which clients feed to the trace endpoint (squidctl trace).
 type ClientResultMsg struct {
 	Token   uint64
+	QID     uint64
 	Matches []Element
 	Err     string
 }

@@ -1,6 +1,10 @@
 package squid
 
-import "sync/atomic"
+import (
+	"strconv"
+
+	"squid/internal/telemetry"
+)
 
 // RecoveryCounters is a snapshot of an engine's cumulative query-recovery
 // counters. Together with chord.Counters they quantify what failures cost:
@@ -27,23 +31,71 @@ func (c *RecoveryCounters) Add(o RecoveryCounters) {
 	c.Acks += o.Acks
 }
 
-// recoveryCounters is the engine-internal atomic representation; atomics so
-// any goroutine (metric scrapers, the simulator) may snapshot without
-// entering the node's delivery goroutine.
-type recoveryCounters struct {
-	redispatches atomic.Uint64
-	abandoned    atomic.Uint64
-	partials     atomic.Uint64
-	acks         atomic.Uint64
+// engineMetrics holds this engine's children of the shared telemetry
+// families. Instruments are atomic: any goroutine (metric scrapers, the
+// simulator) may snapshot them without entering the node's delivery
+// goroutine.
+type engineMetrics struct {
+	queries      *telemetry.Counter
+	clustersDone *telemetry.Counter
+	matches      *telemetry.Counter
+	subtreesSent *telemetry.Counter
+
+	redispatches *telemetry.Counter
+	abandoned    *telemetry.Counter
+	partials     *telemetry.Counter
+	acks         *telemetry.Counter
+
+	probeHits   *telemetry.Counter
+	probeMisses *telemetry.Counter
+
+	keysHeld     *telemetry.Gauge
+	replicaItems *telemetry.Counter
+	replicaFulls *telemetry.Counter
+}
+
+// newEngineMetrics resolves the engine's metric children once (per-node
+// labels), so hot-path increments are single lock-free atomic ops.
+func newEngineMetrics(reg *telemetry.Registry, id uint64) engineMetrics {
+	node := strconv.FormatUint(id, 16)
+	recovery := reg.CounterVec("squid_engine_recovery_total",
+		"query-recovery events: redispatch, abandon, partial, ack", "node", "event")
+	probe := reg.CounterVec("squid_engine_probe_cache_total",
+		"owner-probe cache lookups at the query root", "node", "outcome")
+	return engineMetrics{
+		queries: reg.CounterVec("squid_engine_queries_total",
+			"flexible queries initiated at this node", "node").With(node),
+		clustersDone: reg.CounterVec("squid_engine_clusters_processed_total",
+			"refinement-tree clusters resolved against the local store", "node").With(node),
+		matches: reg.CounterVec("squid_engine_matches_total",
+			"matching elements found in the local store", "node").With(node),
+		subtreesSent: reg.CounterVec("squid_engine_subtrees_dispatched_total",
+			"child subtrees dispatched to other nodes", "node").With(node),
+		redispatches: recovery.With(node, "redispatch"),
+		abandoned:    recovery.With(node, "abandon"),
+		partials:     recovery.With(node, "partial"),
+		acks:         recovery.With(node, "ack"),
+		probeHits:    probe.With(node, "hit"),
+		probeMisses:  probe.With(node, "miss"),
+		keysHeld: reg.GaugeVec("squid_store_keys_held",
+			"distinct curve indices in the node's primary store", "node").With(node),
+		replicaItems: reg.CounterVec("squid_replication_items_pushed_total",
+			"items pushed to successor replicas (delta and full pushes)", "node").With(node),
+		replicaFulls: reg.CounterVec("squid_replication_full_pushes_total",
+			"full replica-set pushes (replica membership changed)", "node").With(node),
+	}
 }
 
 // Recovery snapshots the engine's recovery counters. Safe from any
-// goroutine.
+// goroutine. Zero before the engine is attached to its node.
 func (e *Engine) Recovery() RecoveryCounters {
+	if e.met.redispatches == nil {
+		return RecoveryCounters{}
+	}
 	return RecoveryCounters{
-		Redispatches: e.ctr.redispatches.Load(),
-		Abandoned:    e.ctr.abandoned.Load(),
-		Partials:     e.ctr.partials.Load(),
-		Acks:         e.ctr.acks.Load(),
+		Redispatches: e.met.redispatches.Value(),
+		Abandoned:    e.met.abandoned.Value(),
+		Partials:     e.met.partials.Value(),
+		Acks:         e.met.acks.Value(),
 	}
 }

@@ -62,6 +62,7 @@ func (e *Engine) PushReplicas() (items int, full bool) {
 	}
 	delta := e.store.SnapshotKeys(e.dirtyKeys)
 	e.replicate(delta)
+	e.met.replicaItems.Add(uint64(len(delta)))
 	return len(delta), false
 }
 
@@ -77,6 +78,8 @@ func (e *Engine) PushReplicasFull() int {
 	snap := e.store.Snapshot()
 	e.replicate(snap)
 	e.lastReplicaSet = e.replicaSet()
+	e.met.replicaFulls.Inc()
+	e.met.replicaItems.Add(uint64(len(snap)))
 	return len(snap)
 }
 
@@ -116,6 +119,7 @@ func (e *Engine) handleReplica(m ReplicaMsg) {
 	}
 	e.store.AddBatchUnique(owned)
 	e.replicas.AddBatchUnique(held)
+	e.syncKeys()
 }
 
 // ArcChanged implements chord.ArcWatcher and keeps the primary/replica
@@ -139,6 +143,7 @@ func (e *Engine) ArcChanged(oldPred, newPred chord.NodeRef) {
 	}
 	// Demote: everything outside (newPred, self] stops being primary.
 	e.replicas.AddBatchUnique(e.store.HandoverOut(e.node.Self().ID, newPred.ID))
+	e.syncKeys()
 	// Promote: replicas inside the (possibly grown) arc become primary.
 	if e.replicas.Keys() == 0 {
 		return
@@ -153,6 +158,7 @@ func (e *Engine) ArcChanged(oldPred, newPred chord.NodeRef) {
 		return
 	}
 	e.store.AddBatchUnique(promoted)
+	e.syncKeys()
 	// Remove the promoted keys from the replica set and push fresh copies
 	// of the newly owned data onward so the replication degree recovers.
 	e.replicas.HandoverOut(newPred.ID, e.node.Self().ID)

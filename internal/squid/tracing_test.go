@@ -1,0 +1,356 @@
+package squid_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+	"squid/internal/telemetry"
+	"squid/internal/transport"
+)
+
+// Old-format query messages as they existed before trace propagation: no
+// Trace ref, no Spans. Gob matches struct fields by name, so encoding
+// these and decoding into the current types reproduces exactly what an
+// un-upgraded peer puts on the wire.
+type legacyLookupMsg struct {
+	QID     uint64
+	Query   keyspace.Query
+	Key     uint64
+	ReplyTo transport.Addr
+	Token   uint64
+}
+
+type legacyClusterQueryMsg struct {
+	QID      uint64
+	Query    keyspace.Query
+	Clusters []squid.ClusterRef
+	ReplyTo  transport.Addr
+	Token    uint64
+	Ack      bool
+}
+
+type legacySubResultMsg struct {
+	QID        uint64
+	Token      uint64
+	Matches    []squid.Element
+	Incomplete bool
+}
+
+// TestWireLegacyDecode locks the gob wire compatibility promise: payloads
+// from peers that predate tracing decode cleanly, and their absent trace
+// context defaults to a sampled root span (TraceRef.OrRoot). The reverse
+// direction — new payloads read by old peers — must also decode, with the
+// unknown trace fields skipped.
+func TestWireLegacyDecode(t *testing.T) {
+	query := keyspace.Query{keyspace.Prefix("comp"), keyspace.Wildcard()}
+
+	t.Run("lookup", func(t *testing.T) {
+		old := legacyLookupMsg{QID: 7, Query: query, Key: 99, ReplyTo: "r", Token: 5}
+		var cur squid.LookupMsg
+		reGob(t, old, &cur)
+		if cur.QID != old.QID || cur.Key != old.Key || cur.ReplyTo != old.ReplyTo || cur.Token != old.Token {
+			t.Fatalf("legacy fields mangled: %+v", cur)
+		}
+		if cur.Trace != (telemetry.TraceRef{}) {
+			t.Fatalf("legacy payload decoded a non-zero trace ref: %+v", cur.Trace)
+		}
+		ref := cur.Trace.OrRoot()
+		if !ref.Sampled() || ref.Parent != 0 || ref.Depth != 0 {
+			t.Fatalf("absent trace context must default to a sampled root span, got %+v", ref)
+		}
+	})
+
+	t.Run("cluster-query", func(t *testing.T) {
+		old := legacyClusterQueryMsg{
+			QID: 3, Query: query, Clusters: []squid.ClusterRef{{Prefix: 9, Level: 2, Complete: true}},
+			ReplyTo: "r", Token: 8, Ack: true,
+		}
+		var cur squid.ClusterQueryMsg
+		reGob(t, old, &cur)
+		if cur.QID != old.QID || len(cur.Clusters) != 1 || cur.Clusters[0] != old.Clusters[0] || !cur.Ack {
+			t.Fatalf("legacy fields mangled: %+v", cur)
+		}
+		if !cur.Trace.OrRoot().Sampled() {
+			t.Fatal("absent trace context must default to a sampled root span")
+		}
+	})
+
+	t.Run("sub-result", func(t *testing.T) {
+		old := legacySubResultMsg{QID: 3, Token: 8, Incomplete: true}
+		var cur squid.SubResultMsg
+		reGob(t, old, &cur)
+		if cur.QID != old.QID || !cur.Incomplete || len(cur.Spans) != 0 {
+			t.Fatalf("legacy fields mangled: %+v", cur)
+		}
+	})
+
+	t.Run("new-to-old", func(t *testing.T) {
+		cur := squid.ClusterQueryMsg{
+			QID: 4, Query: query, ReplyTo: "r", Token: 9,
+			Trace: telemetry.TraceRef{Parent: 11, Depth: 2, Mode: telemetry.TraceOn},
+		}
+		var old legacyClusterQueryMsg
+		reGob(t, cur, &old)
+		if old.QID != cur.QID || old.ReplyTo != cur.ReplyTo || old.Token != cur.Token {
+			t.Fatalf("old receiver mangled new payload: %+v", old)
+		}
+		res := squid.SubResultMsg{QID: 4, Token: 9, Spans: []telemetry.Span{{QID: 4, ID: 1, Node: 2}}}
+		var oldRes legacySubResultMsg
+		reGob(t, res, &oldRes)
+		if oldRes.QID != res.QID || oldRes.Token != res.Token {
+			t.Fatalf("old receiver mangled new sub-result: %+v", oldRes)
+		}
+	})
+}
+
+// reGob encodes src and decodes the stream into dst, concretely (not via a
+// registered interface envelope, whose type names would collide).
+func reGob(t *testing.T, src, dst any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(src); err != nil {
+		t.Fatalf("encode %T: %v", src, err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(dst); err != nil {
+		t.Fatalf("decode %T into %T: %v", src, dst, err)
+	}
+}
+
+// tracedNetwork builds a simulated network with query tracing enabled and
+// the fault layer installed (quiet until a drop rate is set).
+func tracedNetwork(t *testing.T, nodes int, seed int64) *sim.Network {
+	t.Helper()
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sim.Build(sim.Config{
+		Nodes: nodes, Space: space, Seed: seed,
+		Engine: squid.Options{
+			SubtreeTimeout: 50 * time.Millisecond,
+			SubtreeRetries: 2,
+			QueryDeadline:  2 * time.Second,
+		},
+		Chord:  chordRetryConfig(),
+		Faults: &transport.FaultConfig{Seed: seed + 1},
+		Trace:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// assertTraceCoversOwners checks the headline tracing guarantee: the
+// owner of every returned match recorded a span in the reassembled tree.
+func assertTraceCoversOwners(t *testing.T, label string, nw *sim.Network, tr telemetry.Trace, matches []squid.Element) {
+	t.Helper()
+	nodes := tr.Nodes()
+	for _, m := range matches {
+		idx, err := nw.Space.Index(m.Values)
+		if err != nil {
+			t.Fatalf("%s: index %v: %v", label, m.Values, err)
+		}
+		owner := nw.SuccessorOf(idx)
+		if !nodes[uint64(owner.ID())] {
+			t.Fatalf("%s: owner %x of match %q (key %x) missing from trace nodes %v",
+				label, uint64(owner.ID()), m.Data, idx, nodes)
+		}
+	}
+}
+
+// TestTraceCompleteness runs flexible and exact queries on a healthy
+// traced network and checks the reassembled tree: one root span, every
+// match attributed, and every owner of a returned key visited.
+func TestTraceCompleteness(t *testing.T) {
+	nw := tracedNetwork(t, 16, 7001)
+	rng := rand.New(rand.NewSource(7002))
+	elems := chaosPublish(t, nw, rng, 200)
+
+	for _, qs := range []string{"(a*, *)", "(*, m*)", "(b-f, *)", "(*, *)"} {
+		q := keyspace.MustParse(qs)
+		res, _ := nw.Query(rng.Intn(len(nw.Peers)), q)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", qs, res.Err)
+		}
+		tr, ok := nw.TraceForQuery(res.QID)
+		if !ok {
+			t.Fatalf("%s: no trace recorded", qs)
+		}
+		if tr.Partial {
+			t.Fatalf("%s: healthy network produced a partial trace", qs)
+		}
+		if root := tr.Root(); root == nil {
+			t.Fatalf("%s: trace has no root span", qs)
+		}
+		if got := tr.Matches(); got != len(res.Matches) {
+			t.Fatalf("%s: trace attributes %d matches, result has %d", qs, got, len(res.Matches))
+		}
+		if len(tr.Lost()) != 0 {
+			t.Fatalf("%s: healthy network recorded lost spans", qs)
+		}
+		assertTraceCoversOwners(t, qs, nw, tr, res.Matches)
+	}
+
+	// The exact-point path (single DHT lookup) must trace too.
+	e := elems[rng.Intn(len(elems))]
+	q := keyspace.MustParse(fmt.Sprintf("(%s, %s)", e.Values[0], e.Values[1]))
+	res, _ := nw.Query(0, q)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	tr, ok := nw.TraceForQuery(res.QID)
+	if !ok {
+		t.Fatal("exact query: no trace recorded")
+	}
+	found := false
+	for _, s := range tr.Spans {
+		if s.Kind == "lookup" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("exact query trace has no lookup span: %+v", tr.Spans)
+	}
+	assertTraceCoversOwners(t, "exact", nw, tr, res.Matches)
+}
+
+// TestChaosTraceCoverage is the tracing chaos soak: under sustained
+// message drops, every query that claims completeness has a trace
+// covering the owners of all returned keys, and every partial result's
+// trace is marked partial with the abandoned subtrees recorded as lost
+// spans. Drops only — crashes change key ownership via replica promotion,
+// which would make the owner oracle unsound.
+func TestChaosTraceCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace chaos soak skipped in short mode")
+	}
+	nw := tracedNetwork(t, 16, 8001)
+	rng := rand.New(rand.NewSource(8002))
+	chaosPublish(t, nw, rng, 250)
+
+	queries := []keyspace.Query{
+		keyspace.MustParse("(a*, *)"),
+		keyspace.MustParse("(*, m*)"),
+		keyspace.MustParse("(b-f, *)"),
+		keyspace.MustParse("(*, *)"),
+	}
+
+	nw.Faulty.SetDropRate(0.15)
+	complete, partial := 0, 0
+	for i := 0; i < 60; i++ {
+		q := queries[rng.Intn(len(queries))]
+		truth := dataSet(nw.BruteForceMatches(q))
+		res, _ := nw.Query(rng.Intn(len(nw.Peers)), q)
+		label := fmt.Sprintf("query %d %s", i, q)
+		checkSound(t, label, res, truth)
+
+		tr, ok := nw.TraceForQuery(res.QID)
+		if !ok {
+			t.Fatalf("%s: no trace recorded", label)
+		}
+		if res.Err == nil {
+			complete++
+			if tr.Partial {
+				t.Fatalf("%s: complete result but partial trace", label)
+			}
+			assertTraceCoversOwners(t, label, nw, tr, res.Matches)
+		} else {
+			partial++
+			if !tr.Partial {
+				t.Fatalf("%s: partial result (%v) but trace not marked partial", label, res.Err)
+			}
+			if len(tr.Lost()) == 0 {
+				t.Fatalf("%s: partial trace records no lost spans", label)
+			}
+		}
+	}
+	if complete == 0 {
+		t.Error("no complete queries under drops — recovery never succeeded")
+	}
+	if partial == 0 {
+		t.Error("no partial queries under drops — faults were not exercised")
+	}
+	t.Logf("trace chaos: %d complete / %d partial; faults %+v", complete, partial, nw.Faulty.Stats())
+}
+
+// TestTelemetryHTTPEndToEnd serves a live network's registry and trace
+// store over HTTP — exactly what squid-node -http exposes and squidctl
+// consumes — and checks both endpoints return the query that just ran.
+func TestTelemetryHTTPEndToEnd(t *testing.T) {
+	nw := tracedNetwork(t, 8, 9001)
+	rng := rand.New(rand.NewSource(9002))
+	chaosPublish(t, nw, rng, 100)
+	res, _ := nw.Query(0, keyspace.MustParse("(*, *)"))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+
+	srv := httptest.NewServer(telemetry.NewHandler(nw.Telemetry, nw.Traces))
+	defer srv.Close()
+
+	body := httpGet(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"squid_engine_queries_total",
+		"squid_chord_lookup_hops",
+		"squid_transport_inproc_sent_total",
+		"squid_store_keys_held",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	var list []struct {
+		QID uint64 `json:"qid"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/traces")), &list); err != nil {
+		t.Fatalf("decode /traces: %v", err)
+	}
+	found := false
+	for _, e := range list {
+		if e.QID == res.QID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/traces does not list query %d: %+v", res.QID, list)
+	}
+
+	var tr telemetry.Trace
+	if err := json.Unmarshal([]byte(httpGet(t, fmt.Sprintf("%s/trace?id=%d", srv.URL, res.QID))), &tr); err != nil {
+		t.Fatalf("decode /trace: %v", err)
+	}
+	if tr.QID != res.QID || len(tr.Spans) == 0 {
+		t.Fatalf("/trace returned %+v", tr)
+	}
+	assertTraceCoversOwners(t, "http", nw, tr, res.Matches)
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", url, resp.Status, buf.String())
+	}
+	return buf.String()
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): HELP/TYPE headers, one line per
+// child, cumulative _bucket/_sum/_count series for histograms. Families
+// appear in registration order; children within a family are sorted by
+// label values so successive scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, typeName(f.kind))
+		for _, ch := range f.snapshotChildren() {
+			writeChild(bw, f, ch)
+		}
+	}
+	return bw.Flush()
+}
+
+func typeName(k kind) string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// labelString renders {k1="v1",k2="v2"} for a child, with extra appended as
+// a pre-rendered pair (used for histogram le labels). Empty when the family
+// is unlabeled and extra is empty.
+func labelString(labels, values []string, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extra)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func writeChild(w io.Writer, f *family, ch childEntry) {
+	switch m := ch.metric.(type) {
+	case *Counter:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, ch.values, ""), m.Value())
+	case *Gauge:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, ch.values, ""), m.Value())
+	case *Histogram:
+		cum := m.Buckets()
+		for i, b := range m.Bounds() {
+			le := fmt.Sprintf(`le="%d"`, b)
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, ch.values, le), cum[i])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, ch.values, `le="+Inf"`), cum[len(cum)-1])
+		fmt.Fprintf(w, "%s_sum%s %d\n", f.name, labelString(f.labels, ch.values, ""), m.Sum())
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, ch.values, ""), m.Count())
+	}
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetrics(t *testing.T) {
+	reg := NewRegistry(nil)
+	reg.Counter("squid_http_total", "served").Add(2)
+	h := NewHandler(reg, nil)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "squid_http_total 2") {
+		t.Fatalf("/metrics missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/traces with nil store: status = %d, want 404", rec.Code)
+	}
+}
+
+func TestHandlerTraces(t *testing.T) {
+	reg := NewRegistry(nil)
+	store := NewTraceStore(8)
+	store.Add(sampleTrace())
+	h := NewHandler(reg, store)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/traces status = %d", rec.Code)
+	}
+	var summaries []traceSummary
+	if err := json.Unmarshal(rec.Body.Bytes(), &summaries); err != nil {
+		t.Fatalf("/traces not JSON: %v", err)
+	}
+	if len(summaries) != 1 || summaries[0].QID != 7 || !summaries[0].Partial || summaries[0].Spans != 4 {
+		t.Fatalf("/traces = %+v", summaries)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?id=7", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/trace status = %d", rec.Code)
+	}
+	var tr Trace
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if tr.QID != 7 || len(tr.Spans) != 4 {
+		t.Fatalf("/trace = %+v", tr)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/trace?id=99", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/trace for unknown id: status = %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if rec.Code != 400 {
+		t.Fatalf("/trace without id: status = %d, want 400", rec.Code)
+	}
+}

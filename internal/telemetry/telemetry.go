@@ -1,0 +1,161 @@
+// Package telemetry is the repo's observability subsystem: a zero-alloc
+// metrics registry (atomic counters, gauges, fixed-bucket histograms,
+// labeled families) plus a span model for tracing distributed queries
+// through the embedded query tree.
+//
+// The package is stdlib-only and deliberately deterministic: a Registry
+// never reads the wall clock itself. Callers inject a clock (cmd binaries
+// pass time.Now; the simulator passes nil) so instrumented code stays legal
+// under the nondet analyzer and simulated runs stay reproducible.
+//
+// Hot-path contract: Counter.Inc/Add, Gauge.Set/Add and Histogram.Observe
+// are single atomic operations — no locks, no allocation. Vec.With
+// allocates on first use of a label set only; hot paths resolve their child
+// once and hold the pointer.
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// kind discriminates what a metric family holds.
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+// Registry owns a set of metric families. All methods are safe for
+// concurrent use. Registering the same name twice returns the existing
+// family (so independently-constructed components can share one registry);
+// re-registering under a different kind or label arity panics, because that
+// is a programming error no caller can recover from.
+type Registry struct {
+	clock func() time.Time
+
+	mu     sync.Mutex
+	byName map[string]*family
+	order  []*family
+}
+
+// NewRegistry returns an empty registry. clock supplies wall time for
+// Now/Since and histogram timing helpers; nil means "no clock" — Now
+// returns the zero time and Since returns 0, which keeps instrumented code
+// deterministic in simulation.
+func NewRegistry(clock func() time.Time) *Registry {
+	return &Registry{
+		clock:  clock,
+		byName: make(map[string]*family),
+	}
+}
+
+// Now returns the registry's current time, or the zero time when no clock
+// was injected.
+func (r *Registry) Now() time.Time {
+	if r.clock == nil {
+		return time.Time{}
+	}
+	return r.clock()
+}
+
+// Since returns the elapsed time from t per the injected clock, or 0 when
+// no clock was injected (so duration observations become no-cost zeros in
+// simulation instead of nondeterministic wall-clock reads).
+func (r *Registry) Since(t time.Time) time.Duration {
+	if r.clock == nil {
+		return 0
+	}
+	return r.clock().Sub(t)
+}
+
+// family is one named metric with zero or more label dimensions. Children
+// are the concrete per-label-set instruments.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	buckets []int64 // histogram upper bounds, nil otherwise
+
+	mu       sync.Mutex
+	children map[string]any // joined label values -> *Counter/*Gauge/*Histogram
+	order    []childEntry   // insertion order for stable exposition
+}
+
+type childEntry struct {
+	values []string
+	metric any
+}
+
+// lookup returns the family registered under name, creating it if absent.
+func (r *Registry) lookup(name, help string, k kind, labels []string, buckets []int64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != k || len(f.labels) != len(labels) {
+			panic("telemetry: metric " + name + " re-registered with a different shape")
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     k,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]int64(nil), buckets...),
+		children: make(map[string]any),
+	}
+	r.byName[name] = f
+	r.order = append(r.order, f)
+	return f
+}
+
+// child returns the instrument for one label-value set, creating it via
+// make if absent. Callers resolve children once and keep the pointer; this
+// path locks and may allocate.
+func (f *family) child(values []string, make func() any) any {
+	if len(values) != len(f.labels) {
+		panic("telemetry: metric " + f.name + " used with wrong label count")
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[key]; ok {
+		return m
+	}
+	m := make()
+	f.children[key] = m
+	f.order = append(f.order, childEntry{values: append([]string(nil), values...), metric: m})
+	return m
+}
+
+// families snapshots the registered families in registration order.
+func (r *Registry) families() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*family(nil), r.order...)
+}
+
+// snapshotChildren returns a family's children in a stable order: label
+// sets sorted lexicographically (registration order is concurrent-join
+// dependent, so sorting keeps exposition diffable).
+func (f *family) snapshotChildren() []childEntry {
+	f.mu.Lock()
+	out := append([]childEntry(nil), f.order...)
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].values, out[j].values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -55,6 +55,7 @@ type Faulty struct {
 	group    map[Addr]int // partition group; addresses absent are group 0
 	split    bool         // a partition is active
 	crashed  map[Addr]bool
+	met      *faultyMetrics
 
 	dmu     sync.Mutex
 	dcond   *sync.Cond
@@ -229,14 +230,21 @@ func (f *Faulty) send(ep Endpoint, to Addr, msg any) error {
 	}
 
 	f.mu.Lock()
+	met := f.met
 	if f.crashed[from] || f.crashed[to] {
 		f.mu.Unlock()
 		f.crashDrops.Add(1)
+		if met != nil {
+			met.crash.Inc()
+		}
 		return nil
 	}
 	if f.split && f.group[from] != f.group[to] {
 		f.mu.Unlock()
 		f.partitionDrops.Add(1)
+		if met != nil {
+			met.partition.Inc()
+		}
 		return nil
 	}
 	k := linkKey{from, to}
@@ -254,17 +262,26 @@ func (f *Faulty) send(ep Endpoint, to Addr, msg any) error {
 
 	if rate > 0 && dropDraw < rate {
 		f.dropped.Add(1)
+		if met != nil {
+			met.dropped.Inc()
+		}
 		return nil
 	}
 	if maxD > 0 {
 		d := minD + time.Duration(delayDraw*float64(maxD-minD))
 		f.delayed.Add(1)
+		if met != nil {
+			met.delayed.Inc()
+		}
 		f.dmu.Lock()
 		f.pending++
 		f.dmu.Unlock()
 		//lint:allow-nondet delay injection is wall-clock by design: every drop/delay decision is a seeded draw above, only the delivery timing rides the real clock
 		time.AfterFunc(d, func() {
 			f.delivered.Add(1)
+			if met != nil {
+				met.delivered.Inc()
+			}
 			_ = ep.Send(to, msg) // destination may have died meanwhile
 			f.dmu.Lock()
 			f.pending--
@@ -276,6 +293,9 @@ func (f *Faulty) send(ep Endpoint, to Addr, msg any) error {
 		return nil
 	}
 	f.delivered.Add(1)
+	if met != nil {
+		met.delivered.Inc()
+	}
 	return ep.Send(to, msg)
 }
 

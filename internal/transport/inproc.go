@@ -20,6 +20,7 @@ type Inproc struct {
 	mu       sync.Mutex
 	boxes    map[Addr]*mailbox
 	observer Observer
+	met      *inprocMetrics
 
 	// In-flight accounting is a cond-guarded counter rather than a
 	// WaitGroup: recovery timers may inject messages concurrently with
@@ -107,14 +108,24 @@ func (n *Inproc) send(from, to Addr, msg any) error {
 	n.mu.Lock()
 	box := n.boxes[to]
 	obs := n.observer
+	met := n.met
 	n.mu.Unlock()
 	if box == nil {
+		if met != nil {
+			met.unreachable.Inc()
+		}
 		return ErrUnreachable
 	}
 	n.track()
 	if !box.enqueue(from, msg) {
 		n.done()
+		if met != nil {
+			met.unreachable.Inc()
+		}
 		return ErrUnreachable
+	}
+	if met != nil {
+		met.sent.Inc()
 	}
 	if obs != nil {
 		obs(from, to, msg)

@@ -3,8 +3,10 @@ package transport
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,6 +46,8 @@ type TCPEndpoint struct {
 
 	deliver chan envelope
 	done    chan struct{}
+
+	met atomic.Pointer[tcpMetrics]
 }
 
 type outConn struct {
@@ -81,6 +85,22 @@ func (ep *TCPEndpoint) Addr() Addr { return ep.addr }
 // Send encodes msg to the peer at to, dialing or reusing a cached
 // connection. Self-sends bypass the network.
 func (ep *TCPEndpoint) Send(to Addr, msg any) error {
+	m := ep.met.Load()
+	if m == nil {
+		return ep.send(to, msg)
+	}
+	start := m.reg.Now()
+	err := ep.send(to, msg)
+	m.latency.Observe(int64(m.reg.Since(start)))
+	if err != nil {
+		m.errors.Inc()
+	} else {
+		m.sent.Inc()
+	}
+	return err
+}
+
+func (ep *TCPEndpoint) send(to Addr, msg any) error {
 	ep.mu.Lock()
 	if ep.closed {
 		ep.mu.Unlock()
@@ -141,7 +161,11 @@ func (ep *TCPEndpoint) connTo(to Addr) (*outConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, to, err)
 	}
-	oc := &outConn{conn: conn, enc: gob.NewEncoder(conn)}
+	var w io.Writer = conn
+	if m := ep.met.Load(); m != nil {
+		w = &countingWriter{w: conn, c: m.bytes}
+	}
+	oc := &outConn{conn: conn, enc: gob.NewEncoder(w)}
 
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
@@ -203,6 +227,9 @@ func (ep *TCPEndpoint) readLoop(conn net.Conn) {
 		var env wireEnvelope
 		if err := dec.Decode(&env); err != nil {
 			return
+		}
+		if m := ep.met.Load(); m != nil {
+			m.received.Inc()
 		}
 		select {
 		case ep.deliver <- envelope{from: Addr(env.From), msg: env.Payload}:
