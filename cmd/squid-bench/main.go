@@ -30,6 +30,7 @@ func main() {
 		keys       = flag.Int("keys", 20000, "stored keys for fig18/fig19/a5")
 		csv        = flag.String("csv", "", "also write sweep results (fig9-fig17) as CSV to this file")
 		benchJSON  = flag.String("bench-json", "", "run the hot-path benchmark suite instead of figures and write the snapshot (BENCH_*.json) to this file")
+		schedJSON  = flag.String("sched-json", "", "run the concurrent-load scheduler benchmark (serial vs worker pool under deadline-bounded bursts) and write the snapshot (BENCH_2.json) to this file")
 		traceDemo  = flag.Bool("trace-demo", false, "run one traced query under message drops and render its refinement tree (uses -nodes, -keys, -drop)")
 		drop       = flag.Float64("drop", 0.05, "message drop rate for -trace-demo")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
@@ -50,6 +51,9 @@ func main() {
 	err := func() error {
 		if *benchJSON != "" {
 			return runBenchJSON(*benchJSON, *factor)
+		}
+		if *schedJSON != "" {
+			return runSchedJSON(*schedJSON)
 		}
 		if *traceDemo {
 			return runTraceDemo(*nodes, *keys, *drop)

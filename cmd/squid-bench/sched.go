@@ -1,0 +1,304 @@
+package main
+
+// The -sched-json harness: a concurrent-load benchmark for the query
+// scheduler (BENCH_2.json). It drives the same overlay twice — once with
+// serial in-delivery-goroutine refinement (the pre-scheduler engine) and
+// once with the worker pool plus admission control — under an open-loop
+// burst workload of deadline-bounded queries, and reports goodput
+// (queries completed within their deadline per second of system busy
+// time), latency percentiles, overload sheds, and the solo single-query
+// latency the scheduler must not regress.
+//
+// The serial engine admits everything and refines on the delivery
+// goroutine, so under overload queued queries burn CPU past their
+// deadlines and are cancelled after the fact: offered work is wasted.
+// The scheduled engine sheds what it cannot finish (ErrOverloaded,
+// costing ~nothing) and keeps the delivery goroutine responsive, so the
+// queries it does admit complete inside their deadlines.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+)
+
+type schedLoadResult struct {
+	Offered      int     `json:"offered"`
+	Completed    int     `json:"completed"`
+	Shed         int     `json:"shed"`
+	Partial      int     `json:"partial"`
+	DeadlineMiss int     `json:"deadline_missed"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	GoodputQPS   float64 `json:"goodput_qps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	SoloMs       float64 `json:"solo_ms"`
+}
+
+type schedSnapshot struct {
+	Generated       string          `json:"generated"`
+	Go              string          `json:"go"`
+	Nodes           int             `json:"nodes"`
+	Keys            int             `json:"keys"`
+	Burst           int             `json:"burst"`
+	DeadlineMs      float64         `json:"deadline_ms"`
+	Workers         int             `json:"workers"`
+	MaxInflight     int             `json:"max_inflight"`
+	Serial          schedLoadResult `json:"serial"`
+	Scheduled       schedLoadResult `json:"scheduled"`
+	GoodputSpeedup  float64         `json:"goodput_speedup"`
+	SoloOverheadPct float64         `json:"solo_overhead_pct"`
+}
+
+// schedBenchWord draws a short word; the alphabet-skewed first letter
+// mirrors the soak corpus so query breadths span cheap to expensive.
+func schedBenchWord(rng *rand.Rand) string {
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	n := 3 + rng.Intn(4)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+func schedBenchNetwork(space *keyspace.Space, nodes int, elems []squid.Element, opts squid.Options) (*sim.Network, error) {
+	nw, err := sim.Build(sim.Config{Nodes: nodes, Space: space, Seed: 9001, Engine: opts})
+	if err != nil {
+		return nil, err
+	}
+	if err := nw.Preload(elems); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+// soloOnce runs one query alone on an otherwise idle network and returns
+// its end-to-end latency.
+func soloOnce(nw *sim.Network, via int, q keyspace.Query) (time.Duration, error) {
+	p := nw.Peers[via%len(nw.Peers)]
+	done := make(chan error, 1)
+	start := time.Now()
+	sim.MustInvoke(p, func() {
+		p.Engine.Query(q, func(r squid.Result) { done <- r.Err })
+	})
+	if err := <-done; err != nil {
+		return 0, fmt.Errorf("solo query: %w", err)
+	}
+	return time.Since(start), nil
+}
+
+// soloLatencies measures the two engines' single-query latencies with
+// interleaved repetitions — alternating nets each rep AND alternating
+// which net goes first, so allocator drift, GC pauses, and cache-warmth
+// ordering effects hit both sides equally — and returns each side's
+// median.
+func soloLatencies(a, b *sim.Network, q keyspace.Query, reps int) (time.Duration, time.Duration, error) {
+	runtime.GC()
+	la := make([]time.Duration, 0, reps)
+	lb := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		first, second := a, b
+		if i%2 == 1 {
+			first, second = b, a
+		}
+		d1, err := soloOnce(first, i, q)
+		if err != nil {
+			return 0, 0, err
+		}
+		d2, err := soloOnce(second, i, q)
+		if err != nil {
+			return 0, 0, err
+		}
+		if first == a {
+			la, lb = append(la, d1), append(lb, d2)
+		} else {
+			la, lb = append(la, d2), append(lb, d1)
+		}
+	}
+	sort.Slice(la, func(i, j int) bool { return la[i] < la[j] })
+	sort.Slice(lb, func(i, j int) bool { return lb[i] < lb[j] })
+	return la[len(la)/2], lb[len(lb)/2], nil
+}
+
+// runSchedLoad offers `offered` deadline-bounded queries as a storm of
+// back-to-back bursts of `burst` — an arrival spike far above capacity,
+// submitted without pacing because on one CPU a paced client competes
+// with the system under test and silently self-throttles to its
+// capacity. Each burst lands on one peer's delivery goroutine in a
+// single turn — the worst case for head-of-line blocking, and the
+// deterministic case for admission control. Latency runs from the
+// client's submit instant, so delivery-queue wait counts; a query is
+// goodput only if its full result arrived within its deadline. The wall
+// clock includes the post-load drain: work the system spends on queries
+// that already missed their deadlines is part of the cost the serial
+// engine pays and the admission-controlled engine refuses.
+func runSchedLoad(nw *sim.Network, queries []keyspace.Query, offered, burst int, deadline time.Duration) schedLoadResult {
+	type outcome struct {
+		latency time.Duration
+		err     error
+	}
+	results := make(chan outcome, offered)
+	start := time.Now()
+	qi := 0
+	for submitted := 0; submitted < offered; submitted += burst {
+		n := burst
+		if rem := offered - submitted; rem < n {
+			n = rem
+		}
+		p := nw.Peers[(submitted/burst)%len(nw.Peers)]
+		qs := make([]keyspace.Query, n)
+		for i := range qs {
+			qs[i] = queries[qi%len(queries)]
+			qi++
+		}
+		t0 := time.Now() // client submit instant for the whole burst
+		sim.MustInvoke(p, func() {
+			for _, q := range qs {
+				ctx, cancel := context.WithTimeout(context.Background(), deadline)
+				_, err := p.Engine.QueryCtx(ctx, q, func(r squid.Result) {
+					cancel()
+					results <- outcome{latency: time.Since(t0), err: r.Err}
+				})
+				if err != nil {
+					cancel()
+					results <- outcome{latency: time.Since(t0), err: err}
+				}
+			}
+		})
+	}
+	res := schedLoadResult{Offered: offered}
+	var lat []time.Duration
+	for i := 0; i < offered; i++ {
+		out := <-results
+		switch {
+		case out.err == nil && out.latency <= deadline:
+			res.Completed++
+			lat = append(lat, out.latency)
+		case out.err == nil:
+			// Finished, but past its deadline: the cancellation raced the
+			// completion. The client stopped waiting — not goodput.
+			res.DeadlineMiss++
+		case errors.Is(out.err, squid.ErrOverloaded):
+			res.Shed++
+		case errors.Is(out.err, squid.ErrPartialResult):
+			res.Partial++
+		default:
+			res.DeadlineMiss++
+		}
+	}
+	nw.Quiesce() // trailing subtree work for dead queries is real cost
+	wall := time.Since(start)
+	res.WallSeconds = wall.Seconds()
+	if wall > 0 {
+		res.GoodputQPS = float64(res.Completed) / wall.Seconds()
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		res.P50Ms = float64(lat[len(lat)/2].Microseconds()) / 1e3
+		res.P99Ms = float64(lat[len(lat)*99/100].Microseconds()) / 1e3
+	}
+	return res
+}
+
+func runSchedJSON(path string) error {
+	const (
+		nodes    = 8
+		keys     = 6000
+		offered  = 4000
+		burst    = 8
+		deadline = 80 * time.Millisecond
+		workers  = 2
+		inflight = 12
+	)
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(9002))
+	elems := make([]squid.Element, keys)
+	for i := range elems {
+		elems[i] = squid.Element{
+			Values: []string{schedBenchWord(rng), schedBenchWord(rng)},
+			Data:   fmt.Sprintf("doc-%05d", i),
+		}
+	}
+	// Breadth mix: full and one-axis wildcards (expensive, touch most of
+	// the ring) against narrow prefixes and ranges (cheap). Under serial
+	// refinement the cheap queries queue behind the expensive ones.
+	queries := []keyspace.Query{
+		keyspace.MustParse("(*, *)"),
+		keyspace.MustParse("(a-c, *)"),
+		keyspace.MustParse("(ma*, t*)"),
+		keyspace.MustParse("(qu*, fo*)"),
+		keyspace.MustParse("(*, ba*)"),
+		keyspace.MustParse("(do*, re*)"),
+		keyspace.MustParse("(k-m, b-d)"),
+		keyspace.MustParse("(za*, zo*)"),
+	}
+	// Narrow enough to bound GC noise, broad enough to touch several
+	// nodes' arcs end to end.
+	soloQuery := keyspace.MustParse("(a-c, *)")
+
+	serialNet, err := schedBenchNetwork(space, nodes, elems, squid.Options{Workers: -1})
+	if err != nil {
+		return err
+	}
+	schedNet, err := schedBenchNetwork(space, nodes, elems, squid.Options{Workers: workers, MaxInflight: inflight})
+	if err != nil {
+		return err
+	}
+
+	serialSolo, schedSolo, err := soloLatencies(serialNet, schedNet, soloQuery, 101)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("sched bench: %d nodes, %d keys, a storm of %d queries in bursts of %d, %v deadline\n",
+		nodes, keys, offered, burst, deadline)
+	serial := runSchedLoad(serialNet, queries, offered, burst, deadline)
+	serial.SoloMs = float64(serialSolo.Microseconds()) / 1e3
+	fmt.Printf("  serial:    %4d/%d completed, %4d shed, %3d partial, %4d missed deadline, %7.2f qps goodput, p99 %.1fms\n",
+		serial.Completed, serial.Offered, serial.Shed, serial.Partial, serial.DeadlineMiss, serial.GoodputQPS, serial.P99Ms)
+	sched := runSchedLoad(schedNet, queries, offered, burst, deadline)
+	sched.SoloMs = float64(schedSolo.Microseconds()) / 1e3
+	fmt.Printf("  scheduled: %4d/%d completed, %4d shed, %3d partial, %4d missed deadline, %7.2f qps goodput, p99 %.1fms\n",
+		sched.Completed, sched.Offered, sched.Shed, sched.Partial, sched.DeadlineMiss, sched.GoodputQPS, sched.P99Ms)
+
+	snap := schedSnapshot{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Go:          runtime.Version(),
+		Nodes:       nodes,
+		Keys:        keys,
+		Burst:       burst,
+		DeadlineMs:  float64(deadline.Milliseconds()),
+		Workers:     workers,
+		MaxInflight: inflight,
+		Serial:      serial,
+		Scheduled:   sched,
+	}
+	if serial.GoodputQPS > 0 {
+		snap.GoodputSpeedup = sched.GoodputQPS / serial.GoodputQPS
+	}
+	if serial.SoloMs > 0 {
+		snap.SoloOverheadPct = (sched.SoloMs - serial.SoloMs) / serial.SoloMs * 100
+	}
+	fmt.Printf("  goodput speedup %.2fx, solo %.2fms -> %.2fms (%+.1f%%)\n",
+		snap.GoodputSpeedup, serial.SoloMs, sched.SoloMs, snap.SoloOverheadPct)
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

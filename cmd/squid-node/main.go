@@ -45,6 +45,8 @@ type config struct {
 	rpcRetries int
 	rpcBackoff time.Duration
 	httpAddr   string
+	workers    int
+	inflight   int
 }
 
 func main() {
@@ -61,6 +63,8 @@ func main() {
 	flag.IntVar(&cfg.rpcRetries, "rpc-retries", 3, "retries per failed ring RPC (0: fail fast)")
 	flag.DurationVar(&cfg.rpcBackoff, "rpc-backoff", 100*time.Millisecond, "delay before the first RPC retry (doubles per retry, jittered)")
 	flag.StringVar(&cfg.httpAddr, "http", "", "serve telemetry over HTTP on this address: /metrics, /traces, /trace?id=N (empty: disabled)")
+	flag.IntVar(&cfg.workers, "workers", 0, "query scheduler worker pool size (0: GOMAXPROCS clamped to [2,8]; negative: serial processing)")
+	flag.IntVar(&cfg.inflight, "max-inflight", 0, "refinement jobs admitted before the node sheds load (0: 16x workers, min 64)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatalf("squid-node: %v", err)
@@ -83,15 +87,22 @@ func run(cfg config) error {
 
 	reg := telemetry.NewRegistry(time.Now)
 	traces := telemetry.NewTraceStore(0)
-	eng := squid.NewEngine(space, squid.Options{
-		Replicas: cfg.replicas,
-		// Over a real network queries must degrade, not hang: lost subtrees
-		// are re-dispatched and eventually surfaced as partial results.
-		SubtreeTimeout: 5 * time.Second,
-		QueryDeadline:  60 * time.Second,
-		Telemetry:      reg,
-		Traces:         traces,
-	})
+	// Over a real network queries must degrade, not hang: lost subtrees
+	// are re-dispatched and eventually surfaced as partial results.
+	engOpts := []squid.Option{
+		squid.WithReplication(cfg.replicas),
+		squid.WithSubtreeTimeout(5 * time.Second),
+		squid.WithQueryDeadline(60 * time.Second),
+		squid.WithMaxInflight(cfg.inflight),
+		squid.WithTelemetry(reg),
+		squid.WithTraces(traces),
+	}
+	if cfg.workers < 0 {
+		engOpts = append(engOpts, squid.WithSerialProcessing())
+	} else if cfg.workers > 0 {
+		engOpts = append(engOpts, squid.WithWorkers(cfg.workers))
+	}
+	eng := squid.New(space, engOpts...)
 	node := chord.NewNode(chord.Config{
 		Space:      ring,
 		RPCTimeout: 5 * time.Second,

@@ -341,7 +341,7 @@ func (s *session) trace(args []string) error {
 		if err != nil {
 			return fmt.Errorf("trace: bad query id %q", args[0])
 		}
-		t, ok = s.nw.Traces.Get(qid)
+		t, ok = s.nw.Traces.Get(telemetry.QueryID(qid))
 	} else {
 		t, ok = s.nw.Traces.Last()
 	}

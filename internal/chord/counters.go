@@ -73,6 +73,11 @@ func newNodeMetrics(reg *telemetry.Registry, id ID) nodeMetrics {
 }
 
 // Counters snapshots the node's recovery counters. Safe from any goroutine.
+//
+// The same data is published per node through the telemetry registry as
+// the squid_chord_rpc_retries_total and squid_chord_rpc_failures_total
+// families; scrape-based consumers should read those instead of polling
+// this accessor.
 func (n *Node) Counters() Counters {
 	return Counters{
 		FindRetries:   n.ctr.findRetries.Value(),

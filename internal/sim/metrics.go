@@ -12,7 +12,7 @@ import (
 // evaluation metrics (Section 4.1): the nodes that route it, the nodes
 // that process it, the nodes holding matches, and the messages used.
 type QueryMetrics struct {
-	QID uint64
+	QID squid.QueryID
 
 	// RouteMessages counts routed message transmissions (every hop of the
 	// initial cluster dispatches and exact lookups).
@@ -31,6 +31,12 @@ type QueryMetrics struct {
 	PayloadHops int
 	// ResultMessages counts result reports back to the initiator.
 	ResultMessages int
+	// BatchMessages counts BatchMsg transmissions. Each batch entry is
+	// already tallied in ClusterMessages/PayloadHops exactly as if it had
+	// been sent alone, so the paper's message counts are unchanged by
+	// batching; this counter measures transmissions saved (entries minus
+	// batches).
+	BatchMessages int
 
 	// RoutingNodes received at least one forwarded message for the query
 	// without necessarily processing it.
@@ -77,7 +83,7 @@ func (m *QueryMetrics) ClusteringRatio() float64 {
 	return float64(m.Matches) / float64(len(m.DataNodes))
 }
 
-func newQueryMetrics(qid uint64) *QueryMetrics {
+func newQueryMetrics(qid squid.QueryID) *QueryMetrics {
 	return &QueryMetrics{
 		QID:             qid,
 		RoutingNodes:    make(map[chord.ID]bool),
@@ -107,7 +113,7 @@ func copySet(s map[chord.ID]bool) map[chord.ID]bool {
 // Safe for concurrent use.
 type Metrics struct {
 	mu       sync.Mutex
-	byQuery  map[uint64]*QueryMetrics
+	byQuery  map[squid.QueryID]*QueryMetrics
 	idByAddr map[transport.Addr]chord.ID
 }
 
@@ -115,7 +121,7 @@ type Metrics struct {
 // addresses to ring identifiers for node attribution.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		byQuery:  make(map[uint64]*QueryMetrics),
+		byQuery:  make(map[squid.QueryID]*QueryMetrics),
 		idByAddr: make(map[transport.Addr]chord.ID),
 	}
 }
@@ -127,7 +133,7 @@ func (ms *Metrics) RegisterAddr(addr transport.Addr, id chord.ID) {
 	ms.mu.Unlock()
 }
 
-func (ms *Metrics) query(qid uint64) *QueryMetrics {
+func (ms *Metrics) query(qid squid.QueryID) *QueryMetrics {
 	qm, ok := ms.byQuery[qid]
 	if !ok {
 		qm = newQueryMetrics(qid)
@@ -137,7 +143,7 @@ func (ms *Metrics) query(qid uint64) *QueryMetrics {
 }
 
 // Processed implements squid.MetricsSink.
-func (ms *Metrics) Processed(qid uint64, node chord.ID, clusters, matches int) {
+func (ms *Metrics) Processed(qid squid.QueryID, node chord.ID, clusters, matches int) {
 	if qid == 0 {
 		return
 	}
@@ -152,7 +158,7 @@ func (ms *Metrics) Processed(qid uint64, node chord.ID, clusters, matches int) {
 }
 
 // Redispatched implements squid.RecoverySink.
-func (ms *Metrics) Redispatched(qid uint64) {
+func (ms *Metrics) Redispatched(qid squid.QueryID) {
 	if qid == 0 {
 		return
 	}
@@ -162,7 +168,7 @@ func (ms *Metrics) Redispatched(qid uint64) {
 }
 
 // Abandoned implements squid.RecoverySink.
-func (ms *Metrics) Abandoned(qid uint64) {
+func (ms *Metrics) Abandoned(qid squid.QueryID) {
 	if qid == 0 {
 		return
 	}
@@ -172,7 +178,7 @@ func (ms *Metrics) Abandoned(qid uint64) {
 }
 
 // Partial implements squid.RecoverySink.
-func (ms *Metrics) Partial(qid uint64) {
+func (ms *Metrics) Partial(qid squid.QueryID) {
 	if qid == 0 {
 		return
 	}
@@ -191,7 +197,7 @@ func (ms *Metrics) Observe(from, to transport.Addr, msg any) {
 			return
 		}
 		ms.mu.Lock()
-		qm := ms.query(m.Trace)
+		qm := ms.query(squid.QueryID(m.Trace))
 		qm.RouteMessages++
 		if _, ok := m.Payload.(squid.ClusterQueryMsg); ok {
 			qm.PayloadHops++
@@ -203,7 +209,7 @@ func (ms *Metrics) Observe(from, to transport.Addr, msg any) {
 			return
 		}
 		ms.mu.Lock()
-		qm := ms.query(m.Trace)
+		qm := ms.query(squid.QueryID(m.Trace))
 		qm.ProbeMessages++
 		qm.RoutingNodes[ms.idByAddr[to]] = true
 		ms.mu.Unlock()
@@ -212,7 +218,7 @@ func (ms *Metrics) Observe(from, to transport.Addr, msg any) {
 			return
 		}
 		ms.mu.Lock()
-		ms.query(m.Trace).ProbeReplies++
+		ms.query(squid.QueryID(m.Trace)).ProbeReplies++
 		ms.mu.Unlock()
 	case chord.AppMsg:
 		switch p := m.Payload.(type) {
@@ -221,6 +227,19 @@ func (ms *Metrics) Observe(from, to transport.Addr, msg any) {
 			qm := ms.query(p.QID)
 			qm.ClusterMessages++
 			qm.PayloadHops++
+			ms.mu.Unlock()
+		case squid.BatchMsg:
+			// Count each entry as if it had been its own transmission:
+			// batching must not perturb the experiments' exact counts.
+			ms.mu.Lock()
+			for _, cq := range p.Queries {
+				qm := ms.query(cq.QID)
+				qm.ClusterMessages++
+				qm.PayloadHops++
+			}
+			if len(p.Queries) > 0 {
+				ms.query(p.Queries[0].QID).BatchMessages++
+			}
 			ms.mu.Unlock()
 		case squid.SubResultMsg:
 			ms.mu.Lock()
@@ -231,7 +250,7 @@ func (ms *Metrics) Observe(from, to transport.Addr, msg any) {
 }
 
 // ForQuery returns a snapshot of one query's metrics.
-func (ms *Metrics) ForQuery(qid uint64) QueryMetrics {
+func (ms *Metrics) ForQuery(qid squid.QueryID) QueryMetrics {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	if qm, ok := ms.byQuery[qid]; ok {
@@ -243,7 +262,7 @@ func (ms *Metrics) ForQuery(qid uint64) QueryMetrics {
 // Reset discards all recorded queries (the address table is kept).
 func (ms *Metrics) Reset() {
 	ms.mu.Lock()
-	ms.byQuery = make(map[uint64]*QueryMetrics)
+	ms.byQuery = make(map[squid.QueryID]*QueryMetrics)
 	ms.mu.Unlock()
 }
 

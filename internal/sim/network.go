@@ -162,7 +162,15 @@ func (nw *Network) newPeer(id chord.ID) (*Peer, error) {
 	opts.Sink = nw.Metrics
 	opts.Telemetry = nw.Telemetry
 	opts.Traces = nw.Traces
-	eng := squid.NewEngine(nw.Space, opts)
+	if opts.MaxInflight == 0 {
+		// The deterministic experiments assert exact results and message
+		// counts, which shedding would perturb: simulated peers run
+		// effectively uncapped unless a test opts into admission control
+		// explicitly. (On one CPU the delivery goroutine can outrun the
+		// worker pool by far more than the production default allows.)
+		opts.MaxInflight = 1 << 30
+	}
+	eng := squid.New(nw.Space, squid.FromOptions(opts))
 	ccfg := nw.cfg.Chord
 	ccfg.Space = chord.Space{Bits: nw.Space.IndexBits()}
 	ccfg.SuccListLen = nw.cfg.SuccListLen
@@ -262,9 +270,30 @@ func (nw *Network) successorPeer(id chord.ID) *Peer {
 // SuccessorOf exposes the oracle owner of a curve index.
 func (nw *Network) SuccessorOf(idx uint64) *Peer { return nw.successorPeer(chord.ID(idx)) }
 
-// Quiesce waits for the network to go idle (including messages parked in
-// the fault layer's delay queue, when one is installed).
+// Quiesce waits for the network to go idle: no message in flight (including
+// messages parked in the fault layer's delay queue, when one is installed)
+// and no refinement job pending on any peer's query scheduler. The loop
+// closes the handoff race between the two: a scheduler completion is a
+// self-send that re-activates the transport, and a delivered message may
+// admit new scheduler jobs — so the network is only idle once a full
+// transport-and-scheduler sweep observed no new send at all (the in-process
+// transport's activity counter is monotonic).
 func (nw *Network) Quiesce() {
+	for {
+		before := nw.Inproc.Activity()
+		nw.transportQuiesce()
+		for _, p := range nw.Peers {
+			p.Engine.WaitIdle()
+		}
+		nw.transportQuiesce()
+		if nw.Inproc.Activity() == before {
+			return
+		}
+	}
+}
+
+// transportQuiesce drains the transport stack alone.
+func (nw *Network) transportQuiesce() {
 	if nw.Faulty != nil {
 		nw.Faulty.Quiesce()
 		return
@@ -312,7 +341,7 @@ func (nw *Network) Publish(via int, elem squid.Element) error {
 func (nw *Network) Query(via int, q keyspace.Query) (squid.Result, QueryMetrics) {
 	p := nw.Peers[via]
 	resCh := make(chan squid.Result, 1)
-	qidCh := make(chan uint64, 1)
+	qidCh := make(chan squid.QueryID, 1)
 	MustInvoke(p, func() {
 		qidCh <- p.Engine.Query(q, func(r squid.Result) { resCh <- r })
 	})
@@ -484,7 +513,9 @@ func (nw *Network) TotalKeys() int {
 }
 
 // ChordCounters sums every live peer's RPC retry/backoff counters — the
-// ring-level recovery cost under churn and faults.
+// ring-level recovery cost under churn and faults. It is a convenience
+// aggregation over per-node state; code that already holds
+// Network.Telemetry can read the chord_rpc_* families directly.
 func (nw *Network) ChordCounters() chord.Counters {
 	var out chord.Counters
 	for _, p := range nw.Peers {
@@ -496,7 +527,7 @@ func (nw *Network) ChordCounters() chord.Counters {
 // TraceForQuery returns a query's reassembled refinement-tree trace.
 // Requires Config.Trace; the trace is complete once Query has returned
 // (result delivery happens-after the root records the trace).
-func (nw *Network) TraceForQuery(qid uint64) (telemetry.Trace, bool) {
+func (nw *Network) TraceForQuery(qid squid.QueryID) (telemetry.Trace, bool) {
 	if nw.Traces == nil {
 		return telemetry.Trace{}, false
 	}
@@ -504,7 +535,9 @@ func (nw *Network) TraceForQuery(qid uint64) (telemetry.Trace, bool) {
 }
 
 // RecoveryCounters sums every live peer's query-recovery counters — the
-// engine-level cost of riding out lost subtrees.
+// engine-level cost of riding out lost subtrees. Like ChordCounters it is a
+// convenience aggregation; the squid_engine_recovery_total family in
+// Network.Telemetry carries the same data per node.
 func (nw *Network) RecoveryCounters() squid.RecoveryCounters {
 	var out squid.RecoveryCounters
 	for _, p := range nw.Peers {

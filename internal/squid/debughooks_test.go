@@ -1,0 +1,22 @@
+package squid
+
+import (
+	"squid/internal/chord"
+	"squid/internal/transport"
+)
+
+// SetDebugDispatch (test hook) reports each flushed dispatch round as the
+// per-destination entry counts.
+func SetDebugDispatch(fn func(node chord.ID, entries []int)) {
+	if fn == nil {
+		debugDispatch = nil
+		return
+	}
+	debugDispatch = func(node chord.ID, dests []transport.Addr, byDest map[transport.Addr][]pendingDispatch) {
+		sizes := make([]int, len(dests))
+		for i, d := range dests {
+			sizes[i] = len(byDest[d])
+		}
+		fn(node, sizes)
+	}
+}

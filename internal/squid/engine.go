@@ -1,8 +1,10 @@
 package squid
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -22,7 +24,7 @@ import (
 type MetricsSink interface {
 	// Processed records that a node processed clusters of query qid and
 	// found the given number of matching elements there.
-	Processed(qid uint64, node chord.ID, clusters, matches int)
+	Processed(qid QueryID, node chord.ID, clusters, matches int)
 }
 
 // Options tunes an Engine.
@@ -67,6 +69,20 @@ type Options struct {
 	// Err = ErrPartialResult. 0 disables; queries then complete only via
 	// subtree accounting.
 	QueryDeadline time.Duration
+	// Workers sizes the query scheduler's worker pool: the goroutines that
+	// run Hilbert refinement and local matching off the delivery
+	// goroutine, so an expensive wildcard query cannot head-of-line-block
+	// the node's message processing. 0 picks a default (GOMAXPROCS,
+	// clamped to [2, 8]); < 0 disables the pool and refines inline on the
+	// delivery goroutine (the pre-scheduler serial behavior, kept as the
+	// ablation baseline).
+	Workers int
+	// MaxInflight caps refinement jobs admitted but not yet completed on
+	// this node. Beyond the cap the engine sheds: a root query fails fast
+	// with ErrOverloaded, a remote subtree is refused with a QueryShedMsg
+	// and retried by its dispatcher through the recovery path. 0 defaults
+	// to max(64, 16*workers); ignored in serial mode.
+	MaxInflight int
 	// Telemetry receives the engine's metrics as per-node labeled children.
 	// Nil gets a private clock-less registry so instrumentation has one
 	// code path; share one registry across node and engine to scrape both.
@@ -91,17 +107,17 @@ var ErrPartialResult = errors.New("squid: partial result: query subtree lost to 
 type RecoverySink interface {
 	// Redispatched records that a lost or overdue child subtree was sent
 	// again through ring routing.
-	Redispatched(qid uint64)
+	Redispatched(qid QueryID)
 	// Abandoned records that a child subtree exhausted its re-dispatches.
-	Abandoned(qid uint64)
+	Abandoned(qid QueryID)
 	// Partial records that the query completed with an incomplete result.
-	Partial(qid uint64)
+	Partial(qid QueryID)
 }
 
 // Result is the outcome of a flexible query: every stored element matching
 // the query, gathered from all data nodes.
 type Result struct {
-	QID     uint64
+	QID     QueryID
 	Query   keyspace.Query
 	Matches []Element
 	Err     error
@@ -111,7 +127,7 @@ type Result struct {
 // correlated per initiating engine, but metrics need global uniqueness).
 var qidCounter atomic.Uint64
 
-func nextQID() uint64 { return qidCounter.Add(1) }
+func nextQID() QueryID { return QueryID(qidCounter.Add(1)) }
 
 // Engine is the Squid application attached to one chord node. Like the
 // node, its state is confined to the node's delivery goroutine: call
@@ -128,6 +144,7 @@ type Engine struct {
 	arcCache  []cachedArc
 	met       engineMetrics
 	spanSeq   uint64
+	sched     *scheduler // nil in serial mode (Options.Workers < 0)
 
 	// Per-engine refinement scratch. Engine state is confined to the
 	// node's delivery goroutine, so the buffers are reused across queries:
@@ -148,7 +165,7 @@ type Engine struct {
 // messages. When complete, the aggregate flows to the parent (or, at the
 // root, to the query's callback).
 type subtree struct {
-	qid         uint64
+	qid         QueryID
 	q           keyspace.Query
 	parent      transport.Addr // empty at the query root
 	parentToken uint64
@@ -160,6 +177,8 @@ type subtree struct {
 	finished    bool // result already delivered; ignore stragglers
 	deadline    *time.Timer
 	cb          func(Result)
+	cancelErr   error         // context cancellation cause; overrides ErrPartialResult
+	ctxStop     chan struct{} // closed on completion to release the context watcher
 
 	// Tracing state. spanID is 0 when the query is not sampled; when set,
 	// this subtree records one span on completion (attached under ref's
@@ -201,13 +220,23 @@ type childCall struct {
 	timer    *time.Timer
 }
 
-// NewEngine creates an engine over the given keyword space. Attach it to
-// its node before use:
+// NewEngine creates an engine over the given keyword space from an Options
+// struct.
 //
-//	eng := squid.NewEngine(space, opts)
+// Deprecated: use New with functional options (FromOptions bridges an
+// assembled Options struct). NewEngine is kept as a shim for existing
+// callers and behaves identically.
+func NewEngine(space *keyspace.Space, opts Options) *Engine {
+	return newEngine(space, opts)
+}
+
+// newEngine is the shared constructor behind New and NewEngine. Attach the
+// engine to its node before use:
+//
+//	eng := squid.New(space, squid.WithReplication(2))
 //	node := chord.NewNode(chordCfg, id, eng)
 //	eng.Attach(node)
-func NewEngine(space *keyspace.Space, opts Options) *Engine {
+func newEngine(space *keyspace.Space, opts Options) *Engine {
 	if opts.InitialClusters <= 0 {
 		opts.InitialClusters = 1 << space.Dims()
 	}
@@ -216,6 +245,12 @@ func NewEngine(space *keyspace.Space, opts Options) *Engine {
 	}
 	if opts.Telemetry == nil {
 		opts.Telemetry = telemetry.NewRegistry(nil)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = max(2, min(8, runtime.GOMAXPROCS(0)))
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = max(64, 16*opts.Workers)
 	}
 	e := &Engine{
 		space:    space,
@@ -236,6 +271,28 @@ func NewEngine(space *keyspace.Space, opts Options) *Engine {
 func (e *Engine) Attach(n *chord.Node) {
 	e.node = n
 	e.met = newEngineMetrics(e.opts.Telemetry, uint64(n.Self().ID))
+	if e.opts.Workers > 0 {
+		e.sched = newScheduler(e, e.opts.Workers, e.opts.MaxInflight)
+	}
+}
+
+// WaitIdle blocks until the engine's query scheduler has no admitted
+// refinement job outstanding (serial engines are always idle). The
+// simulator's quiesce protocol pairs it with transport quiescence; safe
+// from any goroutine.
+func (e *Engine) WaitIdle() {
+	if e.sched != nil {
+		e.sched.waitIdle()
+	}
+}
+
+// SchedulerDepth returns the number of admitted-but-unfinished refinement
+// jobs (0 in serial mode). Safe from any goroutine.
+func (e *Engine) SchedulerDepth() int {
+	if e.sched == nil {
+		return 0
+	}
+	return e.sched.depth()
 }
 
 // newSpanID issues a span identifier unique across the query tree: a
@@ -383,18 +440,48 @@ func (e *Engine) StoreDirectBatch(elems []Element) error {
 
 // Query resolves a flexible query and calls cb exactly once with the
 // complete result set (all matching elements in the system). It returns
-// the query's id for metrics correlation.
-func (e *Engine) Query(q keyspace.Query, cb func(Result)) uint64 {
-	qid := nextQID()
-	e.met.queries.Inc()
-	region, err := e.space.Region(q)
+// the query's id for metrics correlation. Query is QueryCtx without
+// cancellation; failures that QueryCtx returns synchronously (bad query,
+// admission shed) are delivered through cb instead, preserving the
+// call-back-exactly-once contract.
+func (e *Engine) Query(q keyspace.Query, cb func(Result)) QueryID {
+	qid, err := e.QueryCtx(context.Background(), q, cb)
 	if err != nil {
 		cb(Result{QID: qid, Query: q, Err: err})
-		return qid
+	}
+	return qid
+}
+
+// QueryCtx resolves a flexible query under a context. On success cb fires
+// exactly once — from the node's delivery goroutine — with the complete
+// result set. A non-nil error means the query was not started and cb will
+// never fire: the query string was invalid, the context was already done,
+// or the engine shed the query under admission control (errors.Is
+// ErrOverloaded; the *OverloadError carries a retry-after hint).
+//
+// Context cancellation and deadline ride the QueryDeadline machinery: when
+// ctx ends first, outstanding child subtrees are cancelled exactly as on a
+// deadline expiry and cb fires once with every match gathered so far and
+// Err = ctx's error. A ctx deadline therefore bounds the query even when
+// it is shorter than the engine's configured QueryDeadline.
+//
+// Like all engine entry points, call it from App upcalls or through
+// node.Invoke.
+func (e *Engine) QueryCtx(ctx context.Context, q keyspace.Query, cb func(Result)) (QueryID, error) {
+	qid := nextQID()
+	e.met.queries.Inc()
+	if err := ctx.Err(); err != nil {
+		return qid, err
+	}
+	region, err := e.space.Region(q)
+	if err != nil {
+		return qid, err
 	}
 	if region.Empty() {
-		cb(Result{QID: qid, Query: q})
-		return qid
+		if cb != nil {
+			cb(Result{QID: qid, Query: q})
+		}
+		return qid, nil
 	}
 
 	// Exact queries identify one point: a plain DHT lookup (paper
@@ -404,31 +491,94 @@ func (e *Engine) Query(q keyspace.Query, cb func(Result)) uint64 {
 		st := &subtree{qid: qid, q: q, cb: cb, dispatched: true, kind: "root"}
 		e.sampleRoot(st)
 		e.startDeadline(st)
+		e.watchCtx(ctx, st)
 		tok := e.addChild(st, idx, nil)
 		e.node.Route(chord.ID(idx), LookupMsg{
 			QID: qid, Query: q, Key: idx, ReplyTo: e.node.Self().Addr, Token: tok,
 			Trace: st.childRef(),
-		}, qid)
-		return qid
+		}, uint64(qid))
+		return qid, nil
 	}
 
 	// Compute the first levels of the refinement tree locally, then act as
 	// the root of the distributed refinement: process locally rooted
-	// clusters here and dispatch the rest.
+	// clusters here and dispatch the rest. The processing itself runs on
+	// the scheduler (inline in serial mode); everything that mutates the
+	// subtree happens back on the delivery goroutine.
 	e.coarse = sfc.CoarseClustersInto(e.coarse[:0], e.space.Curve(), region, e.opts.InitialClusters, &e.scratch)
-	matches, remote, local := e.processClusters(qid, e.coarse, q, region)
-	e.noteProcessed(qid, local, len(matches), e.opts.Sink != nil && local > 0)
-	st := &subtree{
-		qid: qid, q: q, cb: cb, matches: matches, kind: "root",
-		clustersIn: len(e.coarse), localDone: local, localMatches: len(matches),
+	cls := e.coarse
+	if e.sched != nil {
+		// The coarse buffer is reused by the next query; a pooled job needs
+		// its own copy.
+		cls = append([]sfc.Refined(nil), e.coarse...)
 	}
+	st := &subtree{qid: qid, q: q, cb: cb, kind: "root", clustersIn: len(cls)}
 	e.sampleRoot(st)
-	e.startDeadline(st)
-	e.dispatchRemote(remote, q, qid, st, true, func() {
-		st.dispatched = true
-		e.checkSubtree(st)
+	admitted := e.submitClusters(qid, cls, q, region, func(matches []Element, remote []sfc.Refined, local int) {
+		e.noteProcessed(qid, local, len(matches), e.opts.Sink != nil && local > 0)
+		st.matches = matches
+		st.localDone = local
+		st.localMatches = len(matches)
+		e.dispatchRemote(remote, q, qid, st, true, func() {
+			st.dispatched = true
+			e.checkSubtree(st)
+		})
 	})
-	return qid
+	if !admitted {
+		e.met.shedRoot.Inc()
+		return qid, &OverloadError{RetryAfter: e.retryAfterHint()}
+	}
+	e.startDeadline(st)
+	e.watchCtx(ctx, st)
+	return qid, nil
+}
+
+// submitClusters hands one batch of clusters to the scheduler (or runs it
+// inline in serial mode); complete always executes on the delivery
+// goroutine. It reports false when the admission cap rejected the job —
+// the caller sheds instead of queueing.
+func (e *Engine) submitClusters(qid QueryID, cls []sfc.Refined, q keyspace.Query, region sfc.Region, complete func(matches []Element, remote []sfc.Refined, local int)) bool {
+	if e.sched == nil {
+		matches, remote, local := e.processClusters(qid, cls, q, region)
+		complete(matches, remote, local)
+		return true
+	}
+	return e.sched.trySubmit(&refineJob{
+		qid: qid, q: q, region: region, clusters: cls,
+		arc:      e.arcView(),
+		enqueued: e.opts.Telemetry.Now(),
+		complete: complete,
+	})
+}
+
+// retryAfterHint derives the admission-control backoff hint from the
+// current scheduler depth: deeper queues push retries further out.
+func (e *Engine) retryAfterHint() time.Duration {
+	depth := 0
+	if e.sched != nil {
+		depth = e.sched.depth()
+	}
+	hint := time.Duration(depth) * 2 * time.Millisecond
+	return min(max(hint, 5*time.Millisecond), 250*time.Millisecond)
+}
+
+// watchCtx wires a root subtree to its context: when ctx ends before the
+// query completes, the query is cancelled on the delivery goroutine with
+// ctx's error as the cause. No goroutine is spawned for contexts that can
+// never be cancelled.
+func (e *Engine) watchCtx(ctx context.Context, st *subtree) {
+	if ctx == nil || ctx.Done() == nil {
+		return
+	}
+	stop := make(chan struct{})
+	st.ctxStop = stop
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = e.node.Invoke(func() { e.cancelQuery(st, ctx.Err()) }) // node detached: the query died with its node
+		case <-stop:
+		}
+	}()
 }
 
 // sampleRoot turns tracing on for a root subtree when this node collects
@@ -444,7 +594,7 @@ func (e *Engine) sampleRoot(st *subtree) {
 
 // noteProcessed feeds the local processing counters and, when sink is set,
 // the per-query metrics sink.
-func (e *Engine) noteProcessed(qid uint64, clusters, matches int, sink bool) {
+func (e *Engine) noteProcessed(qid QueryID, clusters, matches int, sink bool) {
 	e.met.clustersDone.Add(uint64(clusters))
 	e.met.matches.Add(uint64(matches))
 	if sink {
@@ -526,13 +676,13 @@ func (e *Engine) childExpired(tok uint64) {
 		e.node.Route(chord.ID(c.key), LookupMsg{
 			QID: st.qid, Query: st.q, Key: c.key, ReplyTo: e.node.Self().Addr, Token: c.token,
 			Trace: st.childRef(),
-		}, st.qid)
+		}, uint64(st.qid))
 	} else {
 		e.node.Route(chord.ID(c.key), ClusterQueryMsg{
 			QID: st.qid, Query: st.q, Clusters: c.clusters,
 			ReplyTo: e.node.Self().Addr, Token: c.token, Ack: true,
 			Trace: st.childRef(),
-		}, st.qid)
+		}, uint64(st.qid))
 	}
 	e.armChild(c)
 }
@@ -565,9 +715,18 @@ func (e *Engine) startDeadline(st *subtree) {
 // passed: outstanding children are cancelled and the callback fires with
 // whatever was gathered, marked partial.
 func (e *Engine) queryExpired(st *subtree) {
+	e.cancelQuery(st, nil)
+}
+
+// cancelQuery force-completes a root subtree before its children reported:
+// outstanding children are cancelled and the callback fires with whatever
+// was gathered. cause is the context's error for ctx-driven cancellation,
+// or nil for a deadline expiry (the result then carries ErrPartialResult).
+func (e *Engine) cancelQuery(st *subtree, cause error) {
 	if st.finished {
 		return
 	}
+	st.cancelErr = cause
 	for tok, c := range e.children {
 		if c.st == st {
 			delete(e.children, tok)
@@ -604,13 +763,23 @@ func (e *Engine) finishSubtree(st *subtree) {
 	if st.deadline != nil {
 		st.deadline.Stop()
 	}
+	if st.ctxStop != nil {
+		close(st.ctxStop) // release the context watcher
+		st.ctxStop = nil
+	}
 	if st.spanID != 0 {
 		st.spans = append(st.spans, e.span(st))
 	}
 	if st.parent == "" {
 		var err error
 		if st.incomplete {
+			// A context cancellation is reported as its own cause; a plain
+			// deadline or lost subtree degrades to ErrPartialResult. Both
+			// count as partials — the match set is short either way.
 			err = ErrPartialResult
+			if st.cancelErr != nil {
+				err = st.cancelErr
+			}
 			e.met.partials.Inc()
 			if rs, ok := e.opts.Sink.(RecoverySink); ok {
 				rs.Partial(st.qid)
@@ -631,7 +800,10 @@ func (e *Engine) finishSubtree(st *subtree) {
 }
 
 // debugScan, when set (tests only), observes every cluster scan.
-var debugScan func(node chord.ID, qid uint64, span sfc.Interval)
+var debugScan func(node chord.ID, qid QueryID, span sfc.Interval)
+
+// debugDispatch, when set (tests only), observes every flushed dispatch round.
+var debugDispatch func(node chord.ID, dests []transport.Addr, byDest map[transport.Addr][]pendingDispatch)
 
 // processClusters resolves the locally owned parts of the given clusters
 // and collects the parts that must be forwarded (pruned by the query
@@ -646,66 +818,23 @@ var debugScan func(node chord.ID, qid uint64, span sfc.Interval)
 // higher up, its wrap segment. Scanning the full span would count the wrap
 // segment now AND again when the refinement routes those subspans back —
 // the run boundary keeps every key in exactly one scanned subtree.
-func (e *Engine) processClusters(qidDebug uint64, cls []sfc.Refined, q keyspace.Query, region sfc.Region) (matches []Element, remote []sfc.Refined, local int) {
-	curve := e.space.Curve()
-	// The frontier is a per-engine stack (reused across queries; matches
-	// and remote escape to async dispatch, so they stay per-call).
-	frontier := e.frontier[:0]
-	for _, c := range cls {
-		if !e.node.Owns(chord.ID(c.Span(curve).Lo)) {
-			remote = append(remote, c)
-			continue
-		}
-		local++
-		frontier = append(frontier, c)
-	}
-	for len(frontier) > 0 {
-		x := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-		span := x.Span(curve)
-		if !e.node.Owns(chord.ID(span.Lo)) {
-			remote = append(remote, x)
-			continue
-		}
-		if span.Hi <= e.ownedRunEnd(span.Lo) {
-			if debugScan != nil {
-				debugScan(e.node.Self().ID, qidDebug, span)
-			}
-			// The store holds only keys this node owns; the final filter
-			// applies the query's exact semantics (paper: only elements
-			// matching all terms are returned).
-			e.store.ScanSpan(span, func(_ uint64, elem Element) {
-				if e.space.Matches(q, elem.Values) {
-					matches = append(matches, elem)
-				}
-			})
-			continue
-		}
-		// Starts inside the owned run but extends beyond it: refine (with
-		// region pruning) and reclassify the children.
-		frontier = sfc.RefineStepInto(frontier, curve, x.Cluster, region, &e.scratch)
-	}
-	e.frontier = frontier[:0]
+//
+// This is the serial (delivery-goroutine) entry: the actual walk lives in
+// refineClusters, shared with the scheduler's workers, against a snapshot
+// of the node's current arc. The per-engine scratch and frontier buffers
+// keep the serial path allocation-free in steady state.
+func (e *Engine) processClusters(qid QueryID, cls []sfc.Refined, q keyspace.Query, region sfc.Region) (matches []Element, remote []sfc.Refined, local int) {
+	matches, remote, local, e.frontier = refineClusters(
+		e.store, e.space, e.arcView(), qid, cls, q, region, &e.scratch, e.frontier)
 	return matches, remote, local
 }
 
-// ownedRunEnd returns the last index of the node's contiguous owned run
-// containing lo (which must be owned): up to the node's identifier for the
-// low/linear segment, or the top of the index space when lo lies in the
-// wrap segment of an arc that crosses zero.
-func (e *Engine) ownedRunEnd(lo uint64) uint64 {
-	maxIdx := ^uint64(0)
-	if b := e.space.IndexBits(); b < 64 {
-		maxIdx = (uint64(1) << b) - 1
-	}
-	if e.node.Pred().IsZero() {
-		return maxIdx // transient sole-owner view: one run covers everything
-	}
-	self := uint64(e.node.Self().ID)
-	if lo <= self {
-		return self
-	}
-	return maxIdx
+// pendingDispatch is one resolved send of a dispatch round, buffered until
+// the round flushes: the message plus its clusters (the blind-route
+// fallback payload should the destination be dead at flush time).
+type pendingDispatch struct {
+	msg      ClusterQueryMsg
+	clusters []sfc.Refined
 }
 
 // dispatchRemote forwards clusters rooted at other nodes, registering each
@@ -715,10 +844,17 @@ func (e *Engine) ownedRunEnd(lo uint64) uint64 {
 // that node's arc as one message (the paper's second optimization);
 // without it, each cluster is routed independently.
 //
+// Resolved sends are buffered per destination for the length of the round
+// and flushed at its end: a destination that resolved more than once (the
+// wrap-arc owner, whose low and wrap segments are separate runs of the
+// sorted cluster list) receives all its messages as one BatchMsg instead of
+// several transmissions. Single-message destinations get a plain
+// ClusterQueryMsg, so the batching is invisible to peers that predate it.
+//
 // root marks dispatches from the query initiator: only there may the
 // probe cache short-circuit the handshake. Receivers always probe, so a
 // stale cache entry costs one extra forward and can never loop.
-func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid uint64, st *subtree, root bool, done func()) {
+func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid QueryID, st *subtree, root bool, done func()) {
 	if len(remote) == 0 {
 		done()
 		return
@@ -734,7 +870,7 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid uint
 		e.node.Route(chord.ID(lo), ClusterQueryMsg{
 			QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack,
 			Trace: st.childRef(),
-		}, qid)
+		}, uint64(qid))
 	}
 	if e.opts.DisableAggregation {
 		for _, c := range remote {
@@ -744,11 +880,56 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid uint
 		return
 	}
 
+	// The round's send buffer, keyed by destination in first-touch order
+	// (deterministic flush order for the simulator).
+	var dests []transport.Addr
+	byDest := make(map[transport.Addr][]pendingDispatch)
+	enqueue := func(dest transport.Addr, msg ClusterQueryMsg, cls []sfc.Refined) {
+		if _, ok := byDest[dest]; !ok {
+			dests = append(dests, dest)
+		}
+		byDest[dest] = append(byDest[dest], pendingDispatch{msg: msg, clusters: cls})
+	}
+	flush := func() {
+		if debugDispatch != nil {
+			debugDispatch(e.node.Self().ID, dests, byDest)
+		}
+		for _, dest := range dests {
+			entries := byDest[dest]
+			var ok bool
+			if len(entries) == 1 {
+				ok = e.send(dest, entries[0].msg)
+			} else {
+				b := BatchMsg{Queries: make([]ClusterQueryMsg, len(entries))}
+				for i, p := range entries {
+					b.Queries[i] = p.msg
+				}
+				if ok = e.send(dest, b); ok {
+					e.met.batchesSent.Inc()
+					e.met.batchedMsgs.Add(uint64(len(entries)))
+				}
+			}
+			if !ok {
+				// Destination died between probe and flush: untrack each
+				// buffered child and blind-route its clusters through the
+				// ring, which resolves to the current owner.
+				e.cacheDrop(dest)
+				for _, p := range entries {
+					e.dropChild(p.msg.Token)
+					for _, c := range p.clusters {
+						routeOne(c)
+					}
+				}
+			}
+		}
+		done()
+	}
+
 	sort.Slice(remote, func(i, j int) bool { return remote[i].Span(curve).Lo < remote[j].Span(curve).Lo })
 	var step func(rem []sfc.Refined)
 	step = func(rem []sfc.Refined) {
 		if len(rem) == 0 {
-			done()
+			flush()
 			return
 		}
 		head := chord.ID(rem[0].Span(curve).Lo)
@@ -763,18 +944,13 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid uint
 				}
 				refs := toRefs(rem[:n])
 				tok := e.addChild(st, uint64(head), refs)
-				msg := ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack, Trace: st.childRef()}
-				if e.send(arc.owner.Addr, msg) {
-					step(rem[n:])
-					return
-				}
-				e.dropChild(tok)
-				e.cacheDrop(arc.owner.Addr) // dead peer: fall through to probing
-			} else {
-				e.met.probeMisses.Inc()
+				enqueue(arc.owner.Addr, ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack, Trace: st.childRef()}, rem[:n])
+				step(rem[n:])
+				return
 			}
+			e.met.probeMisses.Inc()
 		}
-		e.node.FindSuccessor(head, qid, func(m chord.FoundMsg, err error) {
+		e.node.FindSuccessor(head, uint64(qid), func(m chord.FoundMsg, err error) {
 			if err != nil {
 				// Ring unstable: fall back to blind routing for the head
 				// cluster and keep going.
@@ -794,16 +970,7 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid uint
 			}
 			refs := toRefs(rem[:n])
 			tok := e.addChild(st, uint64(chord.ID(rem[0].Span(curve).Lo)), refs)
-			msg := ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack, Trace: st.childRef()}
-			if !e.send(m.Owner.Addr, msg) {
-				// Owner died between probe and send: blind-route each.
-				e.dropChild(tok)
-				for _, c := range rem[:n] {
-					routeOne(c)
-				}
-				step(rem[n:])
-				return
-			}
+			enqueue(m.Owner.Addr, ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack, Trace: st.childRef()}, rem[:n])
 			step(rem[n:])
 		})
 	}
@@ -841,8 +1008,16 @@ func (e *Engine) Deliver(from transport.Addr, key chord.ID, payload any) {
 		e.handleLookup(m)
 	case ClusterQueryMsg:
 		e.handleClusterQuery(m)
+	case BatchMsg:
+		// Unpack in order: each entry is handled exactly as if it had
+		// arrived as its own ClusterQueryMsg.
+		for _, cq := range m.Queries {
+			e.handleClusterQuery(cq)
+		}
 	case QueryAckMsg:
 		e.handleAck(m)
+	case QueryShedMsg:
+		e.handleShed(m)
 	case SubResultMsg:
 		e.handleSubResult(m)
 	case ReplicaMsg:
@@ -929,20 +1104,15 @@ func (e *Engine) handleLookup(m LookupMsg) {
 }
 
 func (e *Engine) handleClusterQuery(m ClusterQueryMsg) {
-	if m.Ack {
-		e.send(m.ReplyTo, QueryAckMsg{QID: m.QID, Token: m.Token})
-	}
 	ref := m.Trace.OrRoot()
 	region, err := e.space.Region(m.Query)
 	if err != nil {
 		e.send(m.ReplyTo, SubResultMsg{QID: m.QID, Token: m.Token})
 		return
 	}
-	matches, remote, local := e.processClusters(m.QID, fromRefs(m.Clusters), m.Query, region)
-	e.noteProcessed(m.QID, local, len(matches), e.opts.Sink != nil)
 	st := &subtree{
-		qid: m.QID, q: m.Query, parent: m.ReplyTo, parentToken: m.Token, matches: matches,
-		kind: "cluster", clustersIn: len(m.Clusters), localDone: local, localMatches: len(matches),
+		qid: m.QID, q: m.Query, parent: m.ReplyTo, parentToken: m.Token,
+		kind: "cluster", clustersIn: len(m.Clusters),
 	}
 	if len(m.Clusters) > 0 {
 		st.prefix = m.Clusters[0].Prefix
@@ -953,17 +1123,67 @@ func (e *Engine) handleClusterQuery(m ClusterQueryMsg) {
 		st.ref = ref
 		st.startNS = e.nowNS()
 	}
-	if len(remote) == 0 {
-		// Leaf of the query tree: finish immediately (records the span and
-		// ships it with the result).
-		st.dispatched = true
-		e.finishSubtree(st)
+	admitted := e.submitClusters(m.QID, fromRefs(m.Clusters), m.Query, region, func(matches []Element, remote []sfc.Refined, local int) {
+		e.noteProcessed(m.QID, local, len(matches), e.opts.Sink != nil)
+		st.matches = matches
+		st.localDone = local
+		st.localMatches = len(matches)
+		if len(remote) == 0 {
+			// Leaf of the query tree: finish immediately (records the span
+			// and ships it with the result).
+			st.dispatched = true
+			e.finishSubtree(st)
+			return
+		}
+		e.dispatchRemote(remote, m.Query, m.QID, st, false, func() {
+			st.dispatched = true
+			e.checkSubtree(st)
+		})
+	})
+	if !admitted {
+		// Shed before acking: confirming receipt of work we refuse would
+		// suppress the dispatcher's recovery instead of engaging it.
+		e.met.shedRemote.Inc()
+		e.send(m.ReplyTo, QueryShedMsg{QID: m.QID, Token: m.Token, RetryAfterMS: e.retryAfterHint().Milliseconds()})
 		return
 	}
-	e.dispatchRemote(remote, m.Query, m.QID, st, false, func() {
-		st.dispatched = true
-		e.checkSubtree(st)
-	})
+	if m.Ack {
+		e.send(m.ReplyTo, QueryAckMsg{QID: m.QID, Token: m.Token})
+	}
+}
+
+// handleShed maps an admission-control refusal onto the recovery path: the
+// refused child is re-dispatched after the shedder's backoff hint (counting
+// against its retry budget), or — when no recovery machinery is armed —
+// abandoned immediately so the query degrades to an explicit partial result
+// instead of hanging on a reply that will never come.
+func (e *Engine) handleShed(m QueryShedMsg) {
+	c, ok := e.children[m.Token]
+	if !ok || c.st.finished {
+		return
+	}
+	e.met.shedChild.Inc()
+	if c.timer == nil {
+		// SubtreeTimeout == 0: the subtree cannot be retried.
+		delete(e.children, m.Token)
+		e.met.abandoned.Inc()
+		if rs, ok := e.opts.Sink.(RecoverySink); ok {
+			rs.Abandoned(c.st.qid)
+		}
+		if c.st.spanID != 0 {
+			c.st.spans = append(c.st.spans, e.lostSpan(c.st, c))
+		}
+		c.st.incomplete = true
+		c.st.done++
+		e.checkSubtree(c.st)
+		return
+	}
+	// Pull the child's recovery deadline forward to the hint: childExpired
+	// then re-routes the subtree through the ring as for a lost child.
+	c.acked = false
+	retry := time.Duration(m.RetryAfterMS) * time.Millisecond
+	retry = min(max(retry, 5*time.Millisecond), e.opts.SubtreeTimeout)
+	c.timer.Reset(retry)
 }
 
 func (e *Engine) handleSubResult(m SubResultMsg) {

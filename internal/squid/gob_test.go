@@ -36,6 +36,11 @@ func TestWireRoundTrip(t *testing.T) {
 			QID: 3, Query: query, Clusters: []squid.ClusterRef{{Prefix: 9, Level: 2, Complete: true}},
 			ReplyTo: "r", Token: 8,
 		}},
+		chord.AppMsg{From: "c", Payload: squid.BatchMsg{Queries: []squid.ClusterQueryMsg{
+			{QID: 3, Query: query, Clusters: []squid.ClusterRef{{Prefix: 9, Level: 2, Complete: true}}, ReplyTo: "r", Token: 8},
+			{QID: 3, Query: query, Clusters: []squid.ClusterRef{{Prefix: 12, Level: 1}}, ReplyTo: "r", Token: 9, Ack: true},
+		}}},
+		chord.AppMsg{From: "c", Payload: squid.QueryShedMsg{QID: 3, Token: 8, RetryAfterMS: 25}},
 		chord.AppMsg{From: "c", Payload: squid.SubResultMsg{QID: 3, Token: 8, Matches: []squid.Element{elem}}},
 		chord.AppMsg{From: "c", Payload: squid.LookupMsg{QID: 1, Query: query, Key: 77, ReplyTo: "r", Token: 5}},
 		chord.AppMsg{From: "c", Payload: squid.ReplicaMsg{Items: []chord.Item{{Key: 4, Value: []squid.Element{elem}}}}},

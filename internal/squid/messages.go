@@ -23,7 +23,7 @@ type UnpublishMsg struct {
 // the index's owner, which answers ReplyTo with a SubResultMsg carrying
 // Token.
 type LookupMsg struct {
-	QID     uint64
+	QID     QueryID
 	Query   keyspace.Query
 	Key     uint64
 	ReplyTo transport.Addr
@@ -69,7 +69,7 @@ func fromRefs(in []ClusterRef) []sfc.Refined {
 // (Dijkstra-Scholten-style termination), which keeps completion detection
 // independent of message ordering across transports.
 type ClusterQueryMsg struct {
-	QID      uint64
+	QID      QueryID
 	Query    keyspace.Query
 	Clusters []ClusterRef
 	ReplyTo  transport.Addr
@@ -87,8 +87,34 @@ type ClusterQueryMsg struct {
 // dispatcher asked via Ack). It re-arms the dispatcher's re-dispatch
 // deadline: the subtree is known to be in progress, not lost in transit.
 type QueryAckMsg struct {
-	QID   uint64
+	QID   QueryID
 	Token uint64
+}
+
+// BatchMsg coalesces every same-destination ClusterQueryMsg of one
+// dispatch round into a single transmission — the batched-dispatch
+// counterpart of the paper's aggregation optimization. Receivers unpack
+// and handle the entries in order, exactly as if they had arrived as
+// separate messages; each entry keeps its own token, ack request, and
+// trace context. Single-entry rounds are sent as plain ClusterQueryMsg, so
+// peers that predate batching interoperate unchanged (the gob wire-compat
+// tests pin both directions).
+type BatchMsg struct {
+	Queries []ClusterQueryMsg
+}
+
+// QueryShedMsg tells a dispatcher that the receiver refused its
+// ClusterQueryMsg under admission control: the subtree was not processed
+// and no SubResultMsg will come. The dispatcher maps the shed onto its
+// recovery path — re-dispatch after RetryAfterMS (counting against the
+// subtree's retry budget), or degrade to a partial result when no recovery
+// machinery is armed. Old peers never send it; old receivers ignore it.
+type QueryShedMsg struct {
+	QID   QueryID
+	Token uint64
+	// RetryAfterMS is the shedding node's backoff hint in milliseconds,
+	// derived from its queue depth.
+	RetryAfterMS int64
 }
 
 // SubResultMsg reports a completed subtree of the query's refinement tree
@@ -97,7 +123,7 @@ type QueryAckMsg struct {
 // up so the root can degrade to an explicit partial Result instead of a
 // silently short one.
 type SubResultMsg struct {
-	QID        uint64
+	QID        QueryID
 	Token      uint64
 	Matches    []Element
 	Incomplete bool
@@ -132,7 +158,7 @@ type ClientQueryMsg struct {
 // identifier, which clients feed to the trace endpoint (squidctl trace).
 type ClientResultMsg struct {
 	Token   uint64
-	QID     uint64
+	QID     QueryID
 	Matches []Element
 	Err     string
 }
@@ -142,7 +168,9 @@ func init() {
 	transport.Register(UnpublishMsg{})
 	transport.Register(LookupMsg{})
 	transport.Register(ClusterQueryMsg{})
+	transport.Register(BatchMsg{})
 	transport.Register(QueryAckMsg{})
+	transport.Register(QueryShedMsg{})
 	transport.Register(SubResultMsg{})
 	transport.Register(ClientPublishMsg{})
 	transport.Register(ClientUnpublishMsg{})

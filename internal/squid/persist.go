@@ -115,7 +115,7 @@ func (e *Engine) ReconcileOwnership() int {
 				keep.Add(key, elem)
 			}
 		})
-		*e.store = *keep
+		e.store.replaceWith(keep)
 	}
 	return len(stale)
 }

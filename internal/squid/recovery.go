@@ -49,10 +49,24 @@ type engineMetrics struct {
 	probeHits   *telemetry.Counter
 	probeMisses *telemetry.Counter
 
+	// Query-scheduler instruments: pool depth, queue wait, admission sheds
+	// (by where the shed was observed) and batched-dispatch coalescing.
+	schedDepth  *telemetry.Gauge
+	schedWait   *telemetry.Histogram
+	shedRoot    *telemetry.Counter
+	shedRemote  *telemetry.Counter
+	shedChild   *telemetry.Counter
+	batchesSent *telemetry.Counter
+	batchedMsgs *telemetry.Counter
+
 	keysHeld     *telemetry.Gauge
 	replicaItems *telemetry.Counter
 	replicaFulls *telemetry.Counter
 }
+
+// schedWaitBounds buckets scheduler queue wait in nanoseconds: 100µs, 1ms,
+// 10ms, 100ms, 1s (an +Inf bucket is implicit).
+var schedWaitBounds = []int64{100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000}
 
 // newEngineMetrics resolves the engine's metric children once (per-node
 // labels), so hot-path increments are single lock-free atomic ops.
@@ -62,6 +76,9 @@ func newEngineMetrics(reg *telemetry.Registry, id uint64) engineMetrics {
 		"query-recovery events: redispatch, abandon, partial, ack", "node", "event")
 	probe := reg.CounterVec("squid_engine_probe_cache_total",
 		"owner-probe cache lookups at the query root", "node", "outcome")
+	shed := reg.CounterVec("squid_sched_shed_total",
+		"refinement jobs refused under admission control: root (local query), remote (incoming subtree), child (shed notice received for a dispatched child)",
+		"node", "kind")
 	return engineMetrics{
 		queries: reg.CounterVec("squid_engine_queries_total",
 			"flexible queries initiated at this node", "node").With(node),
@@ -77,6 +94,17 @@ func newEngineMetrics(reg *telemetry.Registry, id uint64) engineMetrics {
 		acks:         recovery.With(node, "ack"),
 		probeHits:    probe.With(node, "hit"),
 		probeMisses:  probe.With(node, "miss"),
+		schedDepth: reg.GaugeVec("squid_sched_pending_jobs",
+			"refinement jobs admitted to the query scheduler but not yet completed", "node").With(node),
+		schedWait: reg.HistogramVec("squid_sched_queue_wait_ns", "nanoseconds a refinement job waited between admission and a worker picking it up (0 under the simulator's nil clock)",
+			schedWaitBounds, "node").With(node),
+		shedRoot:   shed.With(node, "root"),
+		shedRemote: shed.With(node, "remote"),
+		shedChild:  shed.With(node, "child"),
+		batchesSent: reg.CounterVec("squid_dispatch_batches_total",
+			"BatchMsg transmissions (dispatch rounds that coalesced >1 message to one destination)", "node").With(node),
+		batchedMsgs: reg.CounterVec("squid_dispatch_batched_queries_total",
+			"ClusterQueryMsg entries shipped inside BatchMsg transmissions", "node").With(node),
 		keysHeld: reg.GaugeVec("squid_store_keys_held",
 			"distinct curve indices in the node's primary store", "node").With(node),
 		replicaItems: reg.CounterVec("squid_replication_items_pushed_total",
@@ -88,6 +116,10 @@ func newEngineMetrics(reg *telemetry.Registry, id uint64) engineMetrics {
 
 // Recovery snapshots the engine's recovery counters. Safe from any
 // goroutine. Zero before the engine is attached to its node.
+//
+// This is a convenience snapshot over the telemetry registry; new code that
+// already holds the shared *telemetry.Registry should read the
+// squid_engine_recovery_total family directly instead.
 func (e *Engine) Recovery() RecoveryCounters {
 	if e.met.redispatches == nil {
 		return RecoveryCounters{}

@@ -2,6 +2,7 @@ package squid
 
 import (
 	"sort"
+	"sync"
 
 	"squid/internal/chord"
 	"squid/internal/sfc"
@@ -17,9 +18,14 @@ type Element struct {
 
 // Store is a node's local fragment of the distributed index: elements
 // keyed by their curve index, with ordered access for cluster span scans.
-// A Store is confined to its node's delivery goroutine, like all engine
-// state.
+//
+// Mutations are confined to the node's delivery goroutine, like all engine
+// state. Reads additionally happen on query-scheduler workers, so an
+// internal RWMutex makes every read atomic with respect to concurrent
+// mutation: a span scan sees either all or none of a handover, never half
+// of one.
 type Store struct {
+	mu     sync.RWMutex
 	space  chord.Space
 	byKey  map[uint64][]Element
 	sorted []uint64 // keys in ascending order
@@ -39,6 +45,8 @@ func NewStore(space chord.Space) *Store {
 // TrackDirty enables dirty-key tracking. Mutations from this point on are
 // recorded and handed out by TakeDirty.
 func (s *Store) TrackDirty() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.dirty == nil {
 		s.dirty = make(map[uint64]struct{})
 	}
@@ -54,6 +62,8 @@ func (s *Store) markDirty(key uint64) {
 // clears the tracking set. Keys whose items were since removed entirely are
 // skipped (deletions are not delta-replicated; they age out on full pushes).
 func (s *Store) TakeDirty(dst []uint64) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	base := len(dst)
 	for k := range s.dirty {
 		if _, ok := s.byKey[k]; ok {
@@ -69,6 +79,8 @@ func (s *Store) TakeDirty(dst []uint64) []uint64 {
 // SnapshotKeys copies the stored items under exactly the given keys (the
 // delta counterpart of Snapshot). Keys with nothing stored are skipped.
 func (s *Store) SnapshotKeys(keys []uint64) []chord.Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]chord.Item, 0, len(keys))
 	for _, k := range keys {
 		if bucket, ok := s.byKey[k]; ok {
@@ -82,6 +94,12 @@ func (s *Store) SnapshotKeys(keys []uint64) []chord.Item {
 // a key (distinct documents with the same keyword tuple, or tuples that
 // truncate to the same coordinates).
 func (s *Store) Add(key uint64, e Element) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addLocked(key, e)
+}
+
+func (s *Store) addLocked(key uint64, e Element) {
 	if _, exists := s.byKey[key]; !exists {
 		i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= key })
 		s.sorted = append(s.sorted, 0)
@@ -94,10 +112,16 @@ func (s *Store) Add(key uint64, e Element) {
 
 // Keys returns the number of distinct keys stored — the paper's load
 // metric.
-func (s *Store) Keys() int { return len(s.byKey) }
+func (s *Store) Keys() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byKey)
+}
 
 // Elements returns the total number of stored elements.
 func (s *Store) Elements() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := 0
 	for _, b := range s.byKey {
 		n += len(b)
@@ -106,8 +130,12 @@ func (s *Store) Elements() int {
 }
 
 // ScanSpan calls fn for every stored element whose key lies in the
-// inclusive index interval.
+// inclusive index interval. The read lock is held for the whole scan, so
+// fn must not mutate the store; scheduler workers rely on the scan being
+// atomic with respect to concurrent handovers.
 func (s *Store) ScanSpan(span sfc.Interval, fn func(key uint64, e Element)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= span.Lo })
 	for ; i < len(s.sorted) && s.sorted[i] <= span.Hi; i++ {
 		k := s.sorted[i]
@@ -117,11 +145,19 @@ func (s *Store) ScanSpan(span sfc.Interval, fn func(key uint64, e Element)) {
 	}
 }
 
-// At returns the elements stored under exactly key.
-func (s *Store) At(key uint64) []Element { return s.byKey[key] }
+// At returns the elements stored under exactly key. The returned slice is
+// the live bucket: callers must not retain it across a mutation (all
+// current callers run on the delivery goroutine and consume it in place).
+func (s *Store) At(key uint64) []Element {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byKey[key]
+}
 
 // Snapshot copies every stored item (for replication pushes).
 func (s *Store) Snapshot() []chord.Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]chord.Item, 0, len(s.sorted))
 	for _, k := range s.sorted {
 		out = append(out, chord.Item{Key: chord.ID(k), Value: append([]Element(nil), s.byKey[k]...)})
@@ -133,10 +169,12 @@ func (s *Store) Snapshot() []chord.Item {
 // payload) already exists under the key; reports whether it was added.
 // Replication uses it so repeated pushes and promotions never duplicate.
 func (s *Store) AddUnique(key uint64, e Element) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.contains(key, e) {
 		return false
 	}
-	s.Add(key, e)
+	s.addLocked(key, e)
 	return true
 }
 
@@ -164,6 +202,8 @@ func (s *Store) AddBatchUnique(items []chord.Item) int {
 }
 
 func (s *Store) addBatch(items []chord.Item, unique bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	added := 0
 	var fresh []uint64
 	for _, it := range items {
@@ -226,6 +266,8 @@ func equalValues(a, b []string) bool {
 // Remove deletes the first stored element under key equal to e (same
 // values and payload); reports whether anything was removed.
 func (s *Store) Remove(key uint64, e Element) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	bucket, ok := s.byKey[key]
 	if !ok {
 		return false
@@ -253,6 +295,8 @@ func (s *Store) Remove(key uint64, e Element) bool {
 // load-balancing algorithms use to halve a node's arc. ok is false when
 // the store is empty.
 func (s *Store) MedianKey() (key uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if len(s.sorted) == 0 {
 		return 0, false
 	}
@@ -262,6 +306,8 @@ func (s *Store) MedianKey() (key uint64, ok bool) {
 // HandoverOut removes and returns all items whose keys lie in the ring arc
 // (a, b], for transfer to a new owner.
 func (s *Store) HandoverOut(a, b chord.ID) []chord.Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var items []chord.Item
 	kept := s.sorted[:0]
 	for _, k := range s.sorted {
@@ -274,6 +320,15 @@ func (s *Store) HandoverOut(a, b chord.ID) []chord.Item {
 	}
 	s.sorted = kept
 	return items
+}
+
+// replaceWith adopts o's contents wholesale (restart reconciliation). The
+// receiver's own lock stays in place — copying a Store by value would copy
+// its RWMutex.
+func (s *Store) replaceWith(o *Store) {
+	s.mu.Lock()
+	s.byKey, s.sorted, s.dirty = o.byKey, o.sorted, o.dirty
+	s.mu.Unlock()
 }
 
 // HandoverIn ingests items transferred from another node.

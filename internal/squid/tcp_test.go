@@ -20,7 +20,7 @@ type tcpNode struct {
 
 func startTCPNode(t *testing.T, space *keyspace.Space, id uint64) *tcpNode {
 	t.Helper()
-	eng := squid.NewEngine(space, squid.Options{})
+	eng := squid.New(space)
 	node := chord.NewNode(chord.Config{
 		Space:      chord.Space{Bits: space.IndexBits()},
 		RPCTimeout: 5 * time.Second,

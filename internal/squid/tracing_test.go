@@ -59,7 +59,7 @@ func TestWireLegacyDecode(t *testing.T) {
 		old := legacyLookupMsg{QID: 7, Query: query, Key: 99, ReplyTo: "r", Token: 5}
 		var cur squid.LookupMsg
 		reGob(t, old, &cur)
-		if cur.QID != old.QID || cur.Key != old.Key || cur.ReplyTo != old.ReplyTo || cur.Token != old.Token {
+		if uint64(cur.QID) != old.QID || cur.Key != old.Key || cur.ReplyTo != old.ReplyTo || cur.Token != old.Token {
 			t.Fatalf("legacy fields mangled: %+v", cur)
 		}
 		if cur.Trace != (telemetry.TraceRef{}) {
@@ -78,7 +78,7 @@ func TestWireLegacyDecode(t *testing.T) {
 		}
 		var cur squid.ClusterQueryMsg
 		reGob(t, old, &cur)
-		if cur.QID != old.QID || len(cur.Clusters) != 1 || cur.Clusters[0] != old.Clusters[0] || !cur.Ack {
+		if uint64(cur.QID) != old.QID || len(cur.Clusters) != 1 || cur.Clusters[0] != old.Clusters[0] || !cur.Ack {
 			t.Fatalf("legacy fields mangled: %+v", cur)
 		}
 		if !cur.Trace.OrRoot().Sampled() {
@@ -90,7 +90,7 @@ func TestWireLegacyDecode(t *testing.T) {
 		old := legacySubResultMsg{QID: 3, Token: 8, Incomplete: true}
 		var cur squid.SubResultMsg
 		reGob(t, old, &cur)
-		if cur.QID != old.QID || !cur.Incomplete || len(cur.Spans) != 0 {
+		if uint64(cur.QID) != old.QID || !cur.Incomplete || len(cur.Spans) != 0 {
 			t.Fatalf("legacy fields mangled: %+v", cur)
 		}
 	})
@@ -102,13 +102,13 @@ func TestWireLegacyDecode(t *testing.T) {
 		}
 		var old legacyClusterQueryMsg
 		reGob(t, cur, &old)
-		if old.QID != cur.QID || old.ReplyTo != cur.ReplyTo || old.Token != cur.Token {
+		if old.QID != uint64(cur.QID) || old.ReplyTo != cur.ReplyTo || old.Token != cur.Token {
 			t.Fatalf("old receiver mangled new payload: %+v", old)
 		}
 		res := squid.SubResultMsg{QID: 4, Token: 9, Spans: []telemetry.Span{{QID: 4, ID: 1, Node: 2}}}
 		var oldRes legacySubResultMsg
 		reGob(t, res, &oldRes)
-		if oldRes.QID != res.QID || oldRes.Token != res.Token {
+		if oldRes.QID != uint64(res.QID) || oldRes.Token != res.Token {
 			t.Fatalf("old receiver mangled new sub-result: %+v", oldRes)
 		}
 	})
@@ -320,7 +320,7 @@ func TestTelemetryHTTPEndToEnd(t *testing.T) {
 	}
 	found := false
 	for _, e := range list {
-		if e.QID == res.QID {
+		if e.QID == uint64(res.QID) {
 			found = true
 		}
 	}

@@ -8,7 +8,7 @@ import (
 
 // traceSummary is the /traces listing entry.
 type traceSummary struct {
-	QID     uint64 `json:"qid"`
+	QID     QueryID `json:"qid"`
 	Partial bool   `json:"partial"`
 	Spans   int    `json:"spans"`
 	Matches int    `json:"matches"`
@@ -59,7 +59,7 @@ func NewHandler(reg *Registry, traces *TraceStore) http.Handler {
 			http.Error(w, "bad or missing id parameter", http.StatusBadRequest)
 			return
 		}
-		t, ok := traces.Get(qid)
+		t, ok := traces.Get(QueryID(qid))
 		if !ok {
 			http.Error(w, "no trace for that query id", http.StatusNotFound)
 			return

@@ -7,6 +7,15 @@ import (
 	"sync"
 )
 
+// QueryID identifies one flexible query across the system: the engine
+// issues it at the query root, every trace span and telemetry surface
+// carries it, and squidctl feeds it back to the trace endpoint. It is a
+// distinct type so query ids cannot be mixed up with span ids or ring
+// keys at compile time; squid re-exports it as squid.QueryID. The wire
+// representation is unchanged (gob encodes named integers structurally),
+// so old peers interoperate.
+type QueryID uint64
+
 // TraceMode says what a message's trace context means. The zero value is
 // deliberately TraceAbsent: old-format gob payloads that predate tracing
 // decode to it, and OrRoot turns it into a sampled root context — the
@@ -57,7 +66,7 @@ func (r TraceRef) Child(spanID uint64) TraceRef {
 // Span is one node's record of handling one slice of a query tree. All
 // fields are value types so spans travel by gob inside SubResultMsg.
 type Span struct {
-	QID    uint64 // query id; doubles as the trace id
+	QID    QueryID // query id; doubles as the trace id
 	ID     uint64 // unique within the trace
 	Parent uint64 // parent span id; 0 for the root span
 	Depth  int    // refinement depth (root is 0)
@@ -86,7 +95,7 @@ type Span struct {
 // Trace is a reassembled query tree: every span the completed query
 // reported, rooted at the initiator.
 type Trace struct {
-	QID     uint64
+	QID     QueryID
 	Partial bool // the query returned ErrPartialResult
 	Spans   []Span
 }
@@ -201,8 +210,8 @@ func (s Span) line() string {
 type TraceStore struct {
 	mu    sync.Mutex
 	cap   int
-	byQID map[uint64]*Trace
-	order []uint64
+	byQID map[QueryID]*Trace
+	order []QueryID
 }
 
 // NewTraceStore returns a store keeping at most capacity traces (oldest
@@ -213,7 +222,7 @@ func NewTraceStore(capacity int) *TraceStore {
 	}
 	return &TraceStore{
 		cap:   capacity,
-		byQID: make(map[uint64]*Trace),
+		byQID: make(map[QueryID]*Trace),
 	}
 }
 
@@ -235,7 +244,7 @@ func (s *TraceStore) Add(t Trace) {
 }
 
 // Get returns the trace for one query id.
-func (s *TraceStore) Get(qid uint64) (Trace, bool) {
+func (s *TraceStore) Get(qid QueryID) (Trace, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t, ok := s.byQID[qid]; ok {
@@ -255,8 +264,8 @@ func (s *TraceStore) Last() (Trace, bool) {
 }
 
 // IDs returns the stored query ids, oldest first.
-func (s *TraceStore) IDs() []uint64 {
+func (s *TraceStore) IDs() []QueryID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]uint64(nil), s.order...)
+	return append([]QueryID(nil), s.order...)
 }

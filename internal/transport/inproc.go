@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Observer inspects every message accepted for delivery on an in-process
@@ -28,6 +29,12 @@ type Inproc struct {
 	imu      sync.Mutex
 	icond    *sync.Cond
 	inflight int
+
+	// activity counts every successfully enqueued message, monotonically.
+	// The simulator's quiesce loop compares samples taken around a
+	// transport-and-scheduler sweep: an unchanged counter proves nothing —
+	// not even a self-send — happened during the sweep.
+	activity atomic.Uint64
 }
 
 // NewInproc returns an empty in-process network.
@@ -89,6 +96,12 @@ func (n *Inproc) Quiesce() {
 	n.imu.Unlock()
 }
 
+// Activity returns the monotonic count of messages accepted for delivery
+// since the network was created. Safe from any goroutine.
+func (n *Inproc) Activity() uint64 {
+	return n.activity.Load()
+}
+
 func (n *Inproc) track() {
 	n.imu.Lock()
 	n.inflight++
@@ -124,6 +137,7 @@ func (n *Inproc) send(from, to Addr, msg any) error {
 		}
 		return ErrUnreachable
 	}
+	n.activity.Add(1)
 	if met != nil {
 		met.sent.Inc()
 	}
