@@ -45,6 +45,7 @@ const helpText = `commands:
   loads                         show the load distribution
   peers                         list peers with their loads
   verify                        check ring and data-placement consistency
+  check                         run the global ring-invariant checker (Zave)
   faults <drop-rate>            inject message loss (0..1; 0 heals)
   crash <i> | restart <i>       black-hole / revive peer i (state survives)
   stats                         fault, retry and recovery counters
@@ -135,6 +136,8 @@ func (s *session) exec(line string) error {
 		}
 		fmt.Println("ring and data placement consistent")
 		return nil
+	case "check":
+		return s.check()
 	case "faults":
 		return s.faults(args)
 	case "crash":
@@ -185,6 +188,31 @@ func (s *session) crash(args []string, down bool) error {
 		s.nw.Faulty.Restart(addr)
 		fmt.Printf("peer %d back online\n", i)
 	}
+	return nil
+}
+
+// check runs the global ring-invariant checker over a snapshot of every
+// reachable peer — the machine check for Zave's membership invariants.
+// Transient violations (dead arc boundaries awaiting rectify) are reported
+// but distinguished from hard protocol failures.
+func (s *session) check() error {
+	vs := s.nw.CheckRing()
+	if len(vs) == 0 {
+		fmt.Println("all ring invariants hold (ordered ring, one ring, connected, valid successor lists, ownership partition)")
+		return nil
+	}
+	hard := 0
+	for _, v := range vs {
+		tag := "HARD     "
+		if v.Transient() {
+			tag = "transient"
+		} else {
+			hard++
+		}
+		fmt.Printf("  %s  %s\n", tag, v.Error())
+	}
+	fmt.Printf("%d violations (%d hard, %d transient); 'stabilize' heals transient ones\n",
+		len(vs), hard, len(vs)-hard)
 	return nil
 }
 
@@ -241,6 +269,9 @@ func (s *session) build(args []string) error {
 		},
 		Faults: &transport.FaultConfig{Seed: s.rng.Int63()},
 		Trace:  true,
+		// Every 'stabilize' round also runs the ring-invariant checker;
+		// 'check' runs it on demand and 'metrics' shows the counts.
+		CheckInvariants: true,
 	})
 	if err != nil {
 		return err

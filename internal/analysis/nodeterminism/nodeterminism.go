@@ -5,9 +5,12 @@
 // (internal/sfc), the telemetry registry (internal/telemetry, whose
 // injectable clock is the whole point — reading the wall clock directly
 // would leak nondeterminism into every instrumented package) and the
-// fault-injection layer (internal/transport's faulty*.go files) are only
-// reproducible if every random draw flows from the seeded *rand.Rand they
-// were configured with and no decision reads the wall clock.
+// fault-injection layer (internal/transport's faulty*.go files), and the
+// membership-correctness surface (internal/chord's and internal/squid's
+// invariant* and churn* files — the ring checker and the churn soaks must
+// replay bit-for-bit so a violation is a protocol bug, never flake) are
+// only reproducible if every random draw flows from the seeded *rand.Rand
+// they were configured with and no decision reads the wall clock.
 // time.Now/Since/After/Tick/NewTimer/NewTicker/AfterFunc and the
 // package-level math/rand convenience functions (which share one global,
 // unseeded source) are therefore banned there.
@@ -29,7 +32,7 @@ import (
 // Analyzer is the nodeterminism pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "nondet",
-	Doc:  "forbids time.Now/timers and global math/rand in determinism-critical packages (sim, sfc, telemetry, transport's faulty layer)",
+	Doc:  "forbids time.Now/timers and global math/rand in determinism-critical packages (sim, sfc, telemetry, transport's faulty layer, chord/squid invariant and churn files)",
 	Run:  run,
 }
 
@@ -87,17 +90,20 @@ func run(pass *analysis.Pass) error {
 }
 
 // criticalFile reports whether file is under the determinism contract:
-// every file of a critical package, and the faulty*.go files of a
-// transport package.
+// every file of a critical package, the faulty*.go files of a transport
+// package, and the invariant*/churn* files of a chord or squid package.
 func criticalFile(pass *analysis.Pass, pkgTail string, file *ast.File) bool {
 	if criticalPkgs[pkgTail] {
 		return true
 	}
-	if pkgTail != "transport" {
-		return false
-	}
 	name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
-	return strings.HasPrefix(name, "faulty")
+	switch pkgTail {
+	case "transport":
+		return strings.HasPrefix(name, "faulty")
+	case "chord", "squid":
+		return strings.HasPrefix(name, "invariant") || strings.HasPrefix(name, "churn")
+	}
+	return false
 }
 
 // calleeFunc resolves the static callee of a call, if it is a declared

@@ -1,0 +1,9 @@
+// Fixture: in a chord package, the invariant* and churn* files are under
+// the determinism contract.
+package chord
+
+import "math/rand"
+
+func snapshotOrder() int {
+	return rand.Intn(8) // want `unseeded shared source`
+}

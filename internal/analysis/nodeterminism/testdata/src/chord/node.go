@@ -1,0 +1,7 @@
+package chord
+
+import "time"
+
+// deadline lives outside the invariant*/churn* files: the protocol proper
+// may use the wall clock (RPC timeouts are real time).
+func deadline() time.Time { return time.Now() }

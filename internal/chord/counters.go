@@ -19,6 +19,10 @@ type Counters struct {
 	FindFailures uint64
 	// StateFailures counts state probes that failed after all retries.
 	StateFailures uint64
+	// SuccRejects counts successor candidates stabilization refused to
+	// adopt because their reachability probe failed (Zave's corrected
+	// adopt-after-probe rule; always zero under LegacyRules).
+	SuccRejects uint64
 }
 
 // Add accumulates another snapshot (for network-wide aggregation).
@@ -27,6 +31,7 @@ func (c *Counters) Add(o Counters) {
 	c.StateRetries += o.StateRetries
 	c.FindFailures += o.FindFailures
 	c.StateFailures += o.StateFailures
+	c.SuccRejects += o.SuccRejects
 }
 
 // lookupHopBuckets bounds the lookup-hop histogram: a consistent ring
@@ -46,6 +51,7 @@ type nodeMetrics struct {
 	stabilizeRounds *telemetry.Counter
 	fingerFixes     *telemetry.Counter
 	routeForwards   *telemetry.Counter
+	succRejects     *telemetry.Counter
 }
 
 // newNodeMetrics resolves the node's metric children once, so every
@@ -69,6 +75,8 @@ func newNodeMetrics(reg *telemetry.Registry, id ID) nodeMetrics {
 			"periodic finger-table refresh probes issued", "node").With(node),
 		routeForwards: reg.CounterVec("squid_chord_route_forwards_total",
 			"routed messages forwarded one hop toward their key", "node").With(node),
+		succRejects: reg.CounterVec("squid_chord_succ_candidates_rejected_total",
+			"successor candidates refused by stabilization because their reachability probe failed", "node").With(node),
 	}
 }
 
@@ -84,5 +92,6 @@ func (n *Node) Counters() Counters {
 		StateRetries:  n.ctr.stateRetries.Value(),
 		FindFailures:  n.ctr.findFailures.Value(),
 		StateFailures: n.ctr.stateFailures.Value(),
+		SuccRejects:   n.ctr.succRejects.Value(),
 	}
 }

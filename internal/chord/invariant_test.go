@@ -1,0 +1,205 @@
+package chord
+
+import (
+	"strings"
+	"testing"
+
+	"squid/internal/transport"
+)
+
+// Checker unit tests over hand-constructed snapshots: each case builds a
+// global state that breaks exactly one invariant and asserts the checker
+// names it (and nothing else).
+
+func ref(id uint64, addr string) NodeRef {
+	return NodeRef{ID: ID(id), Addr: transport.Addr(addr)}
+}
+
+func kinds(vs []Violation) map[ViolationKind]int {
+	out := map[ViolationKind]int{}
+	for _, v := range vs {
+		out[v.Kind]++
+	}
+	return out
+}
+
+// healthySnaps builds a correct 4-node ring in a 10-bit space.
+func healthySnaps() []Snapshot {
+	a, b, c, d := ref(100, "a"), ref(300, "b"), ref(600, "c"), ref(900, "d")
+	mk := func(self, pred NodeRef, succs ...NodeRef) Snapshot {
+		return Snapshot{Self: self, Pred: pred, Succs: succs, Running: true}
+	}
+	return []Snapshot{
+		mk(a, d, b, c, d, a),
+		mk(b, a, c, d, a, b),
+		mk(c, b, d, a, b, c),
+		mk(d, c, a, b, c, d),
+	}
+}
+
+func TestCheckRingHealthy(t *testing.T) {
+	sp := MustSpace(10)
+	if vs := CheckRing(sp, healthySnaps()); len(vs) != 0 {
+		t.Fatalf("healthy ring reported violations: %v", vs)
+	}
+}
+
+func TestCheckRingTrivialRings(t *testing.T) {
+	sp := MustSpace(10)
+	if vs := CheckRing(sp, nil); vs != nil {
+		t.Fatalf("empty snapshot: %v", vs)
+	}
+	solo := ref(100, "a")
+	one := []Snapshot{{Self: solo, Pred: solo, Succs: []NodeRef{solo}, Running: true}}
+	if vs := CheckRing(sp, one); vs != nil {
+		t.Fatalf("singleton: %v", vs)
+	}
+	// Stopped nodes are invisible, whatever garbage they hold.
+	stopped := Snapshot{Self: ref(500, "z"), Running: false}
+	if vs := CheckRing(sp, append(one, stopped)); vs != nil {
+		t.Fatalf("stopped node counted: %v", vs)
+	}
+}
+
+func TestCheckRingSuccListViolations(t *testing.T) {
+	sp := MustSpace(10)
+	snaps := healthySnaps()
+
+	// Zero entry mid-list.
+	bad := snaps
+	bad[0].Succs = []NodeRef{{}, ref(300, "b")}
+	vs := CheckRing(sp, bad)
+	if kinds(vs)[ViolationSuccList] == 0 {
+		t.Fatalf("zero entry not flagged: %v", vs)
+	}
+
+	// Out of ring order: a later entry closer than an earlier one.
+	bad = healthySnaps()
+	bad[0].Succs = []NodeRef{ref(600, "c"), ref(300, "b")}
+	vs = CheckRing(sp, bad)
+	if kinds(vs)[ViolationSuccList] == 0 {
+		t.Fatalf("out-of-order list not flagged: %v", vs)
+	}
+
+	// Empty list.
+	bad = healthySnaps()
+	bad[0].Succs = nil
+	vs = CheckRing(sp, bad)
+	if kinds(vs)[ViolationSuccList] == 0 {
+		t.Fatalf("empty list not flagged: %v", vs)
+	}
+
+	// Leading self closes the loop immediately: the live entries after it
+	// are lap-stale, so the node has no effective successor at all.
+	bad = healthySnaps()
+	bad[0].Succs = []NodeRef{ref(100, "a"), ref(300, "b")}
+	vs = CheckRing(sp, bad)
+	if kinds(vs)[ViolationDisconnected] == 0 {
+		t.Fatalf("self-closed list with no live successor not flagged: %v", vs)
+	}
+
+	// Lenient cases the protocol produces while healing: dead tombstones
+	// out of order, and stale entries after a mid-list self-reference.
+	ok := healthySnaps()
+	ok[0].Succs = []NodeRef{ref(999, "dead1"), ref(300, "b"), ref(150, "dead2"), ref(600, "c")}
+	if vs := CheckRing(sp, ok); len(vs) != 0 {
+		t.Fatalf("dead tombstones wrongly flagged: %v", vs)
+	}
+	ok = healthySnaps()
+	ok[0].Succs = []NodeRef{ref(300, "b"), ref(100, "a"), ref(600, "c")}
+	if vs := CheckRing(sp, ok); len(vs) != 0 {
+		t.Fatalf("lap-stale entries after loop closure wrongly flagged: %v", vs)
+	}
+}
+
+func TestCheckRingDisconnected(t *testing.T) {
+	sp := MustSpace(10)
+	snaps := healthySnaps()
+	// Node a's successors are all dead (not members): its chain cannot
+	// reach the ring.
+	snaps[0].Succs = []NodeRef{ref(150, "dead1"), ref(200, "dead2")}
+	vs := CheckRing(sp, snaps)
+	if kinds(vs)[ViolationDisconnected] == 0 {
+		t.Fatalf("dead-end chain not flagged: %v", vs)
+	}
+}
+
+func TestCheckRingMultipleRings(t *testing.T) {
+	sp := MustSpace(10)
+	a, b := ref(100, "a"), ref(300, "b")
+	c, d := ref(600, "c"), ref(900, "d")
+	mk := func(self, pred, succ NodeRef) Snapshot {
+		return Snapshot{Self: self, Pred: pred, Succs: []NodeRef{succ, self}, Running: true}
+	}
+	// Two disjoint 2-cycles: {a,b} and {c,d}.
+	snaps := []Snapshot{mk(a, b, b), mk(b, a, a), mk(c, d, d), mk(d, c, c)}
+	vs := CheckRing(sp, snaps)
+	if kinds(vs)[ViolationMultipleRings] != 1 {
+		t.Fatalf("expected exactly one multiple-rings violation: %v", vs)
+	}
+}
+
+func TestCheckRingOrderedRingViolation(t *testing.T) {
+	sp := MustSpace(10)
+	a, b, c := ref(100, "a"), ref(300, "b"), ref(600, "c")
+	// Cycle a→c→b→a: all three on the ring, but a's successor skips b.
+	snaps := []Snapshot{
+		{Self: a, Pred: c, Succs: []NodeRef{c, a}, Running: true},
+		{Self: c, Pred: b, Succs: []NodeRef{b, c}, Running: true},
+		{Self: b, Pred: a, Succs: []NodeRef{a, b}, Running: true},
+	}
+	vs := CheckRing(sp, snaps)
+	if kinds(vs)[ViolationOrderedRing] == 0 {
+		t.Fatalf("out-of-order cycle not flagged: %v", vs)
+	}
+}
+
+func TestCheckRingOwnershipViolations(t *testing.T) {
+	sp := MustSpace(10)
+
+	// Zero predecessor: the node claims the entire ring.
+	snaps := healthySnaps()
+	snaps[1].Pred = NodeRef{}
+	vs := CheckRing(sp, snaps)
+	if kinds(vs)[ViolationOwnershipOverlap] != 1 {
+		t.Fatalf("zero pred not flagged as overlap: %v", vs)
+	}
+	if len(HardViolations(vs)) != 1 {
+		t.Fatalf("overlap should be hard: %v", vs)
+	}
+
+	// Self predecessor on a multi-node ring: same over-claim.
+	snaps = healthySnaps()
+	snaps[1].Pred = snaps[1].Self
+	if vs := CheckRing(sp, snaps); kinds(vs)[ViolationOwnershipOverlap] != 1 {
+		t.Fatalf("self pred not flagged as overlap: %v", vs)
+	}
+
+	// Predecessor behind the oracle predecessor: arcs overlap.
+	snaps = healthySnaps()
+	snaps[2].Pred = ref(100, "a") // c's oracle pred is b(300); claiming from a(100) swallows b's arc
+	if vs := CheckRing(sp, snaps); kinds(vs)[ViolationOwnershipOverlap] != 1 {
+		t.Fatalf("stale far pred not flagged as overlap: %v", vs)
+	}
+
+	// Dead node inside the oracle arc as boundary: a gap, transient.
+	snaps = healthySnaps()
+	snaps[2].Pred = ref(450, "gone")
+	snaps[2].PredSuspect = true
+	vs = CheckRing(sp, snaps)
+	if kinds(vs)[ViolationOwnershipGap] != 1 {
+		t.Fatalf("dead boundary not flagged as gap: %v", vs)
+	}
+	if !vs[0].Transient() {
+		t.Fatalf("gap should be transient: %v", vs[0])
+	}
+	if len(HardViolations(vs)) != 0 {
+		t.Fatalf("gap should be filtered by HardViolations: %v", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "suspect") {
+		t.Fatalf("gap detail should mention suspicion: %v", vs[0])
+	}
+	if vs[0].Error() == "" {
+		t.Fatal("Violation.Error empty")
+	}
+}

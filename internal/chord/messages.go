@@ -69,10 +69,32 @@ type JoinReqMsg struct {
 
 // JoinAckMsg admits a joiner: Pred is its new predecessor, Succs its new
 // successor list (starting with the admitting node), Items the keys it now
-// owns.
+// owns. Deferred marks the corrected three-phase admission: the owner has
+// not yet spliced the joiner in, and no items travel with the ack — the
+// joiner must confirm liveness with a JoinConfirmMsg, after which ownership
+// moves via a HandoffMsg.
 type JoinAckMsg struct {
+	Pred     NodeRef
+	Succs    []NodeRef
+	Items    []Item
+	Deferred bool
+}
+
+// JoinConfirmMsg is phase three of the corrected join: the joiner, now
+// listening and linked into the ring as an appendage, asks the owner of its
+// identifier to adopt it as predecessor and transfer its arc. Hops bounds
+// re-forwarding when ownership moved between ack and confirm.
+type JoinConfirmMsg struct {
+	New  NodeRef
+	Hops int
+}
+
+// HandoffMsg transfers ownership of the arc (Pred, receiver's pred] to the
+// receiver: Items are the keys now owned by the receiver, Pred the sender's
+// view of the arc's lower boundary (used to spill-forward items that belong
+// to a predecessor admitted concurrently).
+type HandoffMsg struct {
 	Pred  NodeRef
-	Succs []NodeRef
 	Items []Item
 }
 
@@ -140,6 +162,8 @@ func init() {
 	transport.Register(JoinReqMsg{})
 	transport.Register(JoinAckMsg{})
 	transport.Register(JoinNackMsg{})
+	transport.Register(JoinConfirmMsg{})
+	transport.Register(HandoffMsg{})
 	transport.Register(NotifyMsg{})
 	transport.Register(GetStateMsg{})
 	transport.Register(StateMsg{})

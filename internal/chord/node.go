@@ -36,6 +36,14 @@ type Config struct {
 	// a private clock-less registry, so instrumentation always has one code
 	// path and Node.Counters keeps working standalone.
 	Telemetry *telemetry.Registry
+	// LegacyRules reverts membership to the original Chord pseudo-code:
+	// successors adopted without a reachability probe, predecessors cleared
+	// unilaterally when a probe fails, and joins that splice ownership before
+	// the joiner confirms it is live. Zave ("How To Make Chord Correct",
+	// arXiv:1502.06461) showed these rules break the ring invariants under
+	// concurrent churn; the toggle exists only so the regression tests can
+	// demonstrate the failures the corrected rules (the default) prevent.
+	LegacyRules bool
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +80,14 @@ type Node struct {
 	succs   []NodeRef
 	fingers []NodeRef
 	fixNext int
+
+	// predSuspect marks the predecessor as unreachable without forgetting
+	// it. Under the corrected rules a node never clears its predecessor
+	// outright — a zero predecessor claims ownership of the whole ring,
+	// which overlaps every other node's arc — so failed probes only raise
+	// this flag, and rectify (handleNotify) adopts the next live candidate
+	// unconditionally while it is set.
+	predSuspect bool
 
 	nextToken     uint64
 	pendingFinds  map[uint64]*pendingCall[FoundMsg]
@@ -156,6 +172,10 @@ func (n *Node) Deliver(from transport.Addr, msg any) {
 		n.handleJoinAck(m)
 	case JoinNackMsg:
 		n.handleJoinNack(m)
+	case JoinConfirmMsg:
+		n.handleJoinConfirm(m)
+	case HandoffMsg:
+		n.handleHandoff(m)
 	case NotifyMsg:
 		n.handleNotify(m)
 	case GetStateMsg:
@@ -245,13 +265,15 @@ func (n *Node) Owns(key ID) bool {
 func (n *Node) maxHops() int { return 3*n.cfg.Space.Bits + 32 }
 
 // setPred updates the predecessor, notifying an ArcWatcher application of
-// the ownership change.
+// the ownership change. Any change clears the suspicion flag: the new
+// reference has not failed a probe yet.
 func (n *Node) setPred(p NodeRef) {
 	if n.pred == p {
 		return
 	}
 	old := n.pred
 	n.pred = p
+	n.predSuspect = false
 	if aw, ok := n.app.(ArcWatcher); ok {
 		aw.ArcChanged(old, p)
 	}
@@ -337,10 +359,17 @@ func (n *Node) forwardToward(target ID, msg any) bool {
 	return false
 }
 
-// dropDead removes a dead reference from the node's neighbor state.
+// dropDead removes a dead reference from the node's neighbor state. Under
+// the corrected rules the predecessor is only marked suspect, never cleared:
+// a zero predecessor widens this node's arc over everyone else's, and the
+// dead boundary stays valid for ownership until rectify installs a live one.
 func (n *Node) dropDead(dead NodeRef) {
 	if n.pred.Addr == dead.Addr {
-		n.setPred(NodeRef{})
+		if n.cfg.LegacyRules {
+			n.setPred(NodeRef{})
+		} else {
+			n.predSuspect = true
+		}
 	}
 	kept := n.succs[:0]
 	for _, s := range n.succs {
@@ -574,7 +603,12 @@ func (n *Node) handleState(m StateMsg) {
 }
 
 // trimSuccs bounds a successor list to the configured length, dropping
-// self-references that would shadow real successors.
+// zeros and duplicates. Dead and lap-stale entries (including a mid-list
+// self-reference, which marks one full loop around the node's view of the
+// ring) are kept deliberately: they are tombstones that preserve failover
+// depth while healing, dropped lazily by dropDead. The invariant checker
+// mirrors this by validating ring order only over live entries up to the
+// first self-reference.
 func (n *Node) trimSuccs(list []NodeRef) []NodeRef {
 	out := make([]NodeRef, 0, n.cfg.SuccListLen)
 	seen := map[transport.Addr]bool{}

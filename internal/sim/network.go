@@ -41,6 +41,12 @@ type Config struct {
 	// Trace enables distributed query tracing: every Query records its
 	// reassembled refinement-tree spans in Network.Traces.
 	Trace bool
+	// CheckInvariants asserts the global ring invariants (chord.CheckRing)
+	// after every StabilizeAll round. Violations are recorded to the
+	// squid_ring_violations_total telemetry family; hard (non-transient)
+	// violations also accumulate in Network.RingViolations, so a churn test
+	// can drive arbitrary rounds and assert a single zero at the end.
+	CheckInvariants bool
 }
 
 // Peer is one simulated participant.
@@ -74,6 +80,9 @@ type Network struct {
 
 	rng     *rand.Rand
 	nextIdx int
+
+	ringViolations *telemetry.CounterVec
+	hardViolations uint64
 }
 
 // Build constructs a network of cfg.Nodes peers with uniformly random
@@ -141,6 +150,8 @@ func newNetwork(cfg Config) *Network {
 	if cfg.Trace {
 		nw.Traces = telemetry.NewTraceStore(0)
 	}
+	nw.ringViolations = nw.Telemetry.CounterVec("squid_ring_violations_total",
+		"ring invariant violations observed by the global checker", "kind")
 	return nw
 }
 
@@ -435,7 +446,8 @@ func (nw *Network) KillPeer(i int) {
 
 // StabilizeAll runs the given number of stabilization rounds on every
 // peer (stabilize + finger fix + predecessor check), quiescing between
-// rounds.
+// rounds. With Config.CheckInvariants set, the global ring checker runs
+// after every round.
 func (nw *Network) StabilizeAll(rounds int) {
 	for r := 0; r < rounds; r++ {
 		for _, p := range nw.Peers {
@@ -447,8 +459,48 @@ func (nw *Network) StabilizeAll(rounds int) {
 			})
 		}
 		nw.Quiesce()
+		if nw.cfg.CheckInvariants {
+			nw.CheckRing()
+		}
 	}
 }
+
+// SnapshotRing captures every reachable peer's neighbor state. Peers
+// currently black-holed by the fault layer are skipped: a crashed process
+// is not a ring member, and its frozen state would read as stale garbage.
+func (nw *Network) SnapshotRing() []chord.Snapshot {
+	snaps := make([]chord.Snapshot, 0, len(nw.Peers))
+	for _, p := range nw.Peers {
+		p := p
+		if nw.Faulty != nil && nw.Faulty.Crashed(p.Addr()) {
+			continue
+		}
+		ch := make(chan chord.Snapshot, 1)
+		MustInvoke(p, func() { ch <- p.Node.Snapshot() })
+		snaps = append(snaps, <-ch)
+	}
+	return snaps
+}
+
+// CheckRing snapshots the network and verifies the global ring invariants,
+// recording every violation to the squid_ring_violations_total telemetry
+// family and accumulating hard ones in RingViolations. It returns the
+// round's violations (transient ones included) for callers that want the
+// detail.
+func (nw *Network) CheckRing() []chord.Violation {
+	space := chord.Space{Bits: nw.Space.IndexBits()}
+	vs := chord.CheckRing(space, nw.SnapshotRing())
+	for _, v := range vs {
+		nw.ringViolations.With(string(v.Kind)).Inc()
+	}
+	nw.hardViolations += uint64(len(chord.HardViolations(vs)))
+	return vs
+}
+
+// RingViolations returns the cumulative count of hard (non-transient)
+// invariant violations observed by CheckRing since the network was built.
+// A churn test asserts this is zero after driving arbitrary rounds.
+func (nw *Network) RingViolations() uint64 { return nw.hardViolations }
 
 // PushReplicasAll makes every peer push replicas of its store to its
 // successors (run after Preload when the engines have Replicas > 0).

@@ -45,6 +45,7 @@ func chaosNetwork(t *testing.T, nodes int, seed int64) (*sim.Network, *keyspace.
 		Faults: &transport.FaultConfig{
 			Seed: seed + 1, // drop rate starts at 0; raised per phase
 		},
+		CheckInvariants: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -189,6 +190,9 @@ func TestChaosSoak(t *testing.T) {
 		if !checkSound(t, "post-heal "+q.String(), res, truth) || len(res.Matches) != len(truth) {
 			t.Fatalf("post-heal %s: %d/%d matches", q, len(res.Matches), len(truth))
 		}
+	}
+	if n := nw.RingViolations(); n != 0 {
+		t.Fatalf("%d hard ring violations after heal — crashes and message loss must not break membership", n)
 	}
 }
 

@@ -1,0 +1,154 @@
+package squid_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+)
+
+// TestChurnStormInvariants is the membership-correctness soak: bursts of
+// overlapping joins, graceful leaves, and abrupt kills land between
+// stabilization sweeps, so repairs for one event run while another is still
+// in flight. The global ring checker (chord.CheckRing) runs after every
+// stabilization round via sim's CheckInvariants hook; under the corrected
+// membership rules the cumulative hard-violation count must be exactly
+// zero — Zave's invariants hold at every reachable state, not just after
+// the ring settles. Query exactness is re-asserted after each storm heals.
+//
+// Scaling knobs (for the scheduled CI soak):
+//
+//	SQUID_CHURN_STORMS=n  number of churn storms (default 3)
+//	SQUID_CHURN_LEGACY=1  run under the original pseudo-code rules and
+//	                      report the violation count instead of asserting
+//	                      zero (the EXPERIMENTS.md comparison numbers)
+func TestChurnStormInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn storm soak skipped in short mode")
+	}
+	storms := 3
+	if s := os.Getenv("SQUID_CHURN_STORMS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad SQUID_CHURN_STORMS=%q", s)
+		}
+		storms = n
+	}
+	legacy := os.Getenv("SQUID_CHURN_LEGACY") == "1"
+
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sim.Build(sim.Config{
+		Nodes: 16, Space: space, Seed: 91,
+		Engine:          squid.Options{Replicas: 2},
+		Chord:           chord.Config{LegacyRules: legacy},
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(92))
+
+	published := 0
+	publish := func(n int) {
+		for i := 0; i < n; i++ {
+			e := squid.Element{
+				Values: []string{randSoakWord(rng), randSoakWord(rng)},
+				Data:   fmt.Sprintf("storm-%05d", published),
+			}
+			if err := nw.Publish(rng.Intn(len(nw.Peers)), e); err != nil {
+				t.Fatal(err)
+			}
+			published++
+		}
+		nw.Quiesce()
+		nw.PushReplicasAll()
+	}
+	publish(300)
+
+	queries := []keyspace.Query{
+		keyspace.MustParse("(a*, *)"),
+		keyspace.MustParse("(*, m*)"),
+		keyspace.MustParse("(*, *)"),
+	}
+	verify := func(storm int) {
+		if err := nw.VerifyConsistent(); err != nil {
+			t.Fatalf("storm %d: %v", storm, err)
+		}
+		for _, q := range queries {
+			want := len(nw.BruteForceMatches(q))
+			res, _ := nw.Query(rng.Intn(len(nw.Peers)), q)
+			if res.Err != nil {
+				t.Fatalf("storm %d: %s: %v", storm, q, res.Err)
+			}
+			if len(res.Matches) != want {
+				t.Fatalf("storm %d: %s found %d, ground truth %d",
+					storm, q, len(res.Matches), want)
+			}
+		}
+	}
+
+	for storm := 0; storm < storms; storm++ {
+		// A storm is a burst of membership events with NO stabilization in
+		// between: each event's repair overlaps the next event. At most one
+		// abrupt kill per storm so replication (Replicas: 2) can always
+		// recover the lost primaries.
+		killed := false
+		for ev := 0; ev < 3; ev++ {
+			switch rng.Intn(3) {
+			case 0: // join
+				id := chord.ID(rng.Uint64() & ((1 << 32) - 1))
+				if _, err := nw.AddPeer(id); err != nil {
+					t.Logf("storm %d: join refused: %v", storm, err)
+				}
+			case 1: // graceful leave (keep a quorum)
+				if len(nw.Peers) > 10 {
+					nw.RemovePeer(rng.Intn(len(nw.Peers)))
+				}
+			case 2: // abrupt failure
+				if !killed && len(nw.Peers) > 10 {
+					nw.KillPeer(rng.Intn(len(nw.Peers)))
+					killed = true
+				}
+			}
+		}
+		// Every round of this sweep runs the global checker; hard
+		// violations accumulate in nw.RingViolations.
+		nw.StabilizeAll(10)
+		nw.PushReplicasAll()
+		if legacy {
+			t.Logf("storm %d: %d peers, %d cumulative hard violations",
+				storm, len(nw.Peers), nw.RingViolations())
+			continue
+		}
+		verify(storm)
+	}
+
+	if legacy {
+		var buf strings.Builder
+		if err := nw.Telemetry.WritePrometheus(&buf); err == nil {
+			for _, line := range strings.Split(buf.String(), "\n") {
+				if strings.HasPrefix(line, "squid_ring_violations_total") {
+					t.Log(line)
+				}
+			}
+		}
+		t.Logf("legacy rules: %d hard ring violations across %d storms (expected nonzero — the comparison baseline)",
+			nw.RingViolations(), storms)
+		return
+	}
+	if n := nw.RingViolations(); n != 0 {
+		t.Fatalf("corrected rules: %d hard ring violations — membership invariants broken under churn", n)
+	}
+	t.Logf("churn storm soak: %d storms, %d peers, %d elements, zero hard violations",
+		storms, len(nw.Peers), published)
+}

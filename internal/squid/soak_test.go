@@ -26,7 +26,8 @@ func TestChurnSoak(t *testing.T) {
 	}
 	nw, err := sim.Build(sim.Config{
 		Nodes: 20, Space: space, Seed: 77,
-		Engine: squid.Options{Replicas: 2},
+		Engine:          squid.Options{Replicas: 2},
+		CheckInvariants: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -118,7 +119,10 @@ func TestChurnSoak(t *testing.T) {
 		nw.PushReplicasAll()
 		verify(round, false)
 	}
-	t.Logf("soak done: %d peers, %d elements, all queries exact", len(nw.Peers), published)
+	if n := nw.RingViolations(); n != 0 {
+		t.Fatalf("%d hard ring violations during soak (checker runs after every stabilization round)", n)
+	}
+	t.Logf("soak done: %d peers, %d elements, all queries exact, zero hard ring violations", len(nw.Peers), published)
 }
 
 func randSoakWord(rng *rand.Rand) string {

@@ -169,6 +169,13 @@ func (f *Faulty) Crash(name Addr) {
 	f.mu.Unlock()
 }
 
+// Crashed reports whether the named endpoint is currently black-holed.
+func (f *Faulty) Crashed(name Addr) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed[name]
+}
+
 // Restart reconnects a crashed endpoint.
 func (f *Faulty) Restart(name Addr) {
 	f.mu.Lock()
