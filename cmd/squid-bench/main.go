@@ -31,6 +31,7 @@ func main() {
 		csv        = flag.String("csv", "", "also write sweep results (fig9-fig17) as CSV to this file")
 		benchJSON  = flag.String("bench-json", "", "run the hot-path benchmark suite instead of figures and write the snapshot (BENCH_*.json) to this file")
 		schedJSON  = flag.String("sched-json", "", "run the concurrent-load scheduler benchmark (serial vs worker pool under deadline-bounded bursts) and write the snapshot (BENCH_2.json) to this file")
+		wireJSON   = flag.String("wire-json", "", "run the wire-codec benchmark (binary vs gob: encode cost, bytes per message, TCP throughput, ring bytes per query) and write the snapshot (BENCH_3.json) to this file")
 		traceDemo  = flag.Bool("trace-demo", false, "run one traced query under message drops and render its refinement tree (uses -nodes, -keys, -drop)")
 		drop       = flag.Float64("drop", 0.05, "message drop rate for -trace-demo")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
@@ -54,6 +55,9 @@ func main() {
 		}
 		if *schedJSON != "" {
 			return runSchedJSON(*schedJSON)
+		}
+		if *wireJSON != "" {
+			return runWireJSON(*wireJSON)
 		}
 		if *traceDemo {
 			return runTraceDemo(*nodes, *keys, *drop)

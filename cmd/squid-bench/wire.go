@@ -1,0 +1,538 @@
+package main
+
+// The -wire-json harness: codec and transport benchmarks for the binary
+// wire format (BENCH_3.json). Three sections:
+//
+//   - codec: per hot-path message type, steady-state encode cost and
+//     wire size under the binary codec vs gob-as-the-transport-frames-it
+//     (a persistent stream of wireEnvelope values, so gob's one-time
+//     type-description tax is excluded and only the honest per-message
+//     overhead — type names for interface-valued fields, field deltas —
+//     is charged).
+//   - throughput: a concurrent burst of ClusterQueryMsg RPCs across a
+//     real loopback TCP pair, binary vs gob connections, plus the
+//     frames-per-flush coalescing ratio the group commit achieves.
+//   - ring: bytes on the wire per end-to-end flexible query on a live
+//     three-node TCP ring (publishes, chord joins, cluster fan-out,
+//     result collection), current build vs a ring pinned to the legacy
+//     gob stream.
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/squid"
+	"squid/internal/telemetry"
+	"squid/internal/transport"
+	"squid/internal/wire"
+)
+
+type wireCodecSide struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerMsg int     `json:"bytes_per_msg"`
+	// FirstMsgBytes is the cost of the first message on a fresh
+	// connection: for gob, the type descriptors the stream must carry
+	// before the value; for binary, the negotiation preamble plus the
+	// frame. Every dial, re-dial and short-lived client connection pays
+	// this.
+	FirstMsgBytes int `json:"first_msg_bytes"`
+}
+
+type wireCodecResult struct {
+	Binary        wireCodecSide `json:"binary"`
+	Gob           wireCodecSide `json:"gob"`
+	BytesRatio    float64       `json:"bytes_ratio"`     // gob / binary, steady state
+	FirstMsgRatio float64       `json:"first_msg_ratio"` // gob / binary, fresh connection
+	EncodeSpeedup float64       `json:"encode_speedup"`  // gob ns / binary ns
+}
+
+type wireThroughputSide struct {
+	Msgs       int     `json:"msgs"`
+	Seconds    float64 `json:"seconds"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	Frames     uint64  `json:"frames"`
+	Flushes    uint64  `json:"flushes"`
+}
+
+type wireRingSide struct {
+	Queries       int     `json:"queries"`
+	BytesTotal    uint64  `json:"bytes_total"`
+	BytesPerQuery float64 `json:"bytes_per_query"`
+}
+
+type wireSnapshot struct {
+	Generated  string                     `json:"generated"`
+	Go         string                     `json:"go"`
+	Codec      map[string]wireCodecResult `json:"codec"`
+	Throughput struct {
+		Binary  wireThroughputSide `json:"binary"`
+		Gob     wireThroughputSide `json:"gob"`
+		Speedup float64            `json:"speedup"`
+	} `json:"throughput"`
+	Ring struct {
+		Binary    wireRingSide `json:"binary"`
+		Legacy    wireRingSide `json:"legacy_gob"`
+		Reduction float64      `json:"reduction"` // legacy / binary bytes per query
+	} `json:"ring"`
+}
+
+// wireBenchMsgs are the hot-path messages the codec section measures:
+// the cluster-query fan-out triple the issue targets, plus the
+// replication delta and the stabilize/finger RPCs.
+func wireBenchMsgs() []struct {
+	name string
+	msg  any
+} {
+	q := keyspace.Query{keyspace.Prefix("comp"), keyspace.Wildcard()}
+	cq := squid.ClusterQueryMsg{
+		QID:   4242,
+		Query: q,
+		Clusters: []squid.ClusterRef{
+			{Prefix: 0x3f00, Level: 10, Complete: true},
+			{Prefix: 0x3f40, Level: 12},
+			{Prefix: 0x3f80, Level: 12, Complete: true},
+		},
+		ReplyTo: "10.1.2.3:45678",
+		Token:   99,
+		Trace:   telemetry.TraceRef{Parent: 7, Depth: 3, Mode: telemetry.TraceOn},
+	}
+	elems := []squid.Element{
+		{Values: []string{"computer", "network"}, Data: "doc-17"},
+		{Values: []string{"computer", "graphics"}, Data: "doc-29"},
+	}
+	return []struct {
+		name string
+		msg  any
+	}{
+		{"cluster_query", cq},
+		{"batch_4", squid.BatchMsg{Queries: []squid.ClusterQueryMsg{cq, cq, cq, cq}}},
+		{"sub_result", squid.SubResultMsg{QID: 4242, Token: 99, Matches: elems}},
+		{"replica_delta", squid.ReplicaMsg{Items: []chord.Item{
+			{Key: 0x1234, Value: elems},
+			{Key: 0x5678, Value: elems[:1]},
+		}}},
+		{"app_cluster_query", chord.AppMsg{From: "10.1.2.3:45678", Payload: cq}},
+		{"stabilize_state", chord.StateMsg{Token: 3, Self: chord.NodeRef{ID: 0xabc, Addr: "10.0.0.1:8001"},
+			Pred: chord.NodeRef{ID: 0x123, Addr: "10.0.0.2:8001"},
+			Succs: []chord.NodeRef{
+				{ID: 0xdef, Addr: "10.0.0.3:8001"},
+				{ID: 0xfff, Addr: "10.0.0.4:8001"},
+			}, Load: 120}},
+		{"finger_find", chord.FindMsg{Target: 0xdeadbeef, Token: 17, ReplyTo: "10.0.0.1:8001", Hops: 3, Trace: 7}},
+	}
+}
+
+// gobEnvelope mirrors the transport's stream frame (transport.wireEnvelope
+// is unexported; the shape is what gob charges for).
+type gobEnvelope struct {
+	From    string
+	Payload any
+}
+
+// countWriter tallies bytes without retaining them.
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(p []byte) (int, error) { c.n += len(p); return len(p), nil }
+
+func runWireCodecSection(snap *wireSnapshot) error {
+	const from = "10.1.2.3:45678"
+	for _, bm := range wireBenchMsgs() {
+		var res wireCodecResult
+
+		// Binary: frame body + the 4-byte length header the transport adds.
+		var e wire.Encoder
+		if !wire.EncodeMessage(&e, bm.msg) {
+			return fmt.Errorf("wire bench: no codec for %T", bm.msg)
+		}
+		res.Binary.BytesPerMsg = e.Len() + 4
+		// First message on a fresh connection: 5-byte preamble, the
+		// varint-length dialer address (sent once, never again), the frame.
+		var pe wire.Encoder
+		pe.String(from)
+		res.Binary.FirstMsgBytes = 5 + pe.Len() + res.Binary.BytesPerMsg
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.Reset()
+				wire.EncodeMessage(&e, bm.msg)
+			}
+		})
+		res.Binary.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+		res.Binary.AllocsPerOp = r.AllocsPerOp()
+
+		// Gob, steady state: one persistent encoder per connection, so the
+		// type-description tax is paid once and excluded. Per-message bytes
+		// are the stream growth averaged over a window after the first
+		// (descriptor-carrying) message.
+		cw := &countWriter{}
+		enc := gob.NewEncoder(cw)
+		env := gobEnvelope{From: from, Payload: bm.msg}
+		if err := enc.Encode(env); err != nil {
+			return fmt.Errorf("wire bench: gob %s: %w", bm.name, err)
+		}
+		warm := cw.n
+		const window = 64
+		for i := 0; i < window; i++ {
+			if err := enc.Encode(env); err != nil {
+				return fmt.Errorf("wire bench: gob %s: %w", bm.name, err)
+			}
+		}
+		res.Gob.BytesPerMsg = (cw.n - warm) / window
+		res.Gob.FirstMsgBytes = warm
+		benc := gob.NewEncoder(io.Discard)
+		benc.Encode(env) // prime the descriptor outside the timed loop
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benc.Encode(env)
+			}
+		})
+		res.Gob.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+		res.Gob.AllocsPerOp = r.AllocsPerOp()
+
+		res.BytesRatio = float64(res.Gob.BytesPerMsg) / float64(res.Binary.BytesPerMsg)
+		res.FirstMsgRatio = float64(res.Gob.FirstMsgBytes) / float64(res.Binary.FirstMsgBytes)
+		res.EncodeSpeedup = res.Gob.NsPerOp / res.Binary.NsPerOp
+		snap.Codec[bm.name] = res
+		fmt.Printf("%-20s binary %5d B %9.0f ns/op %3d allocs | gob %5d B %9.0f ns/op %3d allocs | %4.1fx smaller, %4.1fx on fresh conns, %4.1fx faster encode\n",
+			bm.name, res.Binary.BytesPerMsg, res.Binary.NsPerOp, res.Binary.AllocsPerOp,
+			res.Gob.BytesPerMsg, res.Gob.NsPerOp, res.Gob.AllocsPerOp,
+			res.BytesRatio, res.FirstMsgRatio, res.EncodeSpeedup)
+	}
+	return nil
+}
+
+// countingHandler counts deliveries and signals when the expected total
+// arrives.
+type countingHandler struct {
+	n    atomic.Int64
+	want int64
+	done chan struct{}
+	once sync.Once
+}
+
+func (h *countingHandler) Deliver(from transport.Addr, msg any) {
+	if h.n.Add(1) >= h.want {
+		h.once.Do(func() { close(h.done) })
+	}
+}
+
+// runWireThroughput blasts msgs ClusterQueryMsg RPCs from 8 concurrent
+// senders over one loopback TCP connection and reports end-to-end
+// delivered messages per second.
+func runWireThroughput(msgs int, gobMode bool) (wireThroughputSide, error) {
+	var side wireThroughputSide
+	h := &countingHandler{want: int64(msgs), done: make(chan struct{})}
+	dst, err := transport.ListenTCP("127.0.0.1:0", h)
+	if err != nil {
+		return side, err
+	}
+	defer func() { _ = dst.Close() }() // benchmark teardown; the measurement is already taken
+	src, err := transport.ListenTCP("127.0.0.1:0", &countingHandler{want: 1 << 62, done: make(chan struct{})})
+	if err != nil {
+		return side, err
+	}
+	defer func() { _ = src.Close() }() // benchmark teardown; the measurement is already taken
+	if gobMode {
+		src.SetWireMode(transport.WireGob)
+	}
+	reg := telemetry.NewRegistry(time.Now)
+	src.Instrument(reg)
+
+	msg := wireBenchMsgs()[0].msg // cluster_query
+	const senders = 8
+	start := time.Now()
+	var wg sync.WaitGroup
+	var sendErr atomic.Value
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < msgs; i += senders {
+				if err := src.Send(dst.Addr(), msg); err != nil {
+					sendErr.Store(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err, ok := sendErr.Load().(error); ok {
+		return side, err
+	}
+	select {
+	case <-h.done:
+	case <-time.After(60 * time.Second):
+		return side, fmt.Errorf("wire bench: throughput run delivered %d/%d", h.n.Load(), msgs)
+	}
+	side.Seconds = time.Since(start).Seconds()
+	side.Msgs = msgs
+	side.MsgsPerSec = float64(msgs) / side.Seconds
+	codec := "binary"
+	if gobMode {
+		codec = "gob"
+	}
+	side.Frames = reg.CounterVec("squid_transport_tcp_frames_total", "", "codec").With(codec).Value()
+	side.Flushes = reg.Counter("squid_transport_tcp_flushes_total", "").Value()
+	return side, nil
+}
+
+// ringNode is one member of the live TCP measurement ring.
+type ringNode struct {
+	node *chord.Node
+	ep   *transport.TCPEndpoint
+	reg  *telemetry.Registry
+}
+
+func startRingNode(space *keyspace.Space, id uint64, mode transport.WireMode) (*ringNode, error) {
+	eng := squid.New(space)
+	node := chord.NewNode(chord.Config{
+		Space:      chord.Space{Bits: space.IndexBits()},
+		RPCTimeout: 5 * time.Second,
+	}, chord.ID(id), eng)
+	eng.Attach(node)
+	ep, err := transport.ListenTCP("127.0.0.1:0", node)
+	if err != nil {
+		return nil, err
+	}
+	ep.SetWireMode(mode)
+	reg := telemetry.NewRegistry(time.Now)
+	ep.Instrument(reg)
+	node.Start(ep)
+	return &ringNode{node: node, ep: ep, reg: reg}, nil
+}
+
+// ringSink collects client query results keyed by token.
+type ringSink struct {
+	mu      sync.Mutex
+	waiters map[uint64]chan squid.ClientResultMsg
+}
+
+func (s *ringSink) Deliver(from transport.Addr, msg any) {
+	if m, ok := msg.(chord.AppMsg); ok {
+		msg = m.Payload
+	}
+	res, ok := msg.(squid.ClientResultMsg)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	ch := s.waiters[res.Token]
+	delete(s.waiters, res.Token)
+	s.mu.Unlock()
+	if ch != nil {
+		ch <- res
+	}
+}
+
+func (s *ringSink) expect(token uint64) chan squid.ClientResultMsg {
+	ch := make(chan squid.ClientResultMsg, 1)
+	s.mu.Lock()
+	s.waiters[token] = ch
+	s.mu.Unlock()
+	return ch
+}
+
+// runWireRing measures wire bytes per flexible query on a three-node TCP
+// ring (plus out-of-ring client), with every endpoint pinned to mode.
+func runWireRing(queries int, mode transport.WireMode) (wireRingSide, error) {
+	var side wireRingSide
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		return side, err
+	}
+	var nodes []*ringNode
+	defer func() {
+		for _, n := range nodes {
+			_ = n.ep.Close() // benchmark teardown; the measurement is already taken
+		}
+	}()
+	for i, id := range []uint64{1111, 22222, 44444} {
+		n, err := startRingNode(space, id, mode)
+		if err != nil {
+			return side, err
+		}
+		nodes = append(nodes, n)
+		if i == 0 {
+			if err := n.node.Invoke(n.node.Create); err != nil {
+				return side, err
+			}
+			continue
+		}
+		done := make(chan error, 1)
+		boot := nodes[0].ep.Addr()
+		if err := n.node.Invoke(func() { n.node.Join(boot, func(err error) { done <- err }) }); err != nil {
+			return side, err
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				return side, fmt.Errorf("join node %d: %w", i, err)
+			}
+		case <-time.After(30 * time.Second):
+			return side, fmt.Errorf("join node %d timed out", i)
+		}
+	}
+
+	sink := &ringSink{waiters: make(map[uint64]chan squid.ClientResultMsg)}
+	client, err := transport.ListenTCP("127.0.0.1:0", sink)
+	if err != nil {
+		return side, err
+	}
+	defer func() { _ = client.Close() }() // benchmark teardown; the measurement is already taken
+	client.SetWireMode(mode)
+	clientReg := telemetry.NewRegistry(time.Now)
+	client.Instrument(clientReg)
+
+	docs := [][2]string{
+		{"computer", "network"}, {"computer", "graphics"},
+		{"compiler", "design"}, {"database", "systems"},
+		{"storage", "grid"}, {"compute", "cluster"},
+	}
+	for i, d := range docs {
+		msg := chord.AppMsg{From: client.Addr(), Payload: squid.ClientPublishMsg{
+			Elem: squid.Element{Values: []string{d[0], d[1]}, Data: fmt.Sprintf("doc%d", i)},
+		}}
+		if err := client.Send(nodes[0].ep.Addr(), msg); err != nil {
+			return side, err
+		}
+	}
+
+	runQuery := func(token uint64) (squid.ClientResultMsg, error) {
+		ch := sink.expect(token)
+		q := chord.AppMsg{From: client.Addr(), Payload: squid.ClientQueryMsg{
+			Query: "(comp*, *)", ReplyTo: client.Addr(), Token: token,
+		}}
+		if err := client.Send(nodes[0].ep.Addr(), q); err != nil {
+			return squid.ClientResultMsg{}, err
+		}
+		select {
+		case res := <-ch:
+			return res, nil
+		case <-time.After(10 * time.Second):
+			return squid.ClientResultMsg{}, fmt.Errorf("query %d timed out", token)
+		}
+	}
+
+	// Publishes route asynchronously: poll until the corpus is queryable.
+	want := 4 // computer x2, compiler, compute
+	settled := false
+	for attempt := 0; attempt < 200; attempt++ {
+		res, err := runQuery(uint64(1_000_000 + attempt))
+		if err == nil && res.Err == "" && len(res.Matches) == want {
+			settled = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !settled {
+		return side, fmt.Errorf("ring never settled to %d matches", want)
+	}
+
+	regs := []*telemetry.Registry{clientReg}
+	for _, n := range nodes {
+		regs = append(regs, n.reg)
+	}
+	bytesTotal := func() uint64 {
+		var sum uint64
+		for _, reg := range regs {
+			sum += reg.Counter("squid_transport_tcp_bytes_written_total", "").Value()
+		}
+		return sum
+	}
+
+	before := bytesTotal()
+	for i := 0; i < queries; i++ {
+		res, err := runQuery(uint64(2_000_000 + i))
+		if err != nil {
+			return side, err
+		}
+		if res.Err != "" {
+			return side, fmt.Errorf("query %d: %s", i, res.Err)
+		}
+		if len(res.Matches) != want {
+			return side, fmt.Errorf("query %d found %d matches, want %d", i, len(res.Matches), want)
+		}
+	}
+	side.Queries = queries
+	side.BytesTotal = bytesTotal() - before
+	side.BytesPerQuery = float64(side.BytesTotal) / float64(queries)
+	return side, nil
+}
+
+func runWireJSON(path string) error {
+	snap := wireSnapshot{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		Codec:     make(map[string]wireCodecResult),
+	}
+
+	fmt.Println("== codec: binary vs gob (steady-state per-message cost) ==")
+	if err := runWireCodecSection(&snap); err != nil {
+		return err
+	}
+
+	fmt.Println("\n== throughput: loopback TCP burst, 8 senders ==")
+	const burst = 50_000
+	bin, err := runWireThroughput(burst, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("binary  %8.0f msgs/sec  (%d frames, %d flushes: %.1f frames/flush)\n",
+		bin.MsgsPerSec, bin.Frames, bin.Flushes, float64(bin.Frames)/float64(max(1, int(bin.Flushes))))
+	gb, err := runWireThroughput(burst, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gob     %8.0f msgs/sec  (%d frames, %d flushes: %.1f frames/flush)\n",
+		gb.MsgsPerSec, gb.Frames, gb.Flushes, float64(gb.Frames)/float64(max(1, int(gb.Flushes))))
+	snap.Throughput.Binary = bin
+	snap.Throughput.Gob = gb
+	snap.Throughput.Speedup = bin.MsgsPerSec / gb.MsgsPerSec
+
+	fmt.Println("\n== ring: bytes per flexible query, 3-node TCP ring ==")
+	const ringQueries = 50
+	rbin, err := runWireRing(ringQueries, transport.WireAuto)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("binary  %8.0f bytes/query\n", rbin.BytesPerQuery)
+	rgob, err := runWireRing(ringQueries, transport.WireLegacy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("legacy  %8.0f bytes/query\n", rgob.BytesPerQuery)
+	snap.Ring.Binary = rbin
+	snap.Ring.Legacy = rgob
+	snap.Ring.Reduction = rgob.BytesPerQuery / rbin.BytesPerQuery
+	fmt.Printf("reduction: %.1fx\n", snap.Ring.Reduction)
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

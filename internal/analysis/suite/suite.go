@@ -8,6 +8,7 @@ import (
 	"squid/internal/analysis/ringcmp"
 	"squid/internal/analysis/rpcerr"
 	"squid/internal/analysis/scratchalias"
+	"squid/internal/analysis/wirecodec"
 )
 
 // Analyzers returns the full squid-lint suite in stable order.
@@ -17,5 +18,6 @@ func Analyzers() []*analysis.Analyzer {
 		scratchalias.Analyzer,
 		nodeterminism.Analyzer,
 		rpcerr.Analyzer,
+		wirecodec.Analyzer,
 	}
 }

@@ -1,0 +1,11 @@
+// Fixture: a package with no wire.Register calls has not opted into the
+// binary protocol — plain gob is its wire format and nothing is flagged.
+package gobonly
+
+import "squid/internal/transport"
+
+type baselineMsg struct{ S string }
+
+func init() {
+	transport.Register(baselineMsg{})
+}

@@ -1,0 +1,29 @@
+// Fixture: a package that has opted into the binary wire protocol (it
+// registers codecs) must give every gob-registered message a codec too.
+package wirecodec
+
+import (
+	"squid/internal/transport"
+	"squid/internal/wire"
+)
+
+type covered struct{ N uint64 }
+
+type uncovered struct{ S string }
+
+type foreignCodec struct{ B bool }
+
+type aliasCovered = covered
+
+func init() {
+	transport.Register(covered{})
+	transport.Register(uncovered{}) // want `no binary codec`
+	//lint:allow-wirecodec codec registered next to the type's declaring package
+	transport.Register(foreignCodec{})
+	transport.Register([]covered{}) // want `no binary codec`
+	transport.Register(aliasCovered{})
+
+	wire.Register(30_001, covered{},
+		func(e *wire.Encoder, v any) { e.Uvarint(v.(covered).N) },
+		func(d *wire.Decoder) any { return covered{N: d.Uvarint()} })
+}

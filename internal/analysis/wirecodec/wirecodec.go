@@ -1,0 +1,123 @@
+// Package wirecodec keeps the binary wire codec's coverage in lockstep
+// with the gob message registry.
+//
+// A message type reaches the network through transport.Register (gob,
+// the compatibility oracle). On negotiated binary connections, types
+// without a wire.Register codec silently ride the per-frame gob fallback
+// — correct, but with exactly the per-message overhead the binary format
+// exists to remove, and invisible except as a drifting
+// squid_transport_tcp_frames_total{codec="gob_fallback"} counter. The
+// hot-path bug class this analyzer removes: a new RPC message lands with
+// only transport.Register, benchmarks quietly regress, nothing fails.
+//
+// Rule: in any package that registers at least one binary codec (one
+// wire.Register call — i.e. the package has opted into the binary
+// protocol), every type passed to transport.Register must also be passed
+// to wire.Register in that package. Registering the codec automatically
+// drafts the type into the gob↔binary equivalence suite, whose generator
+// table fails on uncovered codecs — so codec and equivalence test travel
+// together.
+//
+// Deliberate gob-only messages (a type whose codec lives in the package
+// that declares it, or a genuinely cold-path message) are excused with
+//
+//	//lint:allow-wirecodec <reason>
+//
+// on the transport.Register line or the line above. Packages with no
+// wire.Register at all (the gnutella/invindex baselines) are out of
+// scope: they never negotiate the binary codec.
+package wirecodec
+
+import (
+	"go/ast"
+	"go/types"
+
+	"squid/internal/analysis"
+)
+
+// Analyzer is the wirecodec pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirecodec",
+	Doc:  "types gob-registered for the wire in a binary-codec package must also have a wire.Register codec",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	var codecs []types.Type // prototypes handed to wire.Register here
+	type gobReg struct {
+		call *ast.CallExpr
+		typ  types.Type
+	}
+	var gobs []gobReg
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch registerPkg(pass, call) {
+			case "wire":
+				if len(call.Args) >= 2 {
+					if tv, ok := pass.Info.Types[call.Args[1]]; ok && tv.Type != nil {
+						codecs = append(codecs, tv.Type)
+					}
+				}
+			case "transport":
+				if len(call.Args) == 1 {
+					if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.Type != nil {
+						gobs = append(gobs, gobReg{call: call, typ: tv.Type})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// No binary codecs here: the package has not opted into the binary
+	// protocol and plain gob is its wire format.
+	if len(codecs) == 0 {
+		return nil
+	}
+
+	for _, g := range gobs {
+		if hasCodec(codecs, g.typ) {
+			continue
+		}
+		pass.Reportf(g.call.Pos(),
+			"%s is gob-registered but has no binary codec in this package; wire.Register one (the equivalence suite will then cover it) or excuse the gob fallback with //lint:allow-wirecodec <reason>",
+			types.TypeString(g.typ, func(p *types.Package) string { return p.Name() }))
+	}
+	return nil
+}
+
+// hasCodec reports whether t is identical to any registered prototype.
+func hasCodec(codecs []types.Type, t types.Type) bool {
+	for _, c := range codecs {
+		if types.Identical(c, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// registerPkg returns "wire" or "transport" when call is wire.Register /
+// transport.Register (matched by package-path tail, so fixtures bind the
+// same rule), and "" otherwise.
+func registerPkg(pass *analysis.Pass, call *ast.CallExpr) string {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pass.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Name() != "Register" || fn.Pkg() == nil {
+		return ""
+	}
+	switch tail := analysis.PkgPathTail(fn.Pkg().Path()); tail {
+	case "wire", "transport":
+		return tail
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package wirecodec_test
+
+import (
+	"testing"
+
+	"squid/internal/analysis/analysistest"
+	"squid/internal/analysis/wirecodec"
+)
+
+func TestWireCodec(t *testing.T) {
+	analysistest.Run(t, "testdata", wirecodec.Analyzer, "wirecodec", "gobonly")
+}

@@ -19,6 +19,7 @@ type ReplicaMsg struct {
 
 func init() {
 	transport.Register(ReplicaMsg{})
+	//lint:allow-wirecodec []chord.Item's binary codec is registered in package chord, next to the type
 	transport.Register([]chord.Item{})
 }
 

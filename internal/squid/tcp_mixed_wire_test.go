@@ -1,0 +1,159 @@
+package squid_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/squid"
+	"squid/internal/telemetry"
+	"squid/internal/transport"
+)
+
+// startWireNode is startTCPNode plus a pinned wire mode and an attached
+// metrics registry, for the mixed-version interop test.
+func startWireNode(t *testing.T, space *keyspace.Space, id uint64, mode transport.WireMode) (*tcpNode, *telemetry.Registry) {
+	t.Helper()
+	eng := squid.New(space)
+	node := chord.NewNode(chord.Config{
+		Space:      chord.Space{Bits: space.IndexBits()},
+		RPCTimeout: 5 * time.Second,
+	}, chord.ID(id), eng)
+	eng.Attach(node)
+	ep, err := transport.ListenTCP("127.0.0.1:0", node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep.Close() })
+	ep.SetWireMode(mode)
+	reg := telemetry.NewRegistry(time.Now)
+	ep.Instrument(reg)
+	node.Start(ep)
+	return &tcpNode{node: node, eng: eng, ep: ep}, reg
+}
+
+// counterValue reads a named counter back out of a registry (families are
+// looked up by name, so this returns the same counter Instrument created).
+func counterValue(reg *telemetry.Registry, name string) uint64 {
+	return reg.Counter(name, "").Value()
+}
+
+func counterVecValue(reg *telemetry.Registry, name, label, value string) uint64 {
+	return reg.CounterVec(name, "", label).With(value).Value()
+}
+
+// TestTCPMixedWireRing proves the compatibility story end to end: a ring
+// where one member emulates a pre-binary build (WireLegacy: gob streams
+// only, rejects the binary preamble) and the rest run the negotiated
+// binary codec. Joins, publishes and a flexible query must behave exactly
+// as in the all-binary ring, with the binary members falling back to gob
+// on their legacy-bound connections and staying binary among themselves.
+func TestTCPMixedWireRing(t *testing.T) {
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The legacy build bootstraps the ring; both binary members join
+	// through it, so every binary member negotiates against it at least
+	// once.
+	legacy, legacyReg := startWireNode(t, space, 1111, transport.WireLegacy)
+	if err := legacy.node.Invoke(legacy.node.Create); err != nil {
+		t.Fatal(err)
+	}
+	binA, regA := startWireNode(t, space, 22222, transport.WireAuto)
+	binB, regB := startWireNode(t, space, 44444, transport.WireAuto)
+	for i, n := range []*tcpNode{binA, binB} {
+		n := n
+		done := make(chan error, 1)
+		n.node.Invoke(func() {
+			n.node.Join(legacy.ep.Addr(), func(err error) { done <- err })
+		})
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("join %d: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("join %d timed out", i)
+		}
+	}
+
+	// Publish and query through a BINARY member, so client traffic and the
+	// fan-out both cross the codec boundary on their way to the legacy
+	// node's clusters.
+	sink := &clientSink{results: make(chan any, 4)}
+	client, err := transport.ListenTCP("127.0.0.1:0", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	docs := [][2]string{
+		{"computer", "network"},
+		{"computer", "graphics"},
+		{"compiler", "design"},
+		{"database", "systems"},
+	}
+	for i, d := range docs {
+		msg := chord.AppMsg{From: client.Addr(), Payload: squid.ClientPublishMsg{
+			Elem: squid.Element{Values: []string{d[0], d[1]}, Data: fmt.Sprintf("doc%d", i)},
+		}}
+		if err := client.Send(binA.ep.Addr(), msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var got squid.ClientResultMsg
+	for time.Now().Before(deadline) {
+		q := chord.AppMsg{From: client.Addr(), Payload: squid.ClientQueryMsg{
+			Query: "(comp*, *)", ReplyTo: client.Addr(), Token: uint64(time.Now().UnixNano()),
+		}}
+		if err := client.Send(binA.ep.Addr(), q); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case raw := <-sink.results:
+			res, ok := raw.(squid.ClientResultMsg)
+			if !ok {
+				continue
+			}
+			got = res
+		case <-time.After(2 * time.Second):
+			continue
+		}
+		if len(got.Matches) == 3 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if got.Err != "" {
+		t.Fatalf("query error: %s", got.Err)
+	}
+	if len(got.Matches) != 3 {
+		t.Fatalf("mixed-version query found %d matches, want 3 (%v)", len(got.Matches), got.Matches)
+	}
+
+	// Codec accounting tells the interop story. Each binary member dialed
+	// the legacy node (join target), so each fell back to gob at least
+	// once and pushed gob frames...
+	for name, reg := range map[string]*telemetry.Registry{"binA": regA, "binB": regB} {
+		if n := counterValue(reg, "squid_transport_tcp_negotiation_fallback_total"); n < 1 {
+			t.Errorf("%s: negotiation fallbacks = %d, want >= 1 (legacy peer must decline binary)", name, n)
+		}
+		if n := counterVecValue(reg, "squid_transport_tcp_frames_total", "codec", "gob"); n < 1 {
+			t.Errorf("%s: gob frames = %d, want >= 1 (traffic to the legacy node)", name, n)
+		}
+	}
+	// ...while traffic between the binary members negotiated the codec.
+	if a := counterVecValue(regA, "squid_transport_tcp_frames_total", "codec", "binary"); a < 1 {
+		t.Errorf("binA sent %d binary frames, want >= 1 (binary members must negotiate)", a)
+	}
+	// The legacy build itself never speaks binary.
+	if n := counterVecValue(legacyReg, "squid_transport_tcp_frames_total", "codec", "binary"); n != 0 {
+		t.Errorf("legacy node sent %d binary frames, want 0", n)
+	}
+}

@@ -1,0 +1,448 @@
+package squid_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"squid/internal/chord"
+	"squid/internal/keyspace"
+	"squid/internal/squid"
+	"squid/internal/telemetry"
+	"squid/internal/transport"
+	"squid/internal/wire"
+)
+
+// The binary codec's compatibility oracle: every registered codec must
+// round-trip randomized instances identically through (a) the binary
+// format and (b) gob-as-the-transport-frames-it, and both decodes must
+// agree. The generator table below is keyed by concrete type; the test
+// FAILS if a codec is registered without a generator, so a message type
+// added to the wire registry cannot dodge equivalence coverage (the same
+// discipline as the sfc table kernel vs the Skilling reference).
+
+// wireGen builds one randomized instance of a registered codec's type.
+type wireGen func(r *rand.Rand) any
+
+func genWord(r *rand.Rand) string {
+	words := []string{"", "computer", "network", "grid", "storage", "q", "résumé", "a-very-long-keyword-value-for-padding"}
+	return words[r.Intn(len(words))]
+}
+
+func genAddr(r *rand.Rand) transport.Addr {
+	return transport.Addr(fmt.Sprintf("10.0.%d.%d:%d", r.Intn(256), r.Intn(256), 1024+r.Intn(60000)))
+}
+
+func genNodeRef(r *rand.Rand) chord.NodeRef {
+	if r.Intn(8) == 0 {
+		return chord.NodeRef{}
+	}
+	return chord.NodeRef{ID: chord.ID(r.Uint64()), Addr: genAddr(r)}
+}
+
+func genNodeRefs(r *rand.Rand) []chord.NodeRef {
+	n := r.Intn(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]chord.NodeRef, n)
+	for i := range out {
+		out[i] = genNodeRef(r)
+	}
+	return out
+}
+
+func genElement(r *rand.Rand) squid.Element {
+	vals := make([]string, 1+r.Intn(3))
+	for i := range vals {
+		vals[i] = genWord(r)
+	}
+	return squid.Element{Values: vals, Data: genWord(r)}
+}
+
+func genElements(r *rand.Rand) []squid.Element {
+	n := r.Intn(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]squid.Element, n)
+	for i := range out {
+		out[i] = genElement(r)
+	}
+	return out
+}
+
+func genItems(r *rand.Rand) []chord.Item {
+	n := r.Intn(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]chord.Item, n)
+	for i := range out {
+		out[i] = chord.Item{Key: chord.ID(r.Uint64()), Value: genElements(r)}
+		if out[i].Value.([]squid.Element) == nil {
+			// gob cannot carry a nil interface-typed slice value
+			// distinguishably; keep the dynamic value non-nil.
+			out[i].Value = []squid.Element{genElement(r)}
+		}
+	}
+	return out
+}
+
+func genTerm(r *rand.Rand) keyspace.Term {
+	switch r.Intn(4) {
+	case 0:
+		return keyspace.Wildcard()
+	case 1:
+		return keyspace.Exact(genWord(r))
+	case 2:
+		return keyspace.Prefix(genWord(r))
+	default:
+		return keyspace.Range(genWord(r), genWord(r))
+	}
+}
+
+func genQuery(r *rand.Rand) keyspace.Query {
+	n := 1 + r.Intn(3)
+	q := make(keyspace.Query, n)
+	for i := range q {
+		q[i] = genTerm(r)
+	}
+	return q
+}
+
+func genTraceRef(r *rand.Rand) telemetry.TraceRef {
+	return telemetry.TraceRef{
+		Parent: uint64(r.Intn(1 << 20)),
+		Depth:  r.Intn(12),
+		Mode:   telemetry.TraceMode(r.Intn(3)),
+	}
+}
+
+func genSpans(r *rand.Rand) []telemetry.Span {
+	n := r.Intn(3)
+	if n == 0 {
+		return nil
+	}
+	out := make([]telemetry.Span, n)
+	for i := range out {
+		out[i] = telemetry.Span{
+			QID: telemetry.QueryID(r.Intn(1 << 16)), ID: uint64(r.Intn(1 << 16)),
+			Parent: uint64(r.Intn(1 << 16)), Depth: r.Intn(10),
+			Node: r.Uint64(), Addr: string(genAddr(r)), Kind: "cluster",
+			Prefix: r.Uint64(), Level: r.Intn(32), Clusters: r.Intn(10),
+			Local: r.Intn(10), Children: r.Intn(10), Matches: r.Intn(100),
+			Retries: r.Intn(3), Abandoned: r.Intn(4) == 0,
+			StartNS: r.Int63(), EndNS: r.Int63(),
+		}
+	}
+	return out
+}
+
+func genClusters(r *rand.Rand) []squid.ClusterRef {
+	n := 1 + r.Intn(5)
+	out := make([]squid.ClusterRef, n)
+	for i := range out {
+		out[i] = squid.ClusterRef{Prefix: r.Uint64(), Level: r.Intn(64), Complete: r.Intn(2) == 0}
+	}
+	return out
+}
+
+func genClusterQuery(r *rand.Rand) squid.ClusterQueryMsg {
+	return squid.ClusterQueryMsg{
+		QID: telemetry.QueryID(r.Intn(1 << 20)), Query: genQuery(r),
+		Clusters: genClusters(r), ReplyTo: genAddr(r),
+		Token: uint64(r.Intn(1 << 20)), Ack: r.Intn(2) == 0, Trace: genTraceRef(r),
+	}
+}
+
+// wireGens covers every registered codec tag. Adding a codec without
+// adding a generator fails TestWireEquivalence's completeness check.
+var wireGens = map[reflect.Type]wireGen{
+	reflect.TypeOf(chord.FindMsg{}): func(r *rand.Rand) any {
+		return chord.FindMsg{Target: chord.ID(r.Uint64()), Token: uint64(r.Intn(1 << 20)),
+			ReplyTo: genAddr(r), Hops: r.Intn(40), Trace: r.Uint64()}
+	},
+	reflect.TypeOf(chord.FoundMsg{}): func(r *rand.Rand) any {
+		return chord.FoundMsg{Token: uint64(r.Intn(1 << 20)), Owner: genNodeRef(r),
+			Pred: genNodeRef(r), Hops: r.Intn(40), Trace: r.Uint64()}
+	},
+	reflect.TypeOf(chord.RouteMsg{}): func(r *rand.Rand) any {
+		return chord.RouteMsg{Key: chord.ID(r.Uint64()), From: genAddr(r),
+			Payload: squid.PublishMsg{Elem: genElement(r)}, Hops: r.Intn(40), Trace: r.Uint64()}
+	},
+	reflect.TypeOf(chord.JoinReqMsg{}): func(r *rand.Rand) any {
+		return chord.JoinReqMsg{New: genNodeRef(r), Hops: r.Intn(8)}
+	},
+	reflect.TypeOf(chord.JoinAckMsg{}): func(r *rand.Rand) any {
+		return chord.JoinAckMsg{Pred: genNodeRef(r), Succs: genNodeRefs(r),
+			Items: genItems(r), Deferred: r.Intn(2) == 0}
+	},
+	reflect.TypeOf(chord.JoinNackMsg{}): func(r *rand.Rand) any {
+		return chord.JoinNackMsg{Reason: genWord(r)}
+	},
+	reflect.TypeOf(chord.JoinConfirmMsg{}): func(r *rand.Rand) any {
+		return chord.JoinConfirmMsg{New: genNodeRef(r), Hops: r.Intn(8)}
+	},
+	reflect.TypeOf(chord.HandoffMsg{}): func(r *rand.Rand) any {
+		return chord.HandoffMsg{Pred: genNodeRef(r), Items: genItems(r)}
+	},
+	reflect.TypeOf(chord.NotifyMsg{}): func(r *rand.Rand) any {
+		return chord.NotifyMsg{Candidate: genNodeRef(r)}
+	},
+	reflect.TypeOf(chord.GetStateMsg{}): func(r *rand.Rand) any {
+		return chord.GetStateMsg{Token: uint64(r.Intn(1 << 20)), ReplyTo: genAddr(r)}
+	},
+	reflect.TypeOf(chord.StateMsg{}): func(r *rand.Rand) any {
+		return chord.StateMsg{Token: uint64(r.Intn(1 << 20)), Self: genNodeRef(r),
+			Pred: genNodeRef(r), Succs: genNodeRefs(r), Load: r.Intn(10000)}
+	},
+	reflect.TypeOf(chord.LeaveMsg{}): func(r *rand.Rand) any {
+		return chord.LeaveMsg{Leaving: genNodeRef(r), Pred: genNodeRef(r), Items: genItems(r)}
+	},
+	reflect.TypeOf(chord.SuccChangedMsg{}): func(r *rand.Rand) any {
+		return chord.SuccChangedMsg{NewSucc: genNodeRef(r)}
+	},
+	reflect.TypeOf(chord.AppMsg{}): func(r *rand.Rand) any {
+		return chord.AppMsg{From: genAddr(r), Payload: genClusterQuery(r)}
+	},
+	reflect.TypeOf(chord.NodeRef{}): func(r *rand.Rand) any { return genNodeRef(r) },
+	reflect.TypeOf([]chord.Item{}): func(r *rand.Rand) any {
+		items := genItems(r)
+		if items == nil {
+			items = []chord.Item{{Key: chord.ID(r.Uint64()), Value: []squid.Element{genElement(r)}}}
+		}
+		return items
+	},
+
+	reflect.TypeOf(squid.PublishMsg{}): func(r *rand.Rand) any {
+		return squid.PublishMsg{Elem: genElement(r)}
+	},
+	reflect.TypeOf(squid.UnpublishMsg{}): func(r *rand.Rand) any {
+		return squid.UnpublishMsg{Elem: genElement(r), Replica: r.Intn(2) == 0}
+	},
+	reflect.TypeOf(squid.LookupMsg{}): func(r *rand.Rand) any {
+		return squid.LookupMsg{QID: telemetry.QueryID(r.Intn(1 << 20)), Query: genQuery(r),
+			Key: r.Uint64(), ReplyTo: genAddr(r), Token: uint64(r.Intn(1 << 20)), Trace: genTraceRef(r)}
+	},
+	reflect.TypeOf(squid.ClusterQueryMsg{}): func(r *rand.Rand) any { return genClusterQuery(r) },
+	reflect.TypeOf(squid.QueryAckMsg{}): func(r *rand.Rand) any {
+		return squid.QueryAckMsg{QID: telemetry.QueryID(r.Intn(1 << 20)), Token: uint64(r.Intn(1 << 20))}
+	},
+	reflect.TypeOf(squid.BatchMsg{}): func(r *rand.Rand) any {
+		qs := make([]squid.ClusterQueryMsg, 1+r.Intn(4))
+		for i := range qs {
+			qs[i] = genClusterQuery(r)
+		}
+		return squid.BatchMsg{Queries: qs}
+	},
+	reflect.TypeOf(squid.QueryShedMsg{}): func(r *rand.Rand) any {
+		return squid.QueryShedMsg{QID: telemetry.QueryID(r.Intn(1 << 20)),
+			Token: uint64(r.Intn(1 << 20)), RetryAfterMS: int64(r.Intn(5000))}
+	},
+	reflect.TypeOf(squid.SubResultMsg{}): func(r *rand.Rand) any {
+		return squid.SubResultMsg{QID: telemetry.QueryID(r.Intn(1 << 20)),
+			Token: uint64(r.Intn(1 << 20)), Matches: genElements(r),
+			Incomplete: r.Intn(4) == 0, Spans: genSpans(r)}
+	},
+	reflect.TypeOf(squid.ReplicaMsg{}): func(r *rand.Rand) any {
+		return squid.ReplicaMsg{Items: genItems(r)}
+	},
+	reflect.TypeOf(squid.ClientPublishMsg{}): func(r *rand.Rand) any {
+		return squid.ClientPublishMsg{Elem: genElement(r)}
+	},
+	reflect.TypeOf(squid.ClientUnpublishMsg{}): func(r *rand.Rand) any {
+		return squid.ClientUnpublishMsg{Elem: genElement(r)}
+	},
+	reflect.TypeOf(squid.ClientQueryMsg{}): func(r *rand.Rand) any {
+		return squid.ClientQueryMsg{Query: "(comp*, *)", ReplyTo: genAddr(r), Token: uint64(r.Intn(1 << 20))}
+	},
+	reflect.TypeOf(squid.ClientResultMsg{}): func(r *rand.Rand) any {
+		return squid.ClientResultMsg{Token: uint64(r.Intn(1 << 20)),
+			QID: telemetry.QueryID(r.Intn(1 << 20)), Matches: genElements(r), Err: genWord(r)}
+	},
+	reflect.TypeOf(squid.Element{}):   func(r *rand.Rand) any { return genElement(r) },
+	reflect.TypeOf([]squid.Element{}): func(r *rand.Rand) any { return genElements(r) },
+	reflect.TypeOf(keyspace.Query{}):  func(r *rand.Rand) any { return genQuery(r) },
+	reflect.TypeOf(keyspace.Term{}):   func(r *rand.Rand) any { return genTerm(r) },
+}
+
+// protocolCodec reports whether a codec belongs to the protocol tag
+// ranges (as opposed to test-only registrations far above them).
+func protocolCodec(c *wire.Codec) bool { return c.Tag < 1000 }
+
+func TestWireEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, c := range wire.Codecs() {
+		if !protocolCodec(c) {
+			continue
+		}
+		gen, ok := wireGens[c.Type]
+		if !ok {
+			t.Errorf("codec tag %d (%v) has no generator: every registered wire codec must be equivalence-tested", c.Tag, c.Type)
+			continue
+		}
+		t.Run(c.Type.String(), func(t *testing.T) {
+			for i := 0; i < 200; i++ {
+				msg := gen(r)
+				if reflect.TypeOf(msg) != c.Type {
+					t.Fatalf("generator for %v built %T", c.Type, msg)
+				}
+
+				// Binary round trip.
+				var e wire.Encoder
+				if !wire.EncodeMessage(&e, msg) {
+					t.Fatalf("EncodeMessage declined %#v", msg)
+				}
+				gotBin, err := wire.DecodeMessage(e.Bytes())
+				if err != nil {
+					t.Fatalf("binary decode: %v\nmsg: %#v", err, msg)
+				}
+				if !reflect.DeepEqual(gotBin, msg) {
+					t.Fatalf("binary round trip mismatch:\n got %#v\nwant %#v", gotBin, msg)
+				}
+
+				// Gob round trip, framed as the transport frames it
+				// (an interface-valued envelope payload).
+				var buf bytes.Buffer
+				env := struct{ Payload any }{Payload: msg}
+				if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+					t.Fatalf("gob encode: %v", err)
+				}
+				var back struct{ Payload any }
+				if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+					t.Fatalf("gob decode: %v", err)
+				}
+				if !reflect.DeepEqual(back.Payload, msg) {
+					t.Fatalf("gob round trip mismatch:\n got %#v\nwant %#v", back.Payload, msg)
+				}
+
+				// And the two decodes agree with each other.
+				if !reflect.DeepEqual(gotBin, back.Payload) {
+					t.Fatalf("codecs disagree:\n binary %#v\n gob    %#v", gotBin, back.Payload)
+				}
+			}
+		})
+	}
+}
+
+// TestWireEncodeZeroAlloc pins the tentpole claim: steady-state encode of
+// the hot-path messages allocates nothing.
+func TestWireEncodeZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	msgs := []any{
+		genClusterQuery(r),
+		squid.BatchMsg{Queries: []squid.ClusterQueryMsg{genClusterQuery(r), genClusterQuery(r)}},
+		squid.SubResultMsg{QID: 9, Token: 4, Matches: genElements(r)},
+		chord.AppMsg{From: "10.0.0.1:4000", Payload: genClusterQuery(r)},
+		chord.StateMsg{Token: 1, Self: genNodeRef(r), Pred: genNodeRef(r), Succs: genNodeRefs(r), Load: 12},
+	}
+	var e wire.Encoder
+	for _, msg := range msgs {
+		e.Reset()
+		wire.EncodeMessage(&e, msg) // warm the buffer
+		allocs := testing.AllocsPerRun(100, func() {
+			e.Reset()
+			if !wire.EncodeMessage(&e, msg) {
+				t.Fatalf("EncodeMessage declined %T", msg)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%T: %v allocs/op on encode, want 0", msg, allocs)
+		}
+	}
+}
+
+// FuzzWireCluster round-trips fuzzer-shaped ClusterQueryMsg values
+// through the binary codec (nightly fuzz cron).
+func FuzzWireCluster(f *testing.F) {
+	f.Add(uint64(1), "computer", uint64(6), 3, true, "10.0.0.1:9", uint64(7), false)
+	f.Add(uint64(0), "", uint64(0), 0, false, "", uint64(0), true)
+	f.Fuzz(func(t *testing.T, qid uint64, word string, prefix uint64, level int, complete bool, reply string, token uint64, ack bool) {
+		msg := squid.ClusterQueryMsg{
+			QID:      telemetry.QueryID(qid),
+			Query:    keyspace.Query{keyspace.Exact(word), keyspace.Wildcard()},
+			Clusters: []squid.ClusterRef{{Prefix: prefix, Level: level, Complete: complete}},
+			ReplyTo:  transport.Addr(reply),
+			Token:    token,
+			Ack:      ack,
+			Trace:    telemetry.TraceRef{Parent: qid, Depth: level & 0xff, Mode: telemetry.TraceOn},
+		}
+		var e wire.Encoder
+		if !wire.EncodeMessage(&e, msg) {
+			t.Fatalf("EncodeMessage declined %#v", msg)
+		}
+		got, err := wire.DecodeMessage(e.Bytes())
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, msg)
+		}
+	})
+}
+
+// FuzzWireSubResult round-trips fuzzer-shaped SubResultMsg values
+// through the binary codec (nightly fuzz cron).
+func FuzzWireSubResult(f *testing.F) {
+	f.Add(uint64(1), uint64(2), "doc.pdf", "computer", false)
+	f.Add(uint64(0), uint64(0), "", "", true)
+	f.Fuzz(func(t *testing.T, qid, token uint64, data, value string, incomplete bool) {
+		msg := squid.SubResultMsg{
+			QID:        telemetry.QueryID(qid),
+			Token:      token,
+			Matches:    []squid.Element{{Values: []string{value}, Data: data}},
+			Incomplete: incomplete,
+		}
+		var e wire.Encoder
+		if !wire.EncodeMessage(&e, msg) {
+			t.Fatalf("EncodeMessage declined %#v", msg)
+		}
+		got, err := wire.DecodeMessage(e.Bytes())
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, msg)
+		}
+	})
+}
+
+// FuzzWireFrame hammers the registry decoder with arbitrary frames: no
+// input may panic or allocate past the frame's own size (nightly fuzz
+// cron; the primitive-level twin lives in internal/wire).
+func FuzzWireFrame(f *testing.F) {
+	r := rand.New(rand.NewSource(11))
+	for _, c := range wire.Codecs() {
+		if !protocolCodec(c) {
+			continue
+		}
+		if gen, ok := wireGens[c.Type]; ok {
+			var e wire.Encoder
+			if wire.EncodeMessage(&e, gen(r)) {
+				f.Add(append([]byte(nil), e.Bytes()...))
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := wire.DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode to the same value.
+		var e wire.Encoder
+		if !wire.EncodeMessage(&e, v) {
+			return // e.g. decoded a nil-payload variant that re-encode declines
+		}
+		back, err := wire.DecodeMessage(e.Bytes())
+		if err != nil {
+			t.Fatalf("re-decode of %T failed: %v", v, err)
+		}
+		if !reflect.DeepEqual(back, v) {
+			t.Fatalf("round trip drifted for %T", v)
+		}
+	})
+}

@@ -63,6 +63,22 @@ type tcpMetrics struct {
 	bytes    *telemetry.Counter
 	errors   *telemetry.Counter
 	latency  *telemetry.Histogram
+
+	// Wire-codec accounting (DESIGN.md §4i): frames by codec, write
+	// coalescing, negotiation outcomes and rejected inbound frames.
+	frames               frameCounters
+	flushes              *telemetry.Counter
+	frameRejected        *telemetry.Counter
+	dials                *telemetry.Counter
+	dialsCoalesced       *telemetry.Counter
+	negotiationFallbacks *telemetry.Counter
+}
+
+// frameCounters split outbound frames by the codec that carried them.
+type frameCounters struct {
+	binary      *telemetry.Counter // wire-codec frames on negotiated connections
+	gob         *telemetry.Counter // legacy gob-stream frames
+	gobFallback *telemetry.Counter // gob bodies inside binary frames (no codec for the type)
 }
 
 // tcpLatencyBucketsNS spans 50µs to 2s in roughly 5x steps — LAN writes
@@ -76,6 +92,8 @@ var tcpLatencyBucketsNS = []int64{
 // traffic starts (immediately after ListenTCP). The registry's injected
 // clock times each send, including dial and one re-dial retry.
 func (ep *TCPEndpoint) Instrument(reg *telemetry.Registry) {
+	frames := reg.CounterVec("squid_transport_tcp_frames_total",
+		"outbound frames by codec", "codec")
 	ep.met.Store(&tcpMetrics{
 		reg: reg,
 		sent: reg.Counter("squid_transport_tcp_sent_total",
@@ -83,11 +101,26 @@ func (ep *TCPEndpoint) Instrument(reg *telemetry.Registry) {
 		received: reg.Counter("squid_transport_tcp_received_total",
 			"messages decoded from inbound connections"),
 		bytes: reg.Counter("squid_transport_tcp_bytes_written_total",
-			"bytes written to outbound connections (gob frames)"),
+			"bytes written to outbound connections (framed messages)"),
 		errors: reg.Counter("squid_transport_tcp_send_errors_total",
 			"sends that failed after the re-dial retry"),
 		latency: reg.Histogram("squid_transport_tcp_send_latency_ns",
 			"wall time per send, dial included", tcpLatencyBucketsNS),
+		frames: frameCounters{
+			binary:      frames.With("binary"),
+			gob:         frames.With("gob"),
+			gobFallback: frames.With("gob_fallback"),
+		},
+		flushes: reg.Counter("squid_transport_tcp_flushes_total",
+			"outbound buffer flushes (syscalls); frames_total minus this is the write coalescing win"),
+		frameRejected: reg.Counter("squid_transport_frame_rejected_total",
+			"inbound frames dropped for oversize, bad preamble or undecodable bytes"),
+		dials: reg.Counter("squid_transport_tcp_dials_total",
+			"outbound connection dials"),
+		dialsCoalesced: reg.Counter("squid_transport_tcp_dials_coalesced_total",
+			"sends that joined another sender's in-flight dial instead of dialing"),
+		negotiationFallbacks: reg.Counter("squid_transport_tcp_negotiation_fallback_total",
+			"connections re-dialed in gob mode after the peer declined the binary codec"),
 	})
 }
 

@@ -1,13 +1,19 @@
 package transport
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"squid/internal/wire"
 )
 
 // TCP endpoint I/O bounds. A peer that hangs mid-handshake or stops
@@ -17,32 +23,87 @@ import (
 var (
 	// TCPDialTimeout bounds connection establishment to a peer.
 	TCPDialTimeout = 5 * time.Second
+	// TCPNegotiateTimeout bounds the codec-negotiation round trip on a
+	// fresh connection. A peer that closes the connection instead of
+	// acking is a pre-binary build (gob fallback); a peer that answers
+	// nothing at all within this window is wedged and the dial fails.
+	TCPNegotiateTimeout = 1 * time.Second
 	// TCPWriteTimeout bounds each message write on an established
 	// connection (0 disables the deadline).
 	TCPWriteTimeout = 10 * time.Second
+	// MaxInboundFrame bounds one inbound message's wire size on both the
+	// binary and gob paths. A corrupt or hostile length must fail fast
+	// (counted by squid_transport_frame_rejected_total) instead of making
+	// the read loop allocate unboundedly.
+	MaxInboundFrame = 32 << 20
 )
 
-// wireEnvelope is the gob frame exchanged between TCP endpoints. Payload
-// types must be registered with Register.
-type wireEnvelope struct {
-	From    string
-	Payload any
-}
+// Binary-protocol preamble. A gob stream can never begin with a zero
+// byte (gob frames a non-zero byte count first), so the first inbound
+// byte cleanly discriminates the codecs: new dialers lead with
+// {0, 'S', 'Q', 'W', version}, then the dialer's address, and wait for
+// the one-byte ack. A pre-binary peer feeds the preamble to its gob
+// decoder, errors out and closes — the dialer reads EOF instead of the
+// ack, re-dials in gob mode and remembers the peer is gob-only. See
+// DESIGN.md §4i.
+const (
+	wireMagic0  = 0x00
+	wireVersion = 0x01
+	wireAck     = 0x01
+)
+
+var wirePreamble = [5]byte{wireMagic0, 'S', 'Q', 'W', wireVersion}
+
+// maxPreambleAddr bounds the dialer-address string accepted during
+// negotiation.
+const maxPreambleAddr = 512
+
+// frameGob tags a frame whose body is a standalone gob stream — the
+// escape hatch for messages without a binary codec (wire.EncodeMessage
+// declined). Registered wire tags start at wire.TagNil+1.
+const frameGob = 0x00
+
+var errFrameTooLarge = errors.New("transport: inbound frame exceeds MaxInboundFrame")
+
+// WireMode selects an endpoint's codec behaviour — primarily a test
+// knob; production endpoints stay on WireAuto.
+type WireMode int
+
+const (
+	// WireAuto (default) negotiates the binary codec per connection and
+	// falls back to gob when the peer declines.
+	WireAuto WireMode = iota
+	// WireGob always dials in gob mode but still accepts binary inbound —
+	// a node whose operator pinned the oracle codec.
+	WireGob
+	// WireLegacy emulates a pre-wire-codec build: gob outbound and a
+	// sniff-free gob inbound loop that rejects binary preambles exactly
+	// like an old binary would.
+	WireLegacy
+)
 
 // TCPEndpoint attaches a protocol handler to a real TCP listener. Each
 // inbound connection is decoded by its own goroutine, but deliveries are
 // serialized through an internal mailbox so the Handler contract (one
 // message at a time) holds, matching the in-process transport.
 //
-// Outbound connections are cached per destination and re-dialed on failure.
+// Outbound connections are cached per destination, dialed at most once
+// concurrently (a burst of Sends to a fresh peer shares one dial), and
+// re-dialed on failure. Writes are coalesced: frames buffer through a
+// per-connection bufio.Writer and the last sender out of the write lock
+// flushes, so a concurrent dispatch round or stabilization tick costs one
+// syscall per destination instead of one per message.
 type TCPEndpoint struct {
 	addr    Addr
 	handler Handler
 	ln      net.Listener
 
-	mu     sync.Mutex
-	conns  map[Addr]*outConn
-	closed bool
+	mu      sync.Mutex
+	conns   map[Addr]*outConn
+	dialing map[Addr]*dialCall
+	gobOnly map[Addr]bool // peers that declined binary negotiation
+	mode    WireMode
+	closed  bool
 
 	deliver chan envelope
 	done    chan struct{}
@@ -50,10 +111,27 @@ type TCPEndpoint struct {
 	met atomic.Pointer[tcpMetrics]
 }
 
+// dialCall is one in-flight dial shared by every concurrent Send to the
+// same fresh destination (singleflight).
+type dialCall struct {
+	done chan struct{}
+	oc   *outConn
+	err  error
+}
+
+// outConn is one cached outbound connection. The mutex serializes frame
+// encoding into bw; pending counts senders inside or waiting on that
+// lock, and the last one out flushes (group commit).
 type outConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	pending atomic.Int32
+
+	binary  bool
+	enc     *gob.Encoder // gob-mode framing (nil on binary connections)
+	wenc    wire.Encoder // binary-mode frame buffer
+	scratch bytes.Buffer // gob-fallback bodies on binary connections
 }
 
 // ListenTCP binds to bind (e.g. "127.0.0.1:0") and serves the handler.
@@ -71,6 +149,8 @@ func ListenTCP(bind string, h Handler) (*TCPEndpoint, error) {
 		handler: h,
 		ln:      ln,
 		conns:   make(map[Addr]*outConn),
+		dialing: make(map[Addr]*dialCall),
+		gobOnly: make(map[Addr]bool),
 		deliver: make(chan envelope, 1024),
 		done:    make(chan struct{}),
 	}
@@ -81,6 +161,14 @@ func ListenTCP(bind string, h Handler) (*TCPEndpoint, error) {
 
 // Addr returns the bound address ("host:port").
 func (ep *TCPEndpoint) Addr() Addr { return ep.addr }
+
+// SetWireMode pins the endpoint's codec behaviour. Call before traffic
+// starts; established connections keep their negotiated codec.
+func (ep *TCPEndpoint) SetWireMode(m WireMode) {
+	ep.mu.Lock()
+	ep.mode = m
+	ep.mu.Unlock()
+}
 
 // Send encodes msg to the peer at to, dialing or reusing a cached
 // connection. Self-sends bypass the network.
@@ -121,14 +209,14 @@ func (ep *TCPEndpoint) send(to Addr, msg any) error {
 	if err != nil {
 		return err
 	}
-	if err := oc.encode(ep.addr, msg); err != nil {
+	if err := ep.writeMsg(oc, msg); err != nil {
 		// Drop the stale connection and retry once on a fresh dial.
 		ep.dropConn(to, oc)
 		oc, derr := ep.connTo(to)
 		if derr != nil {
 			return derr
 		}
-		if err := oc.encode(ep.addr, msg); err != nil {
+		if err := ep.writeMsg(oc, msg); err != nil {
 			ep.dropConn(to, oc)
 			return fmt.Errorf("%w: %v", ErrUnreachable, err)
 		}
@@ -136,49 +224,249 @@ func (ep *TCPEndpoint) send(to Addr, msg any) error {
 	return nil
 }
 
-// encode writes one framed message under the configured write deadline, so
-// a peer that stops reading cannot block the sender indefinitely.
-func (oc *outConn) encode(from Addr, msg any) error {
-	oc.mu.Lock()
-	defer oc.mu.Unlock()
+// writeMsg frames one message into the connection's write buffer under
+// the configured deadline and group-flushes: while other senders are
+// queued on the same connection their frames share the flush, so a burst
+// to one destination is one syscall, not one per message.
+func (oc *outConn) sendLocked(write func() error) error {
 	if TCPWriteTimeout > 0 {
 		if err := oc.conn.SetWriteDeadline(time.Now().Add(TCPWriteTimeout)); err != nil {
 			return err
 		}
 	}
-	return oc.enc.Encode(wireEnvelope{From: string(from), Payload: msg})
+	return write()
 }
 
-func (ep *TCPEndpoint) connTo(to Addr) (*outConn, error) {
-	ep.mu.Lock()
-	if oc, ok := ep.conns[to]; ok {
-		ep.mu.Unlock()
-		return oc, nil
+func (ep *TCPEndpoint) writeMsg(oc *outConn, msg any) error {
+	oc.pending.Add(1)
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	err := oc.sendLocked(func() error {
+		if oc.binary {
+			return ep.writeBinaryFrame(oc, msg)
+		}
+		if m := ep.met.Load(); m != nil {
+			m.frames.gob.Inc()
+		}
+		return oc.enc.Encode(wireEnvelope{From: string(ep.addr), Payload: msg})
+	})
+	// Group flush: the last sender out writes the coalesced buffer. A
+	// sender that sees pending > 0 may skip the flush — the queued sender
+	// it observed is blocked on this mutex and will flush (or pass the
+	// duty on) right after.
+	if oc.pending.Add(-1) > 0 && err == nil {
+		return nil
 	}
-	ep.mu.Unlock()
+	if oc.bw.Buffered() > 0 {
+		ferr := oc.bw.Flush()
+		if m := ep.met.Load(); m != nil {
+			m.flushes.Inc()
+		}
+		if err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
 
+// writeBinaryFrame appends one length-prefixed frame: wire tag + body for
+// codec-registered messages, or the frameGob escape (tag 0 + standalone
+// gob stream) for the long tail. The frame is fully staged in memory
+// before any byte reaches the write buffer, so encode errors never leave
+// a torn frame on the stream. The staged path allocates nothing: the
+// encoder's buffer and the header array are reused frame over frame.
+func (ep *TCPEndpoint) writeBinaryFrame(oc *outConn, msg any) error {
+	m := ep.met.Load()
+	oc.wenc.Reset()
+	if wire.EncodeMessage(&oc.wenc, msg) {
+		if m != nil {
+			m.frames.binary.Inc()
+		}
+		return writeFrame(oc.bw, oc.wenc.Bytes())
+	}
+	// Fallback: no codec (or an unregistered nested payload) — ship a
+	// tagged standalone gob body so old and new message types coexist on
+	// one connection.
+	oc.scratch.Reset()
+	oc.scratch.WriteByte(frameGob)
+	if err := gob.NewEncoder(&oc.scratch).Encode(wireEnvelope{From: string(ep.addr), Payload: msg}); err != nil {
+		return err
+	}
+	if m != nil {
+		m.frames.gobFallback.Inc()
+	}
+	return writeFrame(oc.bw, oc.scratch.Bytes())
+}
+
+// writeFrame writes the 4-byte big-endian length header and the body.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxInboundFrame {
+		return fmt.Errorf("transport: outbound frame %d bytes exceeds MaxInboundFrame %d", len(body), MaxInboundFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// connTo returns the cached connection to to, joining an in-flight dial
+// or starting one. Concurrent Sends to a fresh peer used to each dial
+// and throw away all but one connection; now exactly one dial runs and
+// the waiters share its result.
+func (ep *TCPEndpoint) connTo(to Addr) (*outConn, error) {
+	for {
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if oc, ok := ep.conns[to]; ok {
+			ep.mu.Unlock()
+			return oc, nil
+		}
+		if call, ok := ep.dialing[to]; ok {
+			ep.mu.Unlock()
+			if m := ep.met.Load(); m != nil {
+				m.dialsCoalesced.Inc()
+			}
+			<-call.done
+			if call.err != nil {
+				return nil, call.err
+			}
+			// The dial succeeded but the connection may have been dropped
+			// already; loop to re-check the cache.
+			ep.mu.Lock()
+			oc, ok := ep.conns[to]
+			ep.mu.Unlock()
+			if ok {
+				return oc, nil
+			}
+			continue
+		}
+		call := &dialCall{done: make(chan struct{})}
+		ep.dialing[to] = call
+		mode := ep.mode
+		ep.mu.Unlock()
+
+		call.oc, call.err = ep.dial(to, mode)
+
+		ep.mu.Lock()
+		delete(ep.dialing, to)
+		if call.err == nil {
+			if ep.closed {
+				call.oc.conn.Close()
+				call.err = ErrClosed
+			} else {
+				ep.conns[to] = call.oc
+			}
+		}
+		ep.mu.Unlock()
+		close(call.done)
+		return call.oc, call.err
+	}
+}
+
+// dial establishes and (in WireAuto mode) negotiates one outbound
+// connection.
+func (ep *TCPEndpoint) dial(to Addr, mode WireMode) (*outConn, error) {
+	m := ep.met.Load()
+	if m != nil {
+		m.dials.Inc()
+	}
+	tryBinary := mode == WireAuto && !ep.peerGobOnly(to)
 	conn, err := net.DialTimeout("tcp", string(to), TCPDialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, to, err)
 	}
+	if tryBinary {
+		ok, nerr := ep.negotiate(conn)
+		if ok {
+			return ep.newOutConn(conn, true), nil
+		}
+		conn.Close()
+		if nerr != nil {
+			// The peer answered nothing inside the negotiation window: it
+			// is wedged, not old — failing is truthful, falling back to a
+			// gob stream it also is not reading would only hide it.
+			return nil, fmt.Errorf("%w: negotiate %s: %v", ErrUnreachable, to, nerr)
+		}
+		// Peer declined (pre-binary build closed the connection on the
+		// preamble): remember and re-dial gob.
+		ep.mu.Lock()
+		ep.gobOnly[to] = true
+		ep.mu.Unlock()
+		if m != nil {
+			m.negotiationFallbacks.Inc()
+		}
+		conn, err = net.DialTimeout("tcp", string(to), TCPDialTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, to, err)
+		}
+	}
+	return ep.newOutConn(conn, false), nil
+}
+
+// negotiate runs the dialer side of the codec handshake: preamble +
+// self-address out, one ack byte back, all under TCPNegotiateTimeout.
+// ok means the peer acked binary. A false return with nil error is a
+// decline (gob fallback); a non-nil error is a dead/wedged peer.
+func (ep *TCPEndpoint) negotiate(conn net.Conn) (bool, error) {
+	deadline := time.Now().Add(TCPNegotiateTimeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return false, nil
+	}
+	var e wire.Encoder
+	e.Reset()
+	e.String(string(ep.addr))
+	if _, err := conn.Write(wirePreamble[:]); err != nil {
+		return false, timeoutOrDecline(err)
+	}
+	if _, err := conn.Write(e.Bytes()); err != nil {
+		return false, timeoutOrDecline(err)
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil || ack[0] != wireAck {
+		if err != nil {
+			return false, timeoutOrDecline(err)
+		}
+		return false, nil
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return false, nil
+	}
+	return true, nil
+}
+
+// timeoutOrDecline maps a negotiation I/O error: timeouts surface (the
+// peer is unresponsive), everything else — EOF, reset — reads as an old
+// peer rejecting the preamble and returns nil for the gob fallback.
+func timeoutOrDecline(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return err
+	}
+	return nil
+}
+
+func (ep *TCPEndpoint) newOutConn(conn net.Conn, binaryMode bool) *outConn {
 	var w io.Writer = conn
 	if m := ep.met.Load(); m != nil {
 		w = &countingWriter{w: conn, c: m.bytes}
 	}
-	oc := &outConn{conn: conn, enc: gob.NewEncoder(w)}
+	oc := &outConn{conn: conn, bw: bufio.NewWriter(w), binary: binaryMode}
+	if !binaryMode {
+		oc.enc = gob.NewEncoder(oc.bw)
+	}
+	return oc
+}
 
+func (ep *TCPEndpoint) peerGobOnly(to Addr) bool {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	if ep.closed {
-		conn.Close()
-		return nil, ErrClosed
-	}
-	if existing, ok := ep.conns[to]; ok {
-		conn.Close()
-		return existing, nil
-	}
-	ep.conns[to] = oc
-	return oc, nil
+	return ep.gobOnly[to]
 }
 
 func (ep *TCPEndpoint) dropConn(to Addr, oc *outConn) {
@@ -220,12 +508,136 @@ func (ep *TCPEndpoint) acceptLoop() {
 	}
 }
 
+// rejectFrame counts one inbound-frame rejection.
+func (ep *TCPEndpoint) rejectFrame() {
+	if m := ep.met.Load(); m != nil {
+		m.frameRejected.Inc()
+	}
+}
+
+// readLoop serves one inbound connection. The first byte discriminates
+// the codec: a zero byte can only be a binary preamble (gob always leads
+// with a non-zero count), anything else is a gob stream. WireLegacy
+// endpoints skip the sniff and behave exactly like a pre-binary build.
 func (ep *TCPEndpoint) readLoop(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReader(conn)
+
+	ep.mu.Lock()
+	legacy := ep.mode == WireLegacy
+	ep.mu.Unlock()
+
+	if !legacy {
+		first, err := br.Peek(1)
+		if err != nil {
+			return
+		}
+		if first[0] == wireMagic0 {
+			ep.readBinary(conn, br)
+			return
+		}
+	}
+	ep.readGob(conn, br)
+}
+
+// readBinary validates the preamble, acks, then decodes length-prefixed
+// frames. Any oversized, truncated or undecodable frame is counted and
+// kills the connection — a corrupt stream has no recoverable framing.
+func (ep *TCPEndpoint) readBinary(conn net.Conn, br *bufio.Reader) {
+	var pre [5]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil || pre != wirePreamble {
+		ep.rejectFrame()
+		return
+	}
+	// Dialer address, bounded: sent once per connection instead of per
+	// frame (one of the binary format's per-message savings over gob).
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := 0
 	for {
+		b, err := br.ReadByte()
+		if err != nil || n == len(lenBuf) {
+			ep.rejectFrame()
+			return
+		}
+		lenBuf[n] = b
+		n++
+		if b < 0x80 {
+			break
+		}
+	}
+	addrLen, k := binary.Uvarint(lenBuf[:n])
+	if k <= 0 || addrLen > maxPreambleAddr {
+		ep.rejectFrame()
+		return
+	}
+	addrBytes := make([]byte, addrLen)
+	if _, err := io.ReadFull(br, addrBytes); err != nil {
+		ep.rejectFrame()
+		return
+	}
+	from := Addr(addrBytes)
+	if _, err := conn.Write([]byte{wireAck}); err != nil {
+		return
+	}
+
+	var body []byte
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(hdr[:]))
+		if n == 0 || n > MaxInboundFrame {
+			ep.rejectFrame()
+			return
+		}
+		if cap(body) < n {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		var msg any
+		if body[0] == frameGob {
+			var env wireEnvelope
+			if err := gob.NewDecoder(bytes.NewReader(body[1:])).Decode(&env); err != nil {
+				ep.rejectFrame()
+				return
+			}
+			msg = env.Payload
+		} else {
+			v, err := wire.DecodeMessage(body)
+			if err != nil {
+				ep.rejectFrame()
+				return
+			}
+			msg = v
+		}
+		if m := ep.met.Load(); m != nil {
+			m.received.Inc()
+		}
+		select {
+		case ep.deliver <- envelope{from: from, msg: msg}:
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+// readGob decodes the legacy stream format. The reader is wrapped in a
+// per-message byte limit so a corrupt or hostile gob length costs at most
+// MaxInboundFrame before the connection dies, mirroring the binary path.
+func (ep *TCPEndpoint) readGob(conn net.Conn, br *bufio.Reader) {
+	lr := &frameLimitReader{r: br}
+	dec := gob.NewDecoder(lr)
+	for {
+		lr.n = 0
 		var env wireEnvelope
 		if err := dec.Decode(&env); err != nil {
+			if lr.tripped {
+				ep.rejectFrame()
+			}
 			return
 		}
 		if m := ep.met.Load(); m != nil {
@@ -239,6 +651,28 @@ func (ep *TCPEndpoint) readLoop(conn net.Conn) {
 	}
 }
 
+// frameLimitReader caps the bytes one gob message may pull. The read
+// loop resets n before each Decode; tripping the cap poisons the reader
+// so the decoder's next read fails too.
+type frameLimitReader struct {
+	r       io.Reader
+	n       int
+	tripped bool
+}
+
+func (l *frameLimitReader) Read(p []byte) (int, error) {
+	if l.tripped || l.n >= MaxInboundFrame {
+		l.tripped = true
+		return 0, errFrameTooLarge
+	}
+	if rem := MaxInboundFrame - l.n; len(p) > rem {
+		p = p[:rem]
+	}
+	n, err := l.r.Read(p)
+	l.n += n
+	return n, err
+}
+
 func (ep *TCPEndpoint) deliverLoop() {
 	for {
 		select {
@@ -248,6 +682,14 @@ func (ep *TCPEndpoint) deliverLoop() {
 			return
 		}
 	}
+}
+
+// wireEnvelope is the gob frame exchanged between TCP endpoints (the
+// legacy stream format and the binary path's gob-fallback body). Payload
+// types must be registered with Register.
+type wireEnvelope struct {
+	From    string
+	Payload any
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)

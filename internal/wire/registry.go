@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Tag assignments. Tags are the wire-stable names of message layouts:
+// once shipped, a tag's layout is frozen — a layout change means a new
+// tag with the old decoder retained for compatibility (DESIGN.md §4i).
+//
+//	0        reserved by the transport for gob-fallback frames
+//	1        nil interface value (Any)
+//	2-7      reserved
+//	8-31     internal/chord
+//	32-63    internal/squid
+//	64-      future subsystems
+const (
+	// TagNil encodes a nil interface value inside Any.
+	TagNil = 1
+
+	// Chord protocol messages (assigned in internal/chord).
+	TagChordBase = 8
+	// Squid protocol messages (assigned in internal/squid).
+	TagSquidBase = 32
+)
+
+// EncodeFunc appends one registered type's fixed layout. v's dynamic type
+// is guaranteed to be the codec's registered type.
+type EncodeFunc func(e *Encoder, v any)
+
+// DecodeFunc parses one registered type's layout and returns the decoded
+// value (same concrete type that was encoded). Errors surface through the
+// decoder's sticky error.
+type DecodeFunc func(d *Decoder) any
+
+// Codec binds a tag to one concrete type's encode/decode pair.
+type Codec struct {
+	Tag    uint64
+	Type   reflect.Type
+	Encode EncodeFunc
+	Decode DecodeFunc
+}
+
+var (
+	regMu  sync.RWMutex
+	byType = map[reflect.Type]*Codec{}
+	byTag  = map[uint64]*Codec{}
+)
+
+// Register binds tag to prototype's concrete type. It is called from
+// protocol packages' init functions, next to the matching
+// transport.Register call (the squid-lint wirecodec analyzer enforces the
+// pairing). Duplicate tags or types panic: the registry is a compile-time
+// contract, not runtime configuration.
+func Register(tag uint64, prototype any, enc EncodeFunc, dec DecodeFunc) {
+	if tag <= TagNil {
+		panic(fmt.Sprintf("wire: tag %d is reserved", tag))
+	}
+	t := reflect.TypeOf(prototype)
+	if t == nil {
+		panic("wire: nil prototype")
+	}
+	if enc == nil || dec == nil {
+		panic(fmt.Sprintf("wire: nil codec func for %v", t))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if c, ok := byTag[tag]; ok {
+		panic(fmt.Sprintf("wire: tag %d already bound to %v", tag, c.Type))
+	}
+	if c, ok := byType[t]; ok {
+		panic(fmt.Sprintf("wire: type %v already bound to tag %d", t, c.Tag))
+	}
+	c := &Codec{Tag: tag, Type: t, Encode: enc, Decode: dec}
+	byTag[tag] = c
+	byType[t] = c
+}
+
+// Lookup returns the codec for v's dynamic type, or nil.
+func Lookup(v any) *Codec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return byType[reflect.TypeOf(v)]
+}
+
+// ByTag returns the codec for a wire tag, or nil.
+func ByTag(tag uint64) *Codec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return byTag[tag]
+}
+
+// Codecs returns every registered codec in ascending tag order. The
+// equivalence tests iterate it so a codec registered without test
+// coverage fails loudly instead of rotting silently.
+func Codecs() []*Codec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Codec, 0, len(byTag))
+	for _, c := range byTag {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
+}
+
+// EncodeMessage appends tag + body for msg. It reports false — leaving
+// possibly partial bytes in the buffer, so Reset before reuse — when
+// msg's type, or a nested dynamic value inside it, has no codec; the
+// transport then falls back to a gob frame for this message.
+func EncodeMessage(e *Encoder, msg any) bool {
+	c := Lookup(msg)
+	if c == nil {
+		return false
+	}
+	e.Uvarint(c.Tag)
+	c.Encode(e, msg)
+	return e.err == nil
+}
+
+// DecodeMessage parses one tagged message from a complete frame.
+func DecodeMessage(b []byte) (any, error) {
+	d := NewDecoder(b)
+	tag := d.Uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	c := ByTag(tag)
+	if c == nil {
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrCorrupt, tag)
+	}
+	v := c.Decode(d)
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Any encodes a dynamically typed value (an interface field such as
+// chord.RouteMsg.Payload): tag + body, or TagNil for nil. An
+// unregistered dynamic type poisons the encoder so EncodeMessage reports
+// false and the whole envelope falls back to gob — a message is either
+// fully binary or fully gob, never spliced.
+func (e *Encoder) Any(v any) {
+	if v == nil {
+		e.Uvarint(TagNil)
+		return
+	}
+	c := Lookup(v)
+	if c == nil {
+		e.fail(fmt.Errorf("wire: no codec for %T", v))
+		return
+	}
+	e.Uvarint(c.Tag)
+	c.Encode(e, v)
+}
+
+// Any decodes a dynamically typed value written by Encoder.Any.
+func (d *Decoder) Any() any {
+	tag := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if tag == TagNil {
+		return nil
+	}
+	c := ByTag(tag)
+	if c == nil {
+		d.fail(fmt.Errorf("%w: unknown tag %d", ErrCorrupt, tag))
+		return nil
+	}
+	return c.Decode(d)
+}

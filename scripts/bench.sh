@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# Refresh the benchmark-regression snapshot: runs the hot-path
-# microbenchmarks and a Fig. 9 system measurement, writing BENCH_<id>.json
-# at the repo root. Usage:
+# Refresh a benchmark-regression snapshot, writing BENCH_<id>.json at the
+# repo root. Usage:
 #
 #   scripts/bench.sh [id] [factor]
 #
-# id     snapshot number (default 1  -> BENCH_1.json)
-# factor fraction of the paper's scale for the system section (default 0.02)
+# id     snapshot number (default 1 -> BENCH_1.json). Snapshots have fixed
+#        meanings: 1 = hot-path micro + Fig. 9 system section,
+#        2 = concurrent-load scheduler, 3 = wire codec (binary vs gob).
+# factor fraction of the paper's scale for the system section of snapshot 1
+#        (default 0.02)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 id="${1:-1}"
 factor="${2:-0.02}"
-go run ./cmd/squid-bench -bench-json "BENCH_${id}.json" -factor "$factor"
+case "$id" in
+2) go run ./cmd/squid-bench -sched-json "BENCH_${id}.json" ;;
+3) go run ./cmd/squid-bench -wire-json "BENCH_${id}.json" ;;
+*) go run ./cmd/squid-bench -bench-json "BENCH_${id}.json" -factor "$factor" ;;
+esac
