@@ -1,0 +1,275 @@
+// Package allocfree statically vets functions annotated
+//
+//	//lint:allocfree
+//
+// — the sfc ...Into refinement family, the wire encoders, the telemetry
+// counters — against allocation constructs. The analyzer walks the
+// call-graph closure of every annotated function (within the package,
+// plus cross-package module calls resolved through their declarations)
+// and flags anything that allocates on the hot path: make/new, map and
+// slice composite literals, &T{} pointer literals, function literals,
+// `go` statements, string concatenation, string<->[]byte conversions,
+// and calls that leave the audited set.
+//
+// append is exempt — amortized growth against a reused scratch buffer is
+// the whole point of the ...Into contract, and the escape-analysis gate
+// (squid-lint -allocs, see AllocSpans/ParseEscapes in the analysis
+// package) pins the grow paths that do surface. A documented cold path
+// opts out with //lint:allow-allocfree <reason>: on an allocation line
+// it suppresses that finding, on a function's doc comment it stops the
+// traversal at that function entirely.
+package allocfree
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"squid/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "functions annotated //lint:allocfree (and everything they reach) must not " +
+		"allocate: no make/new/literals/closures/string concat, no calls outside the audited set",
+	Run: run,
+}
+
+// calleePkgs whose calls are allocation-free by construction.
+var whitelistPkgs = map[string]bool{
+	"sync/atomic":     true,
+	"math":            true,
+	"math/bits":       true,
+	"encoding/binary": true,
+	"sort":            true, // sort.Search and friends; sort.Slice's closure is flagged as a literal
+}
+
+func run(pass *analysis.Pass) error {
+	g := analysis.BuildCallGraph(pass)
+
+	var roots []*analysis.FuncNode
+	annotated := make(map[*analysis.FuncNode]bool)
+	for _, n := range g.Nodes {
+		if n.Decl == nil {
+			continue
+		}
+		if _, ok := analysis.HasDirective("allocfree", n.Decl.Doc); ok {
+			roots = append(roots, n)
+			annotated[n] = true
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// The audited closure: everything the annotated functions reach on
+	// the same goroutine, stopping at functions that opt out with a
+	// doc-level //lint:allow-allocfree.
+	closure := g.Reachable(roots, func(e *analysis.CallEdge) bool {
+		if e.Kind == analysis.KindGo {
+			return false // the go statement itself is flagged below
+		}
+		if e.Callee != nil && e.Callee.LaunchedByGo {
+			return false // runs off the hot path; the launch is flagged
+		}
+		if e.Callee != nil && e.Callee.Decl != nil {
+			if _, ok := analysis.HasDirective("allow-allocfree", e.Callee.Decl.Doc); ok {
+				return false
+			}
+		}
+		return true
+	})
+
+	// rootOf names one annotated root per audited function for messages.
+	rootOf := make(map[*analysis.FuncNode]*analysis.FuncNode)
+	for _, r := range roots {
+		for n := range g.Reachable([]*analysis.FuncNode{r}, func(e *analysis.CallEdge) bool {
+			return e.Kind != analysis.KindGo && closure[e.Callee]
+		}) {
+			if _, ok := rootOf[n]; !ok {
+				rootOf[n] = r
+			}
+		}
+	}
+
+	for n := range closure {
+		body := nodeBody(n)
+		if body == nil {
+			continue
+		}
+		c := &checker{pass: pass, g: g, closure: closure, node: n, root: rootOf[n]}
+		c.walk(body)
+	}
+	return nil
+}
+
+func nodeBody(n *analysis.FuncNode) *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	g       *analysis.CallGraph
+	closure map[*analysis.FuncNode]bool
+	node    *analysis.FuncNode
+	root    *analysis.FuncNode
+}
+
+func (c *checker) flag(pos ast.Node, what string) {
+	where := c.node.Name()
+	if c.root != nil && c.root != c.node {
+		where = fmt.Sprintf("%s (on the //lint:allocfree path from %s)", where, c.root.Name())
+	} else {
+		where = fmt.Sprintf("//lint:allocfree function %s", where)
+	}
+	c.pass.Reportf(pos.Pos(), "%s in %s", what, where)
+}
+
+func (c *checker) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.FuncLit:
+			// The literal's body is audited through its own closure
+			// membership; the allocation is creating the closure here.
+			c.flag(n, "function literal (closure allocates)")
+			return false
+		case *ast.GoStmt:
+			c.flag(n, "go statement (new goroutine allocates)")
+			return true
+		case *ast.CompositeLit:
+			c.compositeLit(n)
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && c.isString(n) {
+				c.flag(n, "string concatenation")
+			}
+		case *ast.CallExpr:
+			c.call(n)
+		}
+		return true
+	})
+}
+
+func (c *checker) isString(e ast.Expr) bool {
+	tv, ok := c.pass.Info.Types[e]
+	if !ok || tv.Value != nil { // constants fold at compile time
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func (c *checker) compositeLit(n *ast.CompositeLit) {
+	tv, ok := c.pass.Info.Types[n]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		c.flag(n, "slice literal")
+	case *types.Map:
+		c.flag(n, "map literal")
+	}
+	// Struct/array literals are stack values; &T{} escapes are caught by
+	// the -allocs escape-analysis gate.
+}
+
+func (c *checker) call(n *ast.CallExpr) {
+	fun := ast.Unparen(n.Fun)
+	// Builtins and conversions.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := c.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				c.flag(n, "make")
+			case "new":
+				c.flag(n, "new")
+			}
+			return
+		}
+	}
+	if tv, ok := c.pass.Info.Types[fun]; ok && tv.IsType() {
+		c.conversion(n, tv.Type)
+		return
+	}
+	callee := analysis.CalleeOf(c.pass.Info, n)
+	if callee == nil {
+		// Dynamic call through a func value: the value was created (and
+		// audited) wherever the caller built it; calling it is free.
+		return
+	}
+	pkg := callee.Pkg()
+	if pkg == nil || pkg == c.pass.Pkg {
+		// Same package: covered by closure membership (or stopped at an
+		// explicit allow).
+		return
+	}
+	if whitelistPkgs[pkg.Path()] {
+		return
+	}
+	// Interface methods: if the package-local method set produced
+	// dynamic edges they are in the closure; the interface call itself
+	// does not allocate.
+	if isInterfaceMethod(callee) {
+		return
+	}
+	// Cross-package module call: honor the callee's own annotation.
+	if dep := c.pass.Dep(pkg.Path()); dep != nil {
+		if _, ok := analysis.FuncDirective(dep, callee, "allocfree"); ok {
+			return
+		}
+		if _, ok := analysis.FuncDirective(dep, callee, "allow-allocfree"); ok {
+			return
+		}
+	}
+	c.flag(n, fmt.Sprintf("call to %s.%s (outside the allocfree audited set)",
+		analysis.PkgPathTail(pkg.Path()), callee.Name()))
+}
+
+func (c *checker) conversion(n *ast.CallExpr, to types.Type) {
+	if len(n.Args) != 1 {
+		return
+	}
+	fromTV, ok := c.pass.Info.Types[n.Args[0]]
+	if !ok || fromTV.Value != nil {
+		return // constant conversions fold
+	}
+	from := fromTV.Type
+	if isStringType(to) && isByteOrRuneSlice(from) {
+		c.flag(n, "[]byte/[]rune to string conversion")
+	}
+	if isByteOrRuneSlice(to) && isStringType(from) {
+		c.flag(n, "string to []byte/[]rune conversion")
+	}
+}
+
+func isStringType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	slice, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := slice.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	k := basic.Kind()
+	return k == types.Byte || k == types.Uint8 || k == types.Rune || k == types.Int32
+}
+
+func isInterfaceMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"squid/internal/analysis/allocfree"
+	"squid/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "hotpath")
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// This file is the escape-analysis half of the allocfree gate. The
+// static analyzer (internal/analysis/allocfree) refuses allocation
+// constructs it can see in the source; this half checks what only the
+// compiler knows — which values escape to the heap — by mapping
+// `go build -gcflags=-m` diagnostics onto the line spans of
+// //lint:allocfree functions. cmd/squid-lint's -allocs mode runs the
+// build and feeds the output through EscapeDiagnostics, turning the
+// 0 allocs/op claims of the benchmark suite into a CI gate.
+
+// AllocSpan is the source extent of one //lint:allocfree function.
+type AllocSpan struct {
+	File       string // path relative to the module root, OS separators
+	Func       string
+	Start, End int // line range, inclusive
+}
+
+// CollectAllocSpans returns the //lint:allocfree function spans of pkg,
+// with file paths relative to moduleDir (matching the compiler's output
+// when `go build` runs at the module root).
+func CollectAllocSpans(pkg *Package, moduleDir string) []AllocSpan {
+	var spans []AllocSpan
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, ok := HasDirective("allocfree", fd.Doc); !ok {
+				continue
+			}
+			start := pkg.Fset.Position(fd.Pos())
+			end := pkg.Fset.Position(fd.End())
+			rel, err := filepath.Rel(moduleDir, start.Filename)
+			if err != nil {
+				rel = start.Filename
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				if t := recvTypeName(fd.Recv.List[0].Type); t != "" {
+					name = t + "." + name
+				}
+			}
+			spans = append(spans, AllocSpan{File: rel, Func: name, Start: start.Line, End: end.Line})
+		}
+	}
+	return spans
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// allowedEscapeLines collects, per module-relative file, the lines
+// carrying //lint:allow-allocfree with a reason — the escape hatch for
+// amortized scratch growth and documented cold paths.
+func allowedEscapeLines(pkg *Package, moduleDir string) map[string]map[int]bool {
+	allowed := make(map[string]map[int]bool)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				reason, ok := strings.CutPrefix(text, "lint:allow-allocfree")
+				if !ok || strings.TrimSpace(reason) == "" {
+					continue
+				}
+				if reason[0] != ' ' && reason[0] != '\t' {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rel, err := filepath.Rel(moduleDir, pos.Filename)
+				if err != nil {
+					rel = pos.Filename
+				}
+				if allowed[rel] == nil {
+					allowed[rel] = make(map[int]bool)
+				}
+				allowed[rel][pos.Line] = true
+			}
+		}
+	}
+	return allowed
+}
+
+// EscapeDiagnostics maps compiler escape-analysis output (the stderr of
+// `go build -gcflags=-m`, run at the module root) onto pkg's
+// //lint:allocfree spans. A "… escapes to heap" or "… moved to heap"
+// line inside a span is a finding unless its line (or the line above)
+// carries //lint:allow-allocfree <reason>.
+func EscapeDiagnostics(pkg *Package, moduleDir string, buildOutput []byte) []Diagnostic {
+	spans := CollectAllocSpans(pkg, moduleDir)
+	if len(spans) == 0 {
+		return nil
+	}
+	allowed := allowedEscapeLines(pkg, moduleDir)
+	var diags []Diagnostic
+	for _, raw := range strings.Split(string(buildOutput), "\n") {
+		line := strings.TrimSpace(raw)
+		if !strings.HasSuffix(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		file, lineNo, col, msg, ok := splitDiagLine(line)
+		if !ok {
+			continue
+		}
+		// Module-root files are printed as "./a.go"; spans store them
+		// without the prefix.
+		file = filepath.FromSlash(strings.TrimPrefix(file, "./"))
+		var span *AllocSpan
+		for i := range spans {
+			s := &spans[i]
+			if s.File == file && s.Start <= lineNo && lineNo <= s.End {
+				span = s
+				break
+			}
+		}
+		if span == nil {
+			continue
+		}
+		if al := allowed[file]; al != nil && (al[lineNo] || al[lineNo-1]) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "allocfree",
+			Pos:      token.Position{Filename: filepath.Join(moduleDir, file), Line: lineNo, Column: col},
+			Message:  msg + " in //lint:allocfree function " + span.Func,
+		})
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// splitDiagLine parses "path:line:col: message" (the compiler's
+// diagnostic format; "#" package headers and stdlib paths fail the span
+// match downstream or the parse here).
+func splitDiagLine(s string) (file string, line, col int, msg string, ok bool) {
+	parts := strings.SplitN(s, ":", 4)
+	if len(parts) != 4 {
+		return "", 0, 0, "", false
+	}
+	line, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, "", false
+	}
+	return parts[0], line, col, strings.TrimSpace(parts[3]), true
+}

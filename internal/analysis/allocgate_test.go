@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEscapeDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	src := `package tmp
+
+//lint:allocfree
+func Hot(n int) []int {
+	s := make([]int, n)
+	return s
+}
+
+//lint:allocfree
+func Amortized(n int) []int {
+	//lint:allow-allocfree grows at most once per doubling
+	s := make([]int, n)
+	return s
+}
+
+func Cold(n int) []int {
+	return make([]int, n)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmp\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := CollectAllocSpans(pkg, dir)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	if spans[0].Func != "Hot" || spans[1].Func != "Amortized" {
+		t.Fatalf("span funcs = %s, %s", spans[0].Func, spans[1].Func)
+	}
+
+	// Synthetic compiler output: one escape in Hot (line 5), one on
+	// Amortized's allowed line (12), one in unannotated Cold (17), one
+	// stdlib line, one header line.
+	output := strings.Join([]string{
+		"# tmp",
+		"a.go:5:11: make([]int, n) escapes to heap",
+		"a.go:12:11: make([]int, n) escapes to heap",
+		"a.go:17:13: make([]int, n) escapes to heap",
+		"/usr/local/go/src/sync/map.go:10:2: x escapes to heap",
+		"a.go:5:2: inlining call to something",
+	}, "\n")
+	diags := EscapeDiagnostics(pkg, dir, []byte(output))
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Pos.Line != 5 || !strings.Contains(d.Message, "Hot") || !strings.Contains(d.Message, "escapes to heap") {
+		t.Errorf("unexpected diagnostic: %v", d)
+	}
+	if d.Analyzer != "allocfree" {
+		t.Errorf("analyzer = %q", d.Analyzer)
+	}
+}

@@ -50,6 +50,10 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Dep resolves an import path to another loaded package (nil when the
+	// path was not loaded). Analyzers use it to read //lint: annotations
+	// on functions declared in dependency packages.
+	Dep func(path string) *Package
 
 	diags *[]Diagnostic
 
@@ -143,6 +147,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Dep:      pkg.Dep,
 				diags:    &diags,
 			}
 			if err := a.Run(pass); err != nil {
@@ -150,6 +155,15 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 			}
 		}
 	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, then analyzer —
+// the stable order the driver prints. Exported so callers that run
+// analyzers one at a time (e.g. for per-analyzer timing) can merge and
+// re-sort their findings.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -163,7 +177,6 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }
 
 // PkgPathTail returns the last element of a package import path:

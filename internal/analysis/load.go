@@ -22,6 +22,19 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	loader *Loader
+}
+
+// Dep returns another package this loader has already loaded (typically a
+// dependency of this one), or nil. Analyzers use it to read annotations
+// across package boundaries — e.g. allocfree checking a squid/internal/wire
+// method called from squid/internal/chord.
+func (p *Package) Dep(path string) *Package {
+	if p.loader == nil {
+		return nil
+	}
+	return p.loader.pkgs[path]
 }
 
 // Loader parses and type-checks packages from source using only the
@@ -163,7 +176,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
-	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info, loader: l}
 	l.pkgs[path] = pkg
 	return pkg, nil
 }

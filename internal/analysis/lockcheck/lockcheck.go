@@ -1,0 +1,841 @@
+// Package lockcheck enforces lock discipline: a field annotated
+//
+//	//lint:guarded-by <mutex>
+//
+// may only be accessed while the named mutex is held on every path to
+// the access. The mutex is a sibling field of the same struct (the
+// `mu sync.Mutex` convention) or, for package-level variables, a
+// package-level mutex. Reads are satisfied by RLock or Lock; writes —
+// assignment, ++/--, delete, taking the address — require the write
+// lock.
+//
+// Lock state is tracked path-sensitively through the statement tree: a
+// branch that ends in return/break/continue/panic discards its lock
+// effects for the code after the branch, and states merging at a join
+// keep only the locks held on every incoming path. Function literals
+// inherit the state at their definition point — except literals launched
+// with `go`, deferred, or handed to the time package, which start with
+// nothing held: that is precisely the lock-then-go-closure escape this
+// analyzer exists to flag.
+//
+// Two conventions declare that a function runs with a lock already held:
+// a method whose name ends in "Locked" (on a type with guarded fields)
+// is assumed to hold that type's guarding mutexes, and any function may
+// say so explicitly with //lint:holds <param>.<mutex> (or
+// //lint:holds <mutex> for a package-level mutex). Call sites of such
+// functions are checked to actually hold the mutex.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"squid/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "fields annotated //lint:guarded-by <mutex> may only be accessed with the " +
+		"mutex held on every path; goroutines launched under the lock start bare",
+	Run: run,
+}
+
+// lockID names one mutex at a use site: a struct-field mutex is (base
+// variable, field name); a package-level mutex is (its object, "").
+type lockID struct {
+	base  types.Object
+	field string
+}
+
+// mode is the strength a lock is held with.
+type mode int
+
+const (
+	modeR mode = 1 // read lock (RLock)
+	modeW mode = 2 // write lock (Lock)
+)
+
+// lockState maps held mutexes to their strength.
+type lockState map[lockID]mode
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// merge keeps only locks held on both paths, at the weaker strength.
+func merge(a, b lockState) lockState {
+	out := make(lockState)
+	for k, v := range a {
+		if w, ok := b[k]; ok {
+			if w < v {
+				v = w
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// guard describes how one variable is protected.
+type guard struct {
+	// field is the sibling mutex field name; "" when mu guards a
+	// package-level variable directly.
+	field string
+	// mu is the package-level mutex object for package-level guards.
+	mu types.Object
+}
+
+// holdsSpec is one entry-state assumption of a function: the mutex named
+// by //lint:holds (or the Locked-suffix convention) on a receiver or
+// parameter object.
+type holdsSpec struct {
+	obj   types.Object // receiver/parameter assumed locked; nil for package-level
+	mu    types.Object // package-level mutex (obj == nil)
+	field string
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	g       *analysis.CallGraph
+	guarded map[*types.Var]guard        // struct fields
+	pkgVars map[*types.Var]guard        // package-level variables
+	assumes map[*types.Func][]holdsSpec // callee entry-state contracts
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:    pass,
+		guarded: make(map[*types.Var]guard),
+		pkgVars: make(map[*types.Var]guard),
+		assumes: make(map[*types.Func][]holdsSpec),
+	}
+	c.collectGuards()
+	if len(c.guarded) == 0 && len(c.pkgVars) == 0 {
+		return nil
+	}
+	c.g = analysis.BuildCallGraph(pass)
+	c.collectAssumes()
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			st := make(lockState)
+			if obj, _ := pass.Info.Defs[fd.Name].(*types.Func); obj != nil {
+				for _, h := range c.assumes[obj] {
+					if h.obj != nil {
+						st[lockID{h.obj, h.field}] = modeW
+					} else if h.mu != nil {
+						st[lockID{h.mu, ""}] = modeW
+					}
+				}
+			}
+			c.stmts(fd.Body.List, st)
+		}
+	}
+	return nil
+}
+
+// collectGuards resolves every //lint:guarded-by annotation.
+func (c *checker) collectGuards() {
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := s.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						muName, ok := analysis.HasDirective("guarded-by", field.Doc, field.Comment)
+						if !ok || muName == "" {
+							continue
+						}
+						for _, name := range field.Names {
+							if v, ok := c.pass.Info.Defs[name].(*types.Var); ok {
+								c.guarded[v] = guard{field: muName}
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					muName, ok := analysis.HasDirective("guarded-by", gd.Doc, s.Doc, s.Comment)
+					if !ok || muName == "" {
+						continue
+					}
+					mu := c.pass.Pkg.Scope().Lookup(muName)
+					if mu == nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if v, ok := c.pass.Info.Defs[name].(*types.Var); ok {
+							c.pkgVars[v] = guard{mu: mu}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectAssumes records per-function entry-state contracts from the
+// Locked-suffix convention and //lint:holds directives.
+func (c *checker) collectAssumes() {
+	// Which mutex fields guard something, per struct type.
+	guardFields := make(map[*types.Named]map[string]bool)
+	for v, g := range c.guarded {
+		if named := namedOwner(v); named != nil {
+			if guardFields[named] == nil {
+				guardFields[named] = make(map[string]bool)
+			}
+			guardFields[named][g.field] = true
+		}
+	}
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := c.pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			// //lint:holds x.mu (or a package-level mutex name).
+			for _, d := range analysis.GroupDirectives(fd.Doc) {
+				if d.Name != "holds" || d.Args == "" {
+					continue
+				}
+				varName, muName, cut := strings.Cut(d.Args, ".")
+				if !cut {
+					if mu := c.pass.Pkg.Scope().Lookup(varName); mu != nil {
+						c.assumes[obj] = append(c.assumes[obj], holdsSpec{mu: mu})
+					}
+					continue
+				}
+				if po := paramObj(c.pass, fd, varName); po != nil {
+					c.assumes[obj] = append(c.assumes[obj], holdsSpec{obj: po, field: muName})
+				}
+			}
+			// Locked-suffix methods assume their receiver type's guards.
+			if fd.Recv != nil && strings.HasSuffix(fd.Name.Name, "Locked") {
+				recv := obj.Type().(*types.Signature).Recv()
+				if recv == nil {
+					continue
+				}
+				named := namedOf(recv.Type())
+				if named == nil {
+					continue
+				}
+				var recvObj types.Object
+				if len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+					recvObj = c.pass.Info.Defs[fd.Recv.List[0].Names[0]]
+				}
+				if recvObj == nil {
+					continue
+				}
+				for f := range guardFields[named] {
+					c.assumes[obj] = append(c.assumes[obj], holdsSpec{obj: recvObj, field: f})
+				}
+			}
+		}
+	}
+}
+
+// namedOwner returns the named struct type declaring field v, or nil.
+func namedOwner(v *types.Var) *types.Named {
+	// The loader records field definitions; walk the package scope for
+	// the named type whose struct contains v.
+	if v.Pkg() == nil {
+		return nil
+	}
+	scope := v.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return named
+			}
+		}
+	}
+	return nil
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// paramObj resolves a receiver or parameter name of fd to its object.
+func paramObj(pass *analysis.Pass, fd *ast.FuncDecl, name string) types.Object {
+	lists := []*ast.FieldList{fd.Recv, fd.Type.Params}
+	for _, fl := range lists {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				if n.Name == name {
+					return pass.Info.Defs[n]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ---- statement walk ----------------------------------------------------
+
+// stmts threads lock state through a statement list, returning the exit
+// state. A statement that cannot complete normally stops the walk's
+// state accumulation (its successors are unreachable only for state
+// purposes — they are still checked with the pre-statement state).
+func (c *checker) stmts(list []ast.Stmt, st lockState) lockState {
+	for _, s := range list {
+		var term bool
+		st, term = c.stmt(s, st)
+		if term {
+			// Unreachable tail: keep checking with the last state so
+			// accesses after an early return are not silently skipped.
+			_ = st
+		}
+	}
+	return st
+}
+
+// stmt checks one statement and returns the state after it plus whether
+// it terminates the enclosing block (return/branch/panic).
+func (c *checker) stmt(s ast.Stmt, st lockState) (lockState, bool) {
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		if id, m, ok := c.lockOp(n.X); ok {
+			if m == 0 {
+				delete(st, id)
+			} else {
+				st[id] = m
+			}
+			return st, false
+		}
+		c.expr(n.X, st, false)
+		if call, ok := n.X.(*ast.CallExpr); ok && isPanic(c.pass, call) {
+			return st, true
+		}
+		return st, false
+	case *ast.AssignStmt:
+		for _, r := range n.Rhs {
+			c.expr(r, st, false)
+		}
+		for _, l := range n.Lhs {
+			c.writeTarget(l, st)
+		}
+		return st, false
+	case *ast.IncDecStmt:
+		c.writeTarget(n.X, st)
+		return st, false
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, st, false)
+					}
+				}
+			}
+		}
+		return st, false
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() releases at exit: the lock stays held for
+		// the rest of the body, so it does not change the state here.
+		if _, _, ok := c.lockOp(n.Call); ok {
+			return st, false
+		}
+		c.deferOrGoCall(n.Call, st, false)
+		return st, false
+	case *ast.GoStmt:
+		c.deferOrGoCall(n.Call, st, true)
+		return st, false
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			c.expr(r, st, false)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		return st, true
+	case *ast.BlockStmt:
+		return c.stmts(n.List, st.clone()), false
+	case *ast.IfStmt:
+		if n.Init != nil {
+			st, _ = c.stmt(n.Init, st)
+		}
+		c.expr(n.Cond, st, false)
+		thenSt := c.stmts(n.Body.List, st.clone())
+		thenTerm := terminates(n.Body)
+		elseSt := st
+		elseTerm := false
+		if n.Else != nil {
+			var es ast.Stmt = n.Else
+			elseSt, elseTerm = c.stmt(es, st.clone())
+			if b, ok := es.(*ast.BlockStmt); ok {
+				elseTerm = terminates(b)
+			}
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, n.Else != nil
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return merge(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		if n.Init != nil {
+			st, _ = c.stmt(n.Init, st)
+		}
+		if n.Cond != nil {
+			c.expr(n.Cond, st, false)
+		}
+		bodySt := c.stmts(n.Body.List, st.clone())
+		if n.Post != nil {
+			bodySt, _ = c.stmt(n.Post, bodySt)
+		}
+		// After the loop: held only if held both when skipping the body
+		// and after an iteration (conservative; break paths ignored).
+		return merge(st, bodySt), false
+	case *ast.RangeStmt:
+		c.expr(n.X, st, false)
+		bodySt := c.stmts(n.Body.List, st.clone())
+		return merge(st, bodySt), false
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			st, _ = c.stmt(n.Init, st)
+		}
+		if n.Tag != nil {
+			c.expr(n.Tag, st, false)
+		}
+		return c.clauses(n.Body, st), false
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			st, _ = c.stmt(n.Init, st)
+		}
+		c.stmt(n.Assign, st)
+		return c.clauses(n.Body, st), false
+	case *ast.SelectStmt:
+		return c.clauses(n.Body, st), false
+	case *ast.LabeledStmt:
+		return c.stmt(n.Stmt, st)
+	case *ast.SendStmt:
+		c.expr(n.Chan, st, false)
+		c.expr(n.Value, st, false)
+		return st, false
+	}
+	return st, false
+}
+
+// clauses merges the exits of switch/select clauses: a lock is held
+// after the statement only if every non-terminating clause holds it.
+func (c *checker) clauses(body *ast.BlockStmt, st lockState) lockState {
+	var exits []lockState
+	hasDefault := false
+	for _, cl := range body.List {
+		var list []ast.Stmt
+		switch n := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				c.expr(e, st, false)
+			}
+			if n.List == nil {
+				hasDefault = true
+			}
+			list = n.Body
+		case *ast.CommClause:
+			if n.Comm != nil {
+				c.stmt(n.Comm, st.clone())
+			} else {
+				hasDefault = true
+			}
+			list = n.Body
+		}
+		ex := c.stmts(list, st.clone())
+		if !terminatesList(list) {
+			exits = append(exits, ex)
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, st)
+	}
+	if len(exits) == 0 {
+		return st
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = merge(out, e)
+	}
+	return out
+}
+
+// terminates reports whether a block always leaves the enclosing scope.
+func terminates(b *ast.BlockStmt) bool {
+	return terminatesList(b.List)
+}
+
+func terminatesList(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch n := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(n)
+	case *ast.IfStmt:
+		if n.Else == nil {
+			return false
+		}
+		elseTerm := false
+		switch e := n.Else.(type) {
+		case *ast.BlockStmt:
+			elseTerm = terminates(e)
+		case *ast.IfStmt:
+			elseTerm = terminatesList([]ast.Stmt{e})
+		}
+		return terminates(n.Body) && elseTerm
+	}
+	return false
+}
+
+func isPanic(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "panic"
+}
+
+// ---- expression checking ----------------------------------------------
+
+// lockOp recognizes x.mu.Lock()/RLock()/Unlock()/RUnlock() (and the
+// package-level regMu.Lock() form), returning the lock and the mode it
+// enters (0 for unlock).
+func (c *checker) lockOp(e ast.Expr) (lockID, mode, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return lockID{}, 0, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockID{}, 0, false
+	}
+	m := sel.Sel.Name
+	var enter mode
+	switch m {
+	case "Lock":
+		enter = modeW
+	case "RLock":
+		enter = modeR
+	case "Unlock", "RUnlock":
+		enter = 0
+	default:
+		return lockID{}, 0, false
+	}
+	// The method must come from package sync (Mutex/RWMutex).
+	if f, ok := c.pass.Info.Uses[sel.Sel].(*types.Func); !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return lockID{}, 0, false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr: // base.mu.Lock()
+		base, ok := identObj(c.pass, x.X)
+		if !ok {
+			return lockID{}, 0, false
+		}
+		return lockID{base, x.Sel.Name}, enter, true
+	case *ast.Ident: // pkgMu.Lock()
+		obj := c.pass.Info.Uses[x]
+		if obj == nil {
+			return lockID{}, 0, false
+		}
+		return lockID{obj, ""}, enter, true
+	}
+	return lockID{}, 0, false
+}
+
+// identObj unwraps parens/derefs and returns the object of a plain
+// identifier base expression.
+func identObj(pass *analysis.Pass, e ast.Expr) (types.Object, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			if obj == nil {
+				obj = pass.Info.Defs[x]
+			}
+			return obj, obj != nil
+		default:
+			return nil, false
+		}
+	}
+}
+
+// expr walks an expression, checking guarded accesses (as reads unless
+// write is set on the immediate target) and recursing into literals.
+func (c *checker) expr(e ast.Expr, st lockState, write bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.FuncLit:
+			c.funcLit(n, st)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				c.writeTarget(n.X, st)
+				return false
+			}
+		case *ast.CallExpr:
+			c.checkCall(n, st)
+			// delete(x.f, k) mutates the map.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := c.pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) > 0 {
+					c.writeTarget(n.Args[0], st)
+					for _, a := range n.Args[1:] {
+						c.expr(a, st, false)
+					}
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			c.access(n, st, write)
+			c.expr(n.X, st, false)
+			return false
+		case *ast.Ident:
+			c.identAccess(n, st, write)
+		}
+		write = false // only the outermost expression is the write target
+		return true
+	})
+}
+
+// writeTarget checks the written-to expression (LHS, ++/--, &x, delete).
+func (c *checker) writeTarget(e ast.Expr, st lockState) {
+	switch n := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		c.access(n, st, true)
+		c.expr(n.X, st, false)
+	case *ast.IndexExpr: // s.f[i] = v writes through s.f
+		c.writeTarget(n.X, st)
+		c.expr(n.Index, st, false)
+	case *ast.StarExpr:
+		c.expr(n.X, st, false)
+	case *ast.Ident:
+		c.identAccess(n, st, true)
+	default:
+		c.expr(e, st, false)
+	}
+}
+
+// access checks one guarded-field selector against the lock state.
+func (c *checker) access(sel *ast.SelectorExpr, st lockState, write bool) {
+	v, ok := c.pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return
+	}
+	g, ok := c.guarded[v]
+	if !ok {
+		return
+	}
+	base, ok := identObj(c.pass, sel.X)
+	if !ok {
+		// A chained base (a.b.f) cannot be matched to a lock acquisition
+		// conservatively; report so the code is restructured or allowed.
+		c.report(sel.Sel.Pos(), v.Name(), g.field, write, "through a chained base expression")
+		return
+	}
+	c.require(sel.Sel.Pos(), lockID{base, g.field}, st, v.Name(), g.field, write)
+}
+
+// identAccess checks guarded package-level variables.
+func (c *checker) identAccess(id *ast.Ident, st lockState, write bool) {
+	v, ok := c.pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	g, ok := c.pkgVars[v]
+	if !ok {
+		return
+	}
+	c.require(id.Pos(), lockID{g.mu, ""}, st, v.Name(), g.mu.Name(), write)
+}
+
+func (c *checker) require(pos token.Pos, id lockID, st lockState, field, mu string, write bool) {
+	held := st[id]
+	if write && held < modeW {
+		if held == modeR {
+			c.report(pos, field, mu, true, "holding only the read lock")
+		} else {
+			c.report(pos, field, mu, true, "")
+		}
+		return
+	}
+	if !write && held == 0 {
+		c.report(pos, field, mu, false, "")
+	}
+}
+
+func (c *checker) report(pos token.Pos, field, mu string, write bool, detail string) {
+	op := "read"
+	if write {
+		op = "write to"
+	}
+	if detail != "" {
+		c.pass.Reportf(pos, "%s %s (guarded by %s) %s", op, field, mu, detail)
+		return
+	}
+	c.pass.Reportf(pos, "%s %s without holding %s (//lint:guarded-by)", op, field, mu)
+}
+
+// checkCall enforces the entry-state contract of Locked-suffix methods
+// and //lint:holds functions at their call sites.
+func (c *checker) checkCall(call *ast.CallExpr, st lockState) {
+	callee := analysis.CalleeOf(c.pass.Info, call)
+	if callee == nil {
+		return
+	}
+	specs := c.assumes[callee]
+	if len(specs) == 0 {
+		return
+	}
+	// Map the callee's receiver/params to the caller's argument bases.
+	var fd *ast.FuncDecl
+	if n := c.g.NodeOf(callee); n != nil {
+		fd = n.Decl
+	}
+	if fd == nil {
+		return
+	}
+	for _, spec := range specs {
+		if spec.obj == nil { // package-level mutex
+			if st[lockID{spec.mu, ""}] == 0 {
+				c.pass.Reportf(call.Pos(), "call to %s requires holding %s", callee.Name(), spec.mu.Name())
+			}
+			continue
+		}
+		argBase, ok := c.argFor(call, fd, spec.obj)
+		if !ok {
+			continue
+		}
+		if st[lockID{argBase, spec.field}] == 0 {
+			c.pass.Reportf(call.Pos(), "call to %s requires holding %s.%s", callee.Name(), nameOf(argBase), spec.field)
+		}
+	}
+}
+
+// argFor maps a callee receiver/param object to the caller-side base
+// object at this call site.
+func (c *checker) argFor(call *ast.CallExpr, fd *ast.FuncDecl, obj types.Object) (types.Object, bool) {
+	// Receiver: base of the selector the method is called through.
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 &&
+		c.pass.Info.Defs[fd.Recv.List[0].Names[0]] == obj {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return identObj(c.pass, sel.X)
+		}
+		return nil, false
+	}
+	// Positional parameter.
+	i := 0
+	for _, f := range fd.Type.Params.List {
+		for _, n := range f.Names {
+			if c.pass.Info.Defs[n] == obj {
+				if i < len(call.Args) {
+					return identObj(c.pass, call.Args[i])
+				}
+				return nil, false
+			}
+			i++
+		}
+	}
+	return nil, false
+}
+
+func nameOf(obj types.Object) string {
+	if obj == nil {
+		return "?"
+	}
+	return obj.Name()
+}
+
+// deferOrGoCall handles `defer f(...)` / `go f(...)`: arguments are
+// evaluated now (current state); a literal body runs later — deferred
+// literals and goroutine bodies start with no locks held, which is how
+// the lock-then-go-closure escape surfaces.
+func (c *checker) deferOrGoCall(call *ast.CallExpr, st lockState, isGo bool) {
+	for _, a := range call.Args {
+		c.expr(a, st, false)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		c.stmts(lit.Body.List, make(lockState))
+		return
+	}
+	c.expr(call.Fun, st, false)
+	if !isGo {
+		c.checkCall(call, st)
+	}
+}
+
+// funcLit checks a literal in expression position: it inherits the lock
+// state at its definition point unless the call graph says it escapes
+// the goroutine (go launch, defer, timer callback) — those start bare.
+func (c *checker) funcLit(lit *ast.FuncLit, st lockState) {
+	inherit := st.clone()
+	if n := c.g.LitNode(lit); n != nil {
+		if n.LaunchedByGo || n.Deferred {
+			inherit = make(lockState)
+		} else {
+			for _, f := range n.PassedTo {
+				if f.Pkg() != nil && f.Pkg().Path() == "time" {
+					inherit = make(lockState)
+					break
+				}
+			}
+		}
+	}
+	c.stmts(lit.Body.List, inherit)
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"squid/internal/analysis/analysistest"
+	"squid/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcheck.Analyzer, "locks")
+}

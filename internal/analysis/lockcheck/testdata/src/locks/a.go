@@ -1,0 +1,131 @@
+// Package locks is a lock-discipline fixture shaped like squid's Store,
+// scheduler and wire registry: RWMutex-guarded fields, Locked-suffix
+// helpers, branchy lock/unlock flows and goroutine escapes.
+package locks
+
+import "sync"
+
+type Store struct {
+	mu     sync.RWMutex
+	byKey  map[uint64]int //lint:guarded-by mu
+	sorted []uint64       //lint:guarded-by mu
+}
+
+func (s *Store) Add(k uint64, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addLocked(k, v)
+}
+
+// addLocked follows the Locked-suffix convention: the caller holds mu.
+func (s *Store) addLocked(k uint64, v int) {
+	s.byKey[k] = v
+	s.sorted = append(s.sorted, k)
+}
+
+func (s *Store) BadCall(k uint64) {
+	s.addLocked(k, 1) // want `call to addLocked requires holding s\.mu`
+}
+
+func (s *Store) Bad(k uint64) int {
+	return s.byKey[k] // want `read byKey without holding mu`
+}
+
+func (s *Store) ReadOK(k uint64) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byKey[k]
+}
+
+func (s *Store) WriteUnderRLock(k uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.byKey[k] = 1 // want `write to byKey \(guarded by mu\) holding only the read lock`
+}
+
+// BranchRelease mirrors transport.connTo: a branch unlocks and leaves,
+// the fallthrough path still holds the lock.
+func (s *Store) BranchRelease(k uint64) int {
+	s.mu.Lock()
+	if k == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	v := s.byKey[k]
+	s.mu.Unlock()
+	return v
+}
+
+// MergeLoss unlocks on only one path: the access after the join cannot
+// rely on the lock.
+func (s *Store) MergeLoss(k uint64, cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+	}
+	s.byKey[k] = 2 // want `write to byKey without holding mu`
+}
+
+func (s *Store) Del(k uint64) {
+	s.mu.Lock()
+	delete(s.byKey, k)
+	s.mu.Unlock()
+}
+
+// Escape is the lock-then-go-closure bug: the goroutine body runs after
+// the launch site releases mu.
+func (s *Store) Escape() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.sorted = nil // want `write to sorted without holding mu`
+	}()
+}
+
+func (s *Store) Init() {
+	//lint:allow-lockcheck constructor runs before the store is shared
+	s.byKey = map[uint64]int{}
+}
+
+// conn exercises the //lint:holds <param>.<mutex> contract.
+type conn struct {
+	mu  sync.Mutex
+	buf []byte //lint:guarded-by mu
+}
+
+// flush requires the caller to hold c.mu.
+//
+//lint:holds c.mu
+func flush(c *conn) {
+	c.buf = c.buf[:0]
+}
+
+func useFlush(c *conn) {
+	c.mu.Lock()
+	flush(c)
+	c.mu.Unlock()
+	flush(c) // want `call to flush requires holding c\.mu`
+}
+
+// Package-level variables guarded by a package-level mutex, as in the
+// wire codec registry.
+var regMu sync.RWMutex
+
+//lint:guarded-by regMu
+var registry = map[string]int{}
+
+func Register(k string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[k] = 1
+}
+
+func Lookup(k string) int {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[k]
+}
+
+func BadLookup(k string) int {
+	return registry[k] // want `read registry without holding regMu`
+}

@@ -32,13 +32,19 @@ import (
 // Analyzer is the nodeterminism pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "nondet",
-	Doc:  "forbids time.Now/timers and global math/rand in determinism-critical packages (sim, sfc, telemetry, transport's faulty layer, chord/squid invariant and churn files)",
+	Doc:  "forbids time.Now/timers and global math/rand in determinism-critical packages (sim, sfc, telemetry, wire, workload, transport's faulty layer, chord/squid invariant and churn files)",
 	Run:  run,
 }
 
 // criticalPkgs lists package-path tails that are determinism-critical in
-// their entirety.
-var criticalPkgs = map[string]bool{"sim": true, "sfc": true, "telemetry": true}
+// their entirety. wire is here because codecs must be pure functions of
+// their input (a timestamp in an encoder would break the gob/binary
+// equivalence suite); workload because generators must replay their
+// keyspaces and query mixes bit-for-bit from the configured seed.
+var criticalPkgs = map[string]bool{
+	"sim": true, "sfc": true, "telemetry": true,
+	"wire": true, "workload": true,
+}
 
 // bannedTime are the time package functions that read or schedule against
 // the wall clock.

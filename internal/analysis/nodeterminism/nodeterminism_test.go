@@ -8,5 +8,5 @@ import (
 )
 
 func TestNoDeterminism(t *testing.T) {
-	analysistest.Run(t, "testdata", nodeterminism.Analyzer, "sim", "telemetry", "transport", "chord", "other")
+	analysistest.Run(t, "testdata", nodeterminism.Analyzer, "sim", "telemetry", "transport", "chord", "other", "wire", "workload")
 }

@@ -1,0 +1,23 @@
+// Fixture: wire codecs must be pure functions of their input — a
+// timestamp or random pad in an encoder would break the binary/gob
+// equivalence suite.
+package wire
+
+import (
+	"math/rand"
+	"time"
+)
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) stamp() {
+	_ = time.Now() // want `wall-clock`
+}
+
+func (e *encoder) pad() {
+	e.buf = append(e.buf, byte(rand.Int())) // want `unseeded shared source`
+}
+
+func (e *encoder) seeded(r *rand.Rand) {
+	e.buf = append(e.buf, byte(r.Int())) // explicit source: allowed
+}

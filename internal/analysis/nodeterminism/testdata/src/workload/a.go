@@ -1,0 +1,26 @@
+// Fixture: workload generators must replay their keyspaces and query
+// mixes bit-for-bit from the configured seed.
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+func generate(seed int64) []uint64 {
+	r := rand.New(rand.NewSource(seed)) // constructing a seeded source: allowed
+	z := rand.NewZipf(r, 1.2, 1, 1<<20)
+	out := make([]uint64, 8)
+	for i := range out {
+		out[i] = z.Uint64()
+	}
+	return out
+}
+
+func jitter() time.Duration {
+	return time.Duration(rand.Int63()) // want `unseeded shared source`
+}
+
+func deadline() time.Time {
+	return time.Now() // want `wall-clock`
+}

@@ -2,7 +2,9 @@
 //
 // Every error returned along the transport.Endpoint / chord RPC surface —
 // any function or method declared in a transport or chord package whose
-// results include an error — must be checked or explicitly discarded.
+// results include an error, plus net and io calls made from inside a
+// transport package (the connection-negotiation path) — must be checked
+// or explicitly discarded.
 // Silent drops on this path were the root cause of the PR 1 hang class:
 // a Send that fails unreachable, unobserved, leaves a subtree waiting on
 // an ack that will never come.
@@ -41,6 +43,12 @@ var Analyzer = &analysis.Analyzer{
 // rpcPkgs are the package-path tails whose error returns form the RPC
 // contract.
 var rpcPkgs = map[string]bool{"transport": true, "chord": true}
+
+// wirePkgs are standard-library packages whose error returns join the
+// contract inside a transport package: the PR 7 negotiation path writes
+// the preamble with net.Conn.Write and reads the ack with io.ReadFull,
+// and a dropped error there silently downgrades a peer to gob.
+var wirePkgs = map[string]bool{"net": true, "io": true}
 
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
@@ -141,7 +149,11 @@ func rpcErrCall(pass *analysis.Pass, e ast.Expr) (string, bool) {
 			declPkg = named.Obj().Pkg()
 		}
 	}
-	if declPkg == nil || !rpcPkgs[analysis.PkgPathTail(declPkg.Path())] {
+	if declPkg == nil {
+		return "", false
+	}
+	if !rpcPkgs[analysis.PkgPathTail(declPkg.Path())] &&
+		!(wirePkgs[declPkg.Path()] && analysis.PkgPathTail(pass.Pkg.Path()) == "transport") {
 		return "", false
 	}
 	hasErr := false

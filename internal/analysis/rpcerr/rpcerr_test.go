@@ -8,5 +8,5 @@ import (
 )
 
 func TestRPCErr(t *testing.T) {
-	analysistest.Run(t, "testdata", rpcerr.Analyzer, "rpcerr")
+	analysistest.Run(t, "testdata", rpcerr.Analyzer, "rpcerr", "transport")
 }

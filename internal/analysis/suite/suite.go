@@ -4,6 +4,9 @@ package suite
 
 import (
 	"squid/internal/analysis"
+	"squid/internal/analysis/allocfree"
+	"squid/internal/analysis/confine"
+	"squid/internal/analysis/lockcheck"
 	"squid/internal/analysis/nodeterminism"
 	"squid/internal/analysis/ringcmp"
 	"squid/internal/analysis/rpcerr"
@@ -19,5 +22,8 @@ func Analyzers() []*analysis.Analyzer {
 		nodeterminism.Analyzer,
 		rpcerr.Analyzer,
 		wirecodec.Analyzer,
+		confine.Analyzer,
+		lockcheck.Analyzer,
+		allocfree.Analyzer,
 	}
 }

@@ -36,6 +36,7 @@ const (
 	tagItems
 )
 
+//lint:allocfree
 func encodeNodeRef(e *wire.Encoder, r NodeRef) {
 	e.U64(uint64(r.ID))
 	e.String(string(r.Addr))
@@ -47,6 +48,7 @@ func decodeNodeRef(d *wire.Decoder) NodeRef {
 	return NodeRef{ID: id, Addr: transport.Addr(addr)}
 }
 
+//lint:allocfree
 func encodeNodeRefs(e *wire.Encoder, rs []NodeRef) {
 	e.Uvarint(uint64(len(rs)))
 	for _, r := range rs {
@@ -66,6 +68,7 @@ func decodeNodeRefs(d *wire.Decoder) []NodeRef {
 	return out
 }
 
+//lint:allocfree
 func encodeItems(e *wire.Encoder, items []Item) {
 	e.Uvarint(uint64(len(items)))
 	for _, it := range items {

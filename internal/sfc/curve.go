@@ -96,6 +96,7 @@ func (h Hilbert) Encode(pt []uint64) uint64 {
 // Decode maps a Hilbert index back to the point it encodes.
 func (h Hilbert) Decode(idx uint64, pt []uint64) {
 	if len(pt) != h.dims {
+		//lint:allow-allocfree panic path only
 		panic(fmt.Sprintf("sfc: Decode target has %d coords, curve has %d dims", len(pt), h.dims))
 	}
 	var x [maxCurveDims]uint64
@@ -256,6 +257,7 @@ func (m Morton) Encode(pt []uint64) uint64 {
 // Decode maps a Z-order index back to its point.
 func (m Morton) Decode(idx uint64, pt []uint64) {
 	if len(pt) != m.dims {
+		//lint:allow-allocfree panic path only
 		panic(fmt.Sprintf("sfc: Decode target has %d coords, curve has %d dims", len(pt), m.dims))
 	}
 	deinterleave(idx, pt, m.bits)

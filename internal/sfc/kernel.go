@@ -62,6 +62,8 @@ var kernels sync.Map
 
 // hilbertKernel returns the transition tables for h, building and caching
 // them on first use; nil when the geometry is unsupported.
+//
+//lint:allow-allocfree memoized cold build; steady-state hits are lock-free map loads
 func hilbertKernel(h Hilbert) *kernel {
 	g := geometry{h.dims, h.bits}
 	if v, ok := kernels.Load(g); ok {

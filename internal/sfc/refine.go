@@ -24,6 +24,7 @@ type Scratch struct {
 func (sc *Scratch) coordRows(dims, bits int) []uint64 {
 	n := (bits + 1) * dims
 	if cap(sc.coords) < n {
+		//lint:allow-allocfree amortized arena growth; sized once per curve geometry
 		sc.coords = make([]uint64, n)
 	}
 	return sc.coords[:n]
@@ -166,6 +167,8 @@ func (rf *refiner) child(prefix uint64, level, state, g int, pc, cc []uint64) in
 // RefineStepInto is RefineStep appending into dst: children of cl whose
 // subcube intersects r, in curve order. With a reused dst and sc the call
 // allocates nothing. sc may be nil at the cost of a transient scratch.
+//
+//lint:allocfree
 func RefineStepInto(dst []Refined, c Curve, cl Cluster, r Region, sc *Scratch) []Refined {
 	k := c.Bits()
 	if cl.Level >= k {
@@ -176,6 +179,7 @@ func RefineStepInto(dst []Refined, c Curve, cl Cluster, r Region, sc *Scratch) [
 	}
 	d := c.Dims()
 	rf := refinerSetup(c, sc)
+	//lint:allow-allocfree amortized arena growth, inlined from coordRows
 	rows := sc.coordRows(d, k)
 	pc := rows[:d]
 	cc := rows[d : 2*d]
@@ -199,14 +203,18 @@ func RefineStepInto(dst []Refined, c Curve, cl Cluster, r Region, sc *Scratch) [
 // by one call is sorted, disjoint and non-adjacent; pre-existing entries
 // of dst are never merged with. With a reused dst and sc the steady-state
 // walk allocates nothing.
+//
+//lint:allocfree
 func ClustersInto(dst []Interval, c Curve, r Region, sc *Scratch) []Interval {
 	if r.Empty() || len(r) != c.Dims() {
 		return dst
 	}
 	if sc == nil {
+		//lint:allow-allocfree nil-sc convenience path; hot callers pass a reused Scratch
 		sc = &Scratch{}
 	}
 	d, k := c.Dims(), c.Bits()
+	//lint:allow-allocfree amortized arena growth, inlined from coordRows
 	rows := sc.coordRows(d, k)
 	root := rows[:d]
 	for i := range root {
@@ -264,6 +272,8 @@ func (w *clusterWalk) emit(dst []Interval, iv Interval) []Interval {
 // CoarseClustersInto is CoarseClusters appending into dst, refining the
 // frontier level-synchronously in sc's double buffer until the next level
 // would exceed maxClusters.
+//
+//lint:allocfree
 func CoarseClustersInto(dst []Refined, c Curve, r Region, maxClusters int, sc *Scratch) []Refined {
 	if r.Empty() || len(r) != c.Dims() {
 		return dst
@@ -275,6 +285,7 @@ func CoarseClustersInto(dst []Refined, c Curve, r Region, maxClusters int, sc *S
 	if fan := 1 << d; maxClusters < fan {
 		maxClusters = fan
 	}
+	//lint:allow-allocfree amortized arena growth, inlined from coordRows
 	rows := sc.coordRows(d, k)
 	root := rows[:d]
 	for i := range root {

@@ -69,6 +69,7 @@ func saturatingInc(v uint64) uint64 {
 // The set must be normalized.
 func (s IntervalSet) Overlaps(iv Interval) bool {
 	// First interval whose Hi >= iv.Lo is the only candidate.
+	//lint:allow-allocfree non-escaping closure; sort.Search does not retain it
 	i := sort.Search(len(s), func(i int) bool { return s[i].Hi >= iv.Lo })
 	return i < len(s) && s[i].Lo <= iv.Hi
 }
@@ -76,6 +77,7 @@ func (s IntervalSet) Overlaps(iv Interval) bool {
 // Covers reports whether iv is entirely within a single interval of the set.
 // For a normalized set this is equivalent to the set covering iv.
 func (s IntervalSet) Covers(iv Interval) bool {
+	//lint:allow-allocfree non-escaping closure; sort.Search does not retain it
 	i := sort.Search(len(s), func(i int) bool { return s[i].Hi >= iv.Lo })
 	return i < len(s) && s[i].Covers(iv)
 }

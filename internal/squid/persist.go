@@ -20,11 +20,13 @@ const storeImageVersion = 1
 
 // WriteTo serializes the store (gob). Implements io.WriterTo.
 func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	s.mu.RLock()
 	img := storeImage{Version: storeImageVersion, Keys: append([]uint64(nil), s.sorted...)}
 	img.Buckets = make([][]Element, len(img.Keys))
 	for i, k := range img.Keys {
 		img.Buckets[i] = s.byKey[k]
 	}
+	s.mu.RUnlock()
 	cw := &countingWriter{w: w}
 	if err := gob.NewEncoder(cw).Encode(img); err != nil {
 		return cw.n, fmt.Errorf("squid: store save: %w", err)
@@ -46,8 +48,10 @@ func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 	if len(img.Keys) != len(img.Buckets) {
 		return cr.n, fmt.Errorf("squid: corrupt store image: %d keys, %d buckets", len(img.Keys), len(img.Buckets))
 	}
+	s.mu.Lock()
 	s.byKey = make(map[uint64][]Element, len(img.Keys))
 	s.sorted = s.sorted[:0]
+	s.mu.Unlock()
 	for i, k := range img.Keys {
 		for _, e := range img.Buckets[i] {
 			s.Add(k, e)

@@ -50,6 +50,8 @@ func (e *Engine) replicate(items []chord.Item) {
 // happened. It returns the number of items pushed and whether the push
 // was a full one. Run it after bulk loads and periodically alongside
 // stabilization so replica placement tracks ring changes.
+//
+//lint:entry delivery
 func (e *Engine) PushReplicas() (items int, full bool) {
 	if e.opts.Replicas <= 0 {
 		return 0, false
@@ -69,6 +71,8 @@ func (e *Engine) PushReplicas() (items int, full bool) {
 
 // PushReplicasFull unconditionally re-replicates every locally owned item
 // to the current successors and records the replica set it went to.
+//
+//lint:entry delivery
 func (e *Engine) PushReplicasFull() int {
 	if e.opts.Replicas <= 0 {
 		return 0
@@ -132,6 +136,8 @@ func (e *Engine) handleReplica(m ReplicaMsg) {
 // demotion may both fire several times — the symmetry makes the stores
 // self-stabilizing: once the pointer converges, exactly the owned keys are
 // primary, everything else is soft state.
+//
+//lint:entry delivery
 func (e *Engine) ArcChanged(oldPred, newPred chord.NodeRef) {
 	if e.opts.Replicas <= 0 {
 		return

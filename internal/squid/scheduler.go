@@ -39,11 +39,13 @@ type scheduler struct {
 	cap     int
 
 	mu       sync.Mutex
-	jobsCond *sync.Cond // signaled when queue gains a job (workers wait here)
-	idleCond *sync.Cond // broadcast when pending returns to zero (waitIdle)
-	queue    []*refineJob
-	pending  int  // admitted jobs whose completion has not yet run
-	started  bool // workers are spawned lazily on first submit
+	jobsCond *sync.Cond   // signaled when queue gains a job (workers wait here)
+	idleCond *sync.Cond   // broadcast when pending returns to zero (waitIdle)
+	queue    []*refineJob //lint:guarded-by mu
+	// pending counts admitted jobs whose completion has not yet run.
+	pending int //lint:guarded-by mu
+	// started flips when the workers are spawned (lazily, on first submit).
+	started bool //lint:guarded-by mu
 }
 
 // refineJob carries one batch of clusters from the delivery goroutine to a

@@ -25,16 +25,17 @@ type Element struct {
 // mutation: a span scan sees either all or none of a handover, never half
 // of one.
 type Store struct {
-	mu     sync.RWMutex
-	space  chord.Space
-	byKey  map[uint64][]Element
-	sorted []uint64 // keys in ascending order
+	mu    sync.RWMutex
+	space chord.Space
+	byKey map[uint64][]Element //lint:guarded-by mu
+	// sorted holds the keys in ascending order.
+	sorted []uint64 //lint:guarded-by mu
 
 	// dirty accumulates keys mutated since the last TakeDirty, for delta
 	// replication pushes. nil unless TrackDirty was called: stores that are
 	// never replicated (replica buffers, Replicas=0 deployments) skip the
 	// bookkeeping entirely.
-	dirty map[uint64]struct{}
+	dirty map[uint64]struct{} //lint:guarded-by mu
 }
 
 // NewStore returns an empty store over the given identifier space.
@@ -52,6 +53,7 @@ func (s *Store) TrackDirty() {
 	}
 }
 
+//lint:holds s.mu
 func (s *Store) markDirty(key uint64) {
 	if s.dirty != nil {
 		s.dirty[key] = struct{}{}
@@ -178,6 +180,7 @@ func (s *Store) AddUnique(key uint64, e Element) bool {
 	return true
 }
 
+//lint:holds s.mu
 func (s *Store) contains(key uint64, e Element) bool {
 	for _, have := range s.byKey[key] {
 		if have.Data == e.Data && equalValues(have.Values, e.Values) {
@@ -232,6 +235,8 @@ func (s *Store) addBatch(items []chord.Item, unique bool) int {
 
 // mergeSorted merges the fresh (unsorted, duplicate-free) keys into the
 // ascending key index.
+//
+//lint:holds s.mu
 func (s *Store) mergeSorted(fresh []uint64) {
 	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
 	old := s.sorted
@@ -327,7 +332,9 @@ func (s *Store) HandoverOut(a, b chord.ID) []chord.Item {
 // its RWMutex.
 func (s *Store) replaceWith(o *Store) {
 	s.mu.Lock()
+	o.mu.Lock()
 	s.byKey, s.sorted, s.dirty = o.byKey, o.sorted, o.dirty
+	o.mu.Unlock()
 	s.mu.Unlock()
 }
 

@@ -42,6 +42,7 @@ const (
 	tagKeyspaceTerm
 )
 
+//lint:allocfree
 func encodeElement(e *wire.Encoder, el Element) {
 	e.Strings(el.Values)
 	e.String(el.Data)
@@ -54,6 +55,7 @@ func decodeElement(d *wire.Decoder) Element {
 	return el
 }
 
+//lint:allocfree
 func encodeElements(e *wire.Encoder, els []Element) {
 	e.Uvarint(uint64(len(els)))
 	for _, el := range els {
@@ -73,6 +75,7 @@ func decodeElements(d *wire.Decoder) []Element {
 	return out
 }
 
+//lint:allocfree
 func encodeTerm(e *wire.Encoder, t keyspace.Term) {
 	e.Uvarint(uint64(t.Kind))
 	e.String(t.Value)
@@ -89,6 +92,7 @@ func decodeTerm(d *wire.Decoder) keyspace.Term {
 	return t
 }
 
+//lint:allocfree
 func encodeQuery(e *wire.Encoder, q keyspace.Query) {
 	e.Uvarint(uint64(len(q)))
 	for _, t := range q {
@@ -108,6 +112,7 @@ func decodeQuery(d *wire.Decoder) keyspace.Query {
 	return q
 }
 
+//lint:allocfree
 func encodeTraceRef(e *wire.Encoder, r telemetry.TraceRef) {
 	e.Uvarint(r.Parent)
 	e.Int(int64(r.Depth))
@@ -122,6 +127,7 @@ func decodeTraceRef(d *wire.Decoder) telemetry.TraceRef {
 	return r
 }
 
+//lint:allocfree
 func encodeSpans(e *wire.Encoder, spans []telemetry.Span) {
 	e.Uvarint(uint64(len(spans)))
 	for _, s := range spans {
@@ -174,6 +180,7 @@ func decodeSpans(d *wire.Decoder) []telemetry.Span {
 	return out
 }
 
+//lint:allocfree
 func encodeClusterQuery(e *wire.Encoder, m ClusterQueryMsg) {
 	e.Uvarint(uint64(m.QID))
 	encodeQuery(e, m.Query)

@@ -7,9 +7,13 @@ import "sync/atomic"
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
+//
+//lint:allocfree
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//lint:allocfree
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value snapshots the current count. Safe from any goroutine.
@@ -19,9 +23,13 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 type Gauge struct{ v atomic.Int64 }
 
 // Set replaces the value.
+//
+//lint:allocfree
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add shifts the value by n (negative to decrease).
+//
+//lint:allocfree
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Value snapshots the current value. Safe from any goroutine.
@@ -46,6 +54,8 @@ func newHistogram(bounds []int64) *Histogram {
 }
 
 // Observe records one value.
+//
+//lint:allocfree
 func (h *Histogram) Observe(v int64) {
 	idx := len(h.bounds)
 	for i, b := range h.bounds {

@@ -39,8 +39,8 @@ type Registry struct {
 	clock func() time.Time
 
 	mu     sync.Mutex
-	byName map[string]*family
-	order  []*family
+	byName map[string]*family //lint:guarded-by mu
+	order  []*family          //lint:guarded-by mu
 }
 
 // NewRegistry returns an empty registry. clock supplies wall time for
@@ -82,9 +82,11 @@ type family struct {
 	labels  []string
 	buckets []int64 // histogram upper bounds, nil otherwise
 
-	mu       sync.Mutex
-	children map[string]any // joined label values -> *Counter/*Gauge/*Histogram
-	order    []childEntry   // insertion order for stable exposition
+	mu sync.Mutex
+	// children maps joined label values to *Counter/*Gauge/*Histogram.
+	children map[string]any //lint:guarded-by mu
+	// order preserves insertion order for stable exposition.
+	order []childEntry //lint:guarded-by mu
 }
 
 type childEntry struct {

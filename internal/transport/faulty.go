@@ -220,9 +220,9 @@ func (f *Faulty) linkRNG(k linkKey) *rand.Rand {
 		return r
 	}
 	h := fnv.New64a()
-	h.Write([]byte(k.from))
-	h.Write([]byte{0})
-	h.Write([]byte(k.to))
+	_, _ = h.Write([]byte(k.from)) // hash.Hash.Write never fails
+	_, _ = h.Write([]byte{0})      // hash.Hash.Write never fails
+	_, _ = h.Write([]byte(k.to))   // hash.Hash.Write never fails
 	r := rand.New(rand.NewSource(f.seed ^ int64(h.Sum64())))
 	f.links[k] = r
 	return r

@@ -99,11 +99,12 @@ type TCPEndpoint struct {
 	ln      net.Listener
 
 	mu      sync.Mutex
-	conns   map[Addr]*outConn
-	dialing map[Addr]*dialCall
-	gobOnly map[Addr]bool // peers that declined binary negotiation
-	mode    WireMode
-	closed  bool
+	conns   map[Addr]*outConn  //lint:guarded-by mu
+	dialing map[Addr]*dialCall //lint:guarded-by mu
+	// gobOnly remembers peers that declined binary negotiation.
+	gobOnly map[Addr]bool //lint:guarded-by mu
+	mode    WireMode      //lint:guarded-by mu
+	closed  bool          //lint:guarded-by mu
 
 	deliver chan envelope
 	done    chan struct{}
@@ -125,13 +126,16 @@ type dialCall struct {
 type outConn struct {
 	mu      sync.Mutex
 	conn    net.Conn
-	bw      *bufio.Writer
+	bw      *bufio.Writer //lint:guarded-by mu
 	pending atomic.Int32
 
-	binary  bool
-	enc     *gob.Encoder // gob-mode framing (nil on binary connections)
-	wenc    wire.Encoder // binary-mode frame buffer
-	scratch bytes.Buffer // gob-fallback bodies on binary connections
+	binary bool
+	// enc carries gob-mode framing (nil on binary connections).
+	enc *gob.Encoder //lint:guarded-by mu
+	// wenc is the binary-mode frame buffer.
+	wenc wire.Encoder //lint:guarded-by mu
+	// scratch buffers gob-fallback bodies on binary connections.
+	scratch bytes.Buffer //lint:guarded-by mu
 }
 
 // ListenTCP binds to bind (e.g. "127.0.0.1:0") and serves the handler.
@@ -275,6 +279,8 @@ func (ep *TCPEndpoint) writeMsg(oc *outConn, msg any) error {
 // before any byte reaches the write buffer, so encode errors never leave
 // a torn frame on the stream. The staged path allocates nothing: the
 // encoder's buffer and the header array are reused frame over frame.
+//
+//lint:holds oc.mu
 func (ep *TCPEndpoint) writeBinaryFrame(oc *outConn, msg any) error {
 	m := ep.met.Load()
 	oc.wenc.Reset()
@@ -357,7 +363,7 @@ func (ep *TCPEndpoint) connTo(to Addr) (*outConn, error) {
 		delete(ep.dialing, to)
 		if call.err == nil {
 			if ep.closed {
-				call.oc.conn.Close()
+				_ = call.oc.conn.Close() // a racing Close() won; the dial result is discarded anyway
 				call.err = ErrClosed
 			} else {
 				ep.conns[to] = call.oc
@@ -386,7 +392,7 @@ func (ep *TCPEndpoint) dial(to Addr, mode WireMode) (*outConn, error) {
 		if ok {
 			return ep.newOutConn(conn, true), nil
 		}
-		conn.Close()
+		_ = conn.Close() // the dial is already failing; the close error adds nothing
 		if nerr != nil {
 			// The peer answered nothing inside the negotiation window: it
 			// is wedged, not old — failing is truthful, falling back to a
@@ -458,6 +464,7 @@ func (ep *TCPEndpoint) newOutConn(conn net.Conn, binaryMode bool) *outConn {
 	}
 	oc := &outConn{conn: conn, bw: bufio.NewWriter(w), binary: binaryMode}
 	if !binaryMode {
+		//lint:allow-lockcheck the outConn is still private to this constructor
 		oc.enc = gob.NewEncoder(oc.bw)
 	}
 	return oc
@@ -475,7 +482,7 @@ func (ep *TCPEndpoint) dropConn(to Addr, oc *outConn) {
 		delete(ep.conns, to)
 	}
 	ep.mu.Unlock()
-	oc.conn.Close()
+	_ = oc.conn.Close() // the conn is already broken; its close error is uninformative
 }
 
 // Close shuts the listener, cached connections and the delivery loop.
@@ -493,7 +500,7 @@ func (ep *TCPEndpoint) Close() error {
 	close(ep.done)
 	err := ep.ln.Close()
 	for _, oc := range conns {
-		oc.conn.Close()
+		_ = oc.conn.Close() // shutdown path: the listener close error is the one reported
 	}
 	return err
 }
@@ -520,7 +527,9 @@ func (ep *TCPEndpoint) rejectFrame() {
 // with a non-zero count), anything else is a gob stream. WireLegacy
 // endpoints skip the sniff and behave exactly like a pre-binary build.
 func (ep *TCPEndpoint) readLoop(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		_ = conn.Close() // inbound loop exit: the decode error, if any, was already counted
+	}()
 	br := bufio.NewReader(conn)
 
 	ep.mu.Lock()

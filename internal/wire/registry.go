@@ -45,9 +45,11 @@ type Codec struct {
 }
 
 var (
-	regMu  sync.RWMutex
+	regMu sync.RWMutex
+	//lint:guarded-by regMu
 	byType = map[reflect.Type]*Codec{}
-	byTag  = map[uint64]*Codec{}
+	//lint:guarded-by regMu
+	byTag = map[uint64]*Codec{}
 )
 
 // Register binds tag to prototype's concrete type. It is called from
@@ -80,6 +82,8 @@ func Register(tag uint64, prototype any, enc EncodeFunc, dec DecodeFunc) {
 }
 
 // Lookup returns the codec for v's dynamic type, or nil.
+//
+//lint:allow-allocfree RLock and map read allocate nothing; reflect.TypeOf of a non-pointer interface is a header read
 func Lookup(v any) *Codec {
 	regMu.RLock()
 	defer regMu.RUnlock()
@@ -87,6 +91,8 @@ func Lookup(v any) *Codec {
 }
 
 // ByTag returns the codec for a wire tag, or nil.
+//
+//lint:allow-allocfree RLock and map read allocate nothing
 func ByTag(tag uint64) *Codec {
 	regMu.RLock()
 	defer regMu.RUnlock()
@@ -111,6 +117,8 @@ func Codecs() []*Codec {
 // possibly partial bytes in the buffer, so Reset before reuse — when
 // msg's type, or a nested dynamic value inside it, has no codec; the
 // transport then falls back to a gob frame for this message.
+//
+//lint:allocfree
 func EncodeMessage(e *Encoder, msg any) bool {
 	c := Lookup(msg)
 	if c == nil {
@@ -144,6 +152,8 @@ func DecodeMessage(b []byte) (any, error) {
 // unregistered dynamic type poisons the encoder so EncodeMessage reports
 // false and the whole envelope falls back to gob — a message is either
 // fully binary or fully gob, never spliced.
+//
+//lint:allocfree
 func (e *Encoder) Any(v any) {
 	if v == nil {
 		e.Uvarint(TagNil)
@@ -151,6 +161,7 @@ func (e *Encoder) Any(v any) {
 	}
 	c := Lookup(v)
 	if c == nil {
+		//lint:allow-allocfree error path: the message falls back to gob
 		e.fail(fmt.Errorf("wire: no codec for %T", v))
 		return
 	}

@@ -47,6 +47,8 @@ type Encoder struct {
 
 // Reset truncates the buffer for a new message, keeping capacity, and
 // clears any sticky error.
+//
+//lint:allocfree
 func (e *Encoder) Reset() {
 	e.buf = e.buf[:0]
 	e.err = nil
@@ -54,9 +56,13 @@ func (e *Encoder) Reset() {
 
 // Bytes returns the encoded frame. The slice aliases the encoder's
 // buffer and is invalidated by the next Reset.
+//
+//lint:allocfree
 func (e *Encoder) Bytes() []byte { return e.buf }
 
 // Len returns the number of encoded bytes.
+//
+//lint:allocfree
 func (e *Encoder) Len() int { return len(e.buf) }
 
 // Err returns the sticky encode error (an unregistered dynamic type hit
@@ -64,11 +70,15 @@ func (e *Encoder) Len() int { return len(e.buf) }
 func (e *Encoder) Err() error { return e.err }
 
 // Uvarint appends an unsigned varint (LEB128, as encoding/binary).
+//
+//lint:allocfree
 func (e *Encoder) Uvarint(v uint64) {
 	e.buf = binary.AppendUvarint(e.buf, v)
 }
 
 // Int appends a signed integer as a zigzag varint.
+//
+//lint:allocfree
 func (e *Encoder) Int(v int64) {
 	e.buf = binary.AppendVarint(e.buf, v)
 }
@@ -76,11 +86,15 @@ func (e *Encoder) Int(v int64) {
 // U64 appends a fixed 8-byte little-endian word. Use it for ring
 // identifiers, curve prefixes and tokens: they are uniformly distributed
 // over 64 bits, where a varint averages longer than the fixed form.
+//
+//lint:allocfree
 func (e *Encoder) U64(v uint64) {
 	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
 }
 
 // Bool appends one byte, 0 or 1.
+//
+//lint:allocfree
 func (e *Encoder) Bool(b bool) {
 	if b {
 		e.buf = append(e.buf, 1)
@@ -90,18 +104,24 @@ func (e *Encoder) Bool(b bool) {
 }
 
 // String appends a length-prefixed string.
+//
+//lint:allocfree
 func (e *Encoder) String(s string) {
 	e.buf = binary.AppendUvarint(e.buf, uint64(len(s)))
 	e.buf = append(e.buf, s...)
 }
 
 // Bytes appends length-prefixed raw bytes.
+//
+//lint:allocfree
 func (e *Encoder) RawBytes(b []byte) {
 	e.buf = binary.AppendUvarint(e.buf, uint64(len(b)))
 	e.buf = append(e.buf, b...)
 }
 
 // Strings appends a length-prefixed slice of strings.
+//
+//lint:allocfree
 func (e *Encoder) Strings(ss []string) {
 	e.buf = binary.AppendUvarint(e.buf, uint64(len(ss)))
 	for _, s := range ss {

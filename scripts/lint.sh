@@ -17,6 +17,12 @@ go vet "${pkgs[@]}"
 echo "== squid-lint ${pkgs[*]}"
 go run ./cmd/squid-lint "${pkgs[@]}"
 
+echo "== squid-lint -allocs ${pkgs[*]}"
+go run ./cmd/squid-lint -allocs "${pkgs[@]}"
+
+echo "== squid-lint -allows"
+go run ./cmd/squid-lint -allows
+
 if command -v staticcheck >/dev/null 2>&1; then
   echo "== staticcheck ${pkgs[*]}"
   staticcheck "${pkgs[@]}"
