@@ -3,16 +3,25 @@
 // watch load balancing — the fastest way to explore the system's
 // behaviour.
 //
+// Two backends share one command set. The default goroutine backend runs
+// every peer as a real mailbox goroutine — faithful concurrency, best for
+// poking at protocol behaviour up to a few hundred nodes. -backend=des
+// runs the discrete-event simulator instead: zero goroutines, virtual
+// time, planet-scale rings. The `scale` command runs a full paper-scale
+// experiment on the event core regardless of the session backend.
+//
 //	$ go run ./cmd/squid-sim
 //	squid> build 100
 //	squid> load 20000
 //	squid> query (comp*, *)
+//	squid> scale 5000
 //	squid> help
 package main
 
 import (
 	"bufio"
 	"errors"
+	"flag"
 	"fmt"
 	"math/rand"
 	"os"
@@ -21,6 +30,7 @@ import (
 	"time"
 
 	"squid/internal/chord"
+	"squid/internal/dessim"
 	"squid/internal/keyspace"
 	"squid/internal/loadbalance"
 	"squid/internal/sim"
@@ -41,7 +51,7 @@ const helpText = `commands:
   leave <i>                     peer i leaves voluntarily
   kill <i>                      peer i fails abruptly
   stabilize [rounds]            run stabilization rounds (default 3)
-  balance [rounds]              run runtime load balancing (default 5)
+  balance [rounds]              run runtime load balancing (default 5; goroutine backend)
   loads                         show the load distribution
   peers                         list peers with their loads
   verify                        check ring and data-placement consistency
@@ -51,17 +61,67 @@ const helpText = `commands:
   stats                         fault, retry and recovery counters
   trace [qid]                   render a query's refinement tree (default: last query)
   metrics                       dump the telemetry registry (Prometheus text)
+  scale <nodes> [queries]       planet-scale churn + query storm on the event core
   help                          this text
   quit`
 
+// network is the backend-independent surface the REPL drives: both the
+// goroutine simulator (sim.Network) and the discrete-event simulator
+// (dessim.Network) satisfy it, so every command below works unchanged on
+// either backend.
+type network interface {
+	Preload(elems []squid.Element) error
+	Publish(via int, elem squid.Element) error
+	Query(via int, q keyspace.Query) (squid.Result, sim.QueryMetrics)
+	QueryKeywords(via int, words []string) squid.Result
+	StabilizeAll(rounds int)
+	LoadVector() []int
+	TotalKeys() int
+	VerifyConsistent() error
+	CheckRing() []chord.Violation
+	AddPeer(id chord.ID) (*sim.Peer, error)
+	RemovePeer(i int)
+	KillPeer(i int)
+	ChordCounters() chord.Counters
+	RecoveryCounters() squid.RecoveryCounters
+	PeerList() []*sim.Peer
+	KeySpace() *keyspace.Space
+	Registry() *telemetry.Registry
+	TraceStore() *telemetry.TraceStore
+}
+
+var (
+	_ network = (*sim.Network)(nil)
+	_ network = (*dessim.Network)(nil)
+)
+
+// faultSurface is the fault-injection controls shared by the goroutine
+// stack's fault layer (transport.Faulty) and the event-core transport
+// (dessim.Net).
+type faultSurface interface {
+	SetDropRate(p float64)
+	Crash(name transport.Addr)
+	Restart(name transport.Addr)
+	Stats() transport.FaultStats
+}
+
 type session struct {
-	nw  *sim.Network
-	rng *rand.Rand
+	backend string // "goroutine" (default) or "des"
+	net     network
+	faults  faultSurface
+	rng     *rand.Rand
 }
 
 func main() {
-	fmt.Println("squid-sim — interactive Squid network simulator. Type 'help'.")
-	s := &session{rng: rand.New(rand.NewSource(1))}
+	backend := flag.String("backend", "goroutine",
+		"simulator backend: goroutine (one mailbox goroutine per peer) or des (discrete-event, virtual time)")
+	flag.Parse()
+	if *backend != "goroutine" && *backend != "des" {
+		fmt.Fprintf(os.Stderr, "unknown backend %q (want goroutine or des)\n", *backend)
+		os.Exit(2)
+	}
+	fmt.Printf("squid-sim — interactive Squid network simulator (%s backend). Type 'help'.\n", *backend)
+	s := &session{backend: *backend, rng: rand.New(rand.NewSource(1))}
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("squid> ")
 	for sc.Scan() {
@@ -87,8 +147,10 @@ func (s *session) exec(line string) error {
 		return nil
 	case "build":
 		return s.build(args)
+	case "scale":
+		return s.scale(args)
 	}
-	if s.nw == nil {
+	if s.net == nil {
 		return fmt.Errorf("no network yet; use: build <nodes>")
 	}
 	switch cmd {
@@ -108,30 +170,36 @@ func (s *session) exec(line string) error {
 		return s.leave(args, true)
 	case "stabilize":
 		rounds := atoiDefault(args, 0, 3)
-		s.nw.StabilizeAll(rounds)
+		s.net.StabilizeAll(rounds)
 		fmt.Printf("ran %d stabilization rounds\n", rounds)
 		return nil
 	case "balance":
-		rounds, err := loadbalance.Balance(s.nw, 2.0, atoiDefault(args, 0, 5))
+		// Runtime load balancing drives peers through the goroutine
+		// network's blocking helpers; it has no event-core port yet.
+		g, ok := s.net.(*sim.Network)
+		if !ok {
+			return fmt.Errorf("balance requires the goroutine backend (restart without -backend=des)")
+		}
+		rounds, err := loadbalance.Balance(g, 2.0, atoiDefault(args, 0, 5))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("balanced in %d rounds; gini now %.3f\n", rounds, stats.Gini(s.nw.LoadVector()))
+		fmt.Printf("balanced in %d rounds; gini now %.3f\n", rounds, stats.Gini(s.net.LoadVector()))
 		return nil
 	case "loads":
-		v := s.nw.LoadVector()
+		v := s.net.LoadVector()
 		sum := stats.Summarize(v)
 		fmt.Printf("peers=%d keys=%d mean=%.1f max=%d p95=%.0f cov=%.2f gini=%.3f\n",
-			len(v), s.nw.TotalKeys(), sum.Mean, sum.Max, sum.P95, sum.CoV, stats.Gini(v))
+			len(v), s.net.TotalKeys(), sum.Mean, sum.Max, sum.P95, sum.CoV, stats.Gini(v))
 		return nil
 	case "peers":
-		loads := s.nw.LoadVector()
-		for i, p := range s.nw.Peers {
+		loads := s.net.LoadVector()
+		for i, p := range s.net.PeerList() {
 			fmt.Printf("%3d  id=%016x  keys=%d\n", i, uint64(p.ID()), loads[i])
 		}
 		return nil
 	case "verify":
-		if err := s.nw.VerifyConsistent(); err != nil {
+		if err := s.net.VerifyConsistent(); err != nil {
 			return err
 		}
 		fmt.Println("ring and data placement consistent")
@@ -139,7 +207,7 @@ func (s *session) exec(line string) error {
 	case "check":
 		return s.check()
 	case "faults":
-		return s.faults(args)
+		return s.setFaults(args)
 	case "crash":
 		return s.crash(args, true)
 	case "restart":
@@ -149,12 +217,12 @@ func (s *session) exec(line string) error {
 	case "trace":
 		return s.trace(args)
 	case "metrics":
-		return s.nw.Telemetry.WritePrometheus(os.Stdout)
+		return s.net.Registry().WritePrometheus(os.Stdout)
 	}
 	return fmt.Errorf("unknown command %q (try 'help')", cmd)
 }
 
-func (s *session) faults(args []string) error {
+func (s *session) setFaults(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: faults <drop-rate>")
 	}
@@ -162,7 +230,7 @@ func (s *session) faults(args []string) error {
 	if err != nil || rate < 0 || rate > 1 {
 		return fmt.Errorf("drop rate must be in [0, 1]")
 	}
-	s.nw.Faulty.SetDropRate(rate)
+	s.faults.SetDropRate(rate)
 	if rate == 0 {
 		fmt.Println("faults cleared; run 'stabilize' to restore full recall")
 	} else {
@@ -176,16 +244,17 @@ func (s *session) crash(args []string, down bool) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: %s <peer-index>", verb)
 	}
+	peers := s.net.PeerList()
 	i, err := strconv.Atoi(args[0])
-	if err != nil || i < 0 || i >= len(s.nw.Peers) {
-		return fmt.Errorf("peer index out of range (0..%d)", len(s.nw.Peers)-1)
+	if err != nil || i < 0 || i >= len(peers) {
+		return fmt.Errorf("peer index out of range (0..%d)", len(peers)-1)
 	}
-	addr := s.nw.Peers[i].Addr()
+	addr := peers[i].Addr()
 	if down {
-		s.nw.Faulty.Crash(addr)
+		s.faults.Crash(addr)
 		fmt.Printf("peer %d black-holed (state survives; 'restart %d' revives it)\n", i, i)
 	} else {
-		s.nw.Faulty.Restart(addr)
+		s.faults.Restart(addr)
 		fmt.Printf("peer %d back online\n", i)
 	}
 	return nil
@@ -196,7 +265,7 @@ func (s *session) crash(args []string, down bool) error {
 // Transient violations (dead arc boundaries awaiting rectify) are reported
 // but distinguished from hard protocol failures.
 func (s *session) check() error {
-	vs := s.nw.CheckRing()
+	vs := s.net.CheckRing()
 	if len(vs) == 0 {
 		fmt.Println("all ring invariants hold (ordered ring, one ring, connected, valid successor lists, ownership partition)")
 		return nil
@@ -217,9 +286,9 @@ func (s *session) check() error {
 }
 
 func (s *session) stats() error {
-	fs := s.nw.Faulty.Stats()
-	cc := s.nw.ChordCounters()
-	rc := s.nw.RecoveryCounters()
+	fs := s.faults.Stats()
+	cc := s.net.ChordCounters()
+	rc := s.net.RecoveryCounters()
 	fmt.Printf("transport: delivered=%d dropped=%d delayed=%d partition-drops=%d crash-drops=%d\n",
 		fs.Delivered, fs.Dropped, fs.Delayed, fs.PartitionDrops, fs.CrashDrops)
 	fmt.Printf("chord rpc: find-retries=%d find-failures=%d state-retries=%d state-failures=%d\n",
@@ -252,6 +321,38 @@ func (s *session) build(args []string) error {
 	if err != nil {
 		return err
 	}
+	if s.backend == "des" {
+		nw, err := dessim.Build(dessim.Config{
+			Nodes: nodes, Space: space, Seed: s.rng.Int63(),
+			// The full recovery stack on virtual time: generous deadlines
+			// cost nothing in wall clock, and impatient ones re-dispatch
+			// subtrees that are still working.
+			Engine: squid.Options{
+				Replicas:       2,
+				SubtreeTimeout: 8 * time.Second,
+				QueryDeadline:  2 * time.Minute,
+			},
+			Chord: chord.Config{
+				RPCTimeout: 400 * time.Millisecond,
+				RPCRetries: 4,
+				RPCBackoff: 10 * time.Millisecond,
+			},
+			// Realistic wide-area latency; 'faults <rate>' adds loss.
+			Net: dessim.NetConfig{
+				Seed:       s.rng.Int63(),
+				MinLatency: 5 * time.Millisecond,
+				MaxLatency: 80 * time.Millisecond,
+			},
+			Trace:           true,
+			CheckInvariants: true,
+		})
+		if err != nil {
+			return err
+		}
+		s.net, s.faults = nw, nw.Net
+		fmt.Printf("built %d-peer event-core network over a %d-D, %d-bit keyword space\n", nodes, dims, bits)
+		return nil
+	}
 	nw, err := sim.Build(sim.Config{
 		Nodes: nodes, Space: space, Seed: s.rng.Int63(),
 		// The full recovery stack, so 'faults' and 'crash' demonstrate
@@ -276,8 +377,76 @@ func (s *session) build(args []string) error {
 	if err != nil {
 		return err
 	}
-	s.nw = nw
+	s.net, s.faults = nw, nw.Faulty
 	fmt.Printf("built %d-peer network over a %d-D, %d-bit keyword space\n", nodes, dims, bits)
+	return nil
+}
+
+// scale runs a self-contained planet-scale experiment on the event core —
+// bootstrap, Zipf corpus, invariant-checked stabilization, then a churn +
+// query storm — and reports virtual time, events/sec, and the outcome. It
+// leaves the session's network untouched, so it works from either backend.
+func (s *session) scale(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: scale <nodes> [queries]")
+	}
+	nodes, err := strconv.Atoi(args[0])
+	if err != nil || nodes < 2 {
+		return fmt.Errorf("scale: need at least 2 nodes")
+	}
+	queries := atoiDefault(args, 1, 200)
+	seed := s.rng.Int63()
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	nw, err := dessim.Build(dessim.Config{
+		Nodes: nodes, Space: space, Seed: seed,
+		Net: dessim.NetConfig{
+			Seed:       seed + 1,
+			MinLatency: 5 * time.Millisecond,
+			MaxLatency: 80 * time.Millisecond,
+			DropRate:   0.005,
+		},
+		Chord: chord.Config{
+			RPCTimeout: 400 * time.Millisecond,
+			RPCRetries: 3,
+			RPCBackoff: 10 * time.Millisecond,
+		},
+		Engine: squid.Options{
+			SubtreeTimeout: 8 * time.Second,
+			SubtreeRetries: 2,
+			QueryDeadline:  2 * time.Minute,
+		},
+		CheckInvariants: true,
+	})
+	if err != nil {
+		return err
+	}
+	vocab := workload.NewVocabulary(seed+2, 2000, 1.2)
+	if err := nw.Preload(workload.Elements(workload.KeyTuples(vocab, seed+3, 4*nodes, 2))); err != nil {
+		return err
+	}
+	nw.StabilizeAll(5)
+	churn := nodes / 200
+	storm := nw.RunStorm(dessim.StormConfig{
+		Seed:            seed + 4,
+		Queries:         queries,
+		Vocab:           vocab,
+		Dims:            2,
+		Joins:           churn,
+		Kills:           churn,
+		StabilizeRounds: 5,
+	})
+	elapsed := time.Since(start)
+	hard := len(chord.HardViolations(nw.CheckRing()))
+	fmt.Printf("%d nodes, %d keys, %d queries, %d joins + %d kills under 0.5%% loss:\n",
+		nodes, 4*nodes, queries, churn, churn)
+	fmt.Printf("  %s\n", storm)
+	fmt.Printf("  %d events in %v (%.0f events/sec); virtual %v; hard ring violations %d\n",
+		nw.Core.Steps(), elapsed.Round(time.Millisecond),
+		float64(nw.Core.Steps())/elapsed.Seconds(), nw.Core.Elapsed().Round(time.Second), hard)
 	return nil
 }
 
@@ -290,12 +459,12 @@ func (s *session) load(args []string) error {
 		return err
 	}
 	vocab := workload.NewVocabulary(s.rng.Int63(), maxInt(200, keys/20), 1.2)
-	tuples := workload.KeyTuples(vocab, s.rng.Int63(), keys, s.nw.Space.Dims())
-	if err := s.nw.Preload(workload.Elements(tuples)); err != nil {
+	tuples := workload.KeyTuples(vocab, s.rng.Int63(), keys, s.net.KeySpace().Dims())
+	if err := s.net.Preload(workload.Elements(tuples)); err != nil {
 		return err
 	}
 	fmt.Printf("loaded %d tuples (%d distinct index keys); try: query (%s*, *)\n",
-		keys, s.nw.TotalKeys(), vocab.Words[0][:3])
+		keys, s.net.TotalKeys(), vocab.Words[0][:3])
 	return nil
 }
 
@@ -308,11 +477,13 @@ func (s *session) publish(args []string) error {
 	if len(args) > 1 {
 		name = strings.Join(args[1:], " ")
 	}
-	via := s.rng.Intn(len(s.nw.Peers))
-	if err := s.nw.Publish(via, squid.Element{Values: values, Data: name}); err != nil {
+	via := s.rng.Intn(len(s.net.PeerList()))
+	if err := s.net.Publish(via, squid.Element{Values: values, Data: name}); err != nil {
 		return err
 	}
-	s.nw.Quiesce()
+	if g, ok := s.net.(*sim.Network); ok {
+		g.Quiesce() // the event backend's Publish already ran to quiescence
+	}
 	fmt.Printf("published %v as %q via peer %d\n", values, name, via)
 	return nil
 }
@@ -325,7 +496,7 @@ func (s *session) query(qs string) error {
 	if err != nil {
 		return err
 	}
-	res, qm := s.nw.Query(s.rng.Intn(len(s.nw.Peers)), q)
+	res, qm := s.net.Query(s.rng.Intn(len(s.net.PeerList())), q)
 	if res.Err != nil && !errors.Is(res.Err, squid.ErrPartialResult) {
 		return res.Err
 	}
@@ -345,15 +516,7 @@ func (s *session) keywords(words []string) error {
 	if len(words) == 0 {
 		return fmt.Errorf("usage: keywords <w1> [w2..]")
 	}
-	p := s.nw.Peers[s.rng.Intn(len(s.nw.Peers))]
-	ch := make(chan squid.Result, 1)
-	if err := p.Node.Invoke(func() {
-		p.Engine.QueryKeywords(words, func(r squid.Result) { ch <- r })
-	}); err != nil {
-		return fmt.Errorf("query via dead peer %s: %w", p.Addr(), err)
-	}
-	res := <-ch
-	s.nw.Quiesce()
+	res := s.net.QueryKeywords(s.rng.Intn(len(s.net.PeerList())), words)
 	if res.Err != nil {
 		return res.Err
 	}
@@ -363,6 +526,10 @@ func (s *session) keywords(words []string) error {
 }
 
 func (s *session) trace(args []string) error {
+	traces := s.net.TraceStore()
+	if traces == nil {
+		return fmt.Errorf("tracing is not enabled on this network")
+	}
 	var (
 		t  telemetry.Trace
 		ok bool
@@ -372,9 +539,9 @@ func (s *session) trace(args []string) error {
 		if err != nil {
 			return fmt.Errorf("trace: bad query id %q", args[0])
 		}
-		t, ok = s.nw.Traces.Get(telemetry.QueryID(qid))
+		t, ok = traces.Get(telemetry.QueryID(qid))
 	} else {
-		t, ok = s.nw.Traces.Last()
+		t, ok = traces.Last()
 	}
 	if !ok {
 		return fmt.Errorf("no trace recorded (run a query first)")
@@ -402,13 +569,13 @@ func (s *session) join(args []string) error {
 		}
 		id = chord.ID(v)
 	} else {
-		id = chord.ID(s.rng.Uint64() & ((uint64(1) << s.nw.Space.IndexBits()) - 1))
+		id = chord.ID(s.rng.Uint64() & ((uint64(1) << s.net.KeySpace().IndexBits()) - 1))
 	}
-	p, err := s.nw.AddPeer(id)
+	p, err := s.net.AddPeer(id)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("peer %016x joined (%d peers now)\n", uint64(p.ID()), len(s.nw.Peers))
+	fmt.Printf("peer %016x joined (%d peers now)\n", uint64(p.ID()), len(s.net.PeerList()))
 	return nil
 }
 
@@ -416,16 +583,17 @@ func (s *session) leave(args []string, kill bool) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: %s <peer-index>", map[bool]string{true: "kill", false: "leave"}[kill])
 	}
+	peers := s.net.PeerList()
 	i, err := strconv.Atoi(args[0])
-	if err != nil || i < 0 || i >= len(s.nw.Peers) {
-		return fmt.Errorf("peer index out of range (0..%d)", len(s.nw.Peers)-1)
+	if err != nil || i < 0 || i >= len(peers) {
+		return fmt.Errorf("peer index out of range (0..%d)", len(peers)-1)
 	}
-	id := s.nw.Peers[i].ID()
+	id := peers[i].ID()
 	if kill {
-		s.nw.KillPeer(i)
+		s.net.KillPeer(i)
 		fmt.Printf("peer %016x failed abruptly; run 'stabilize' to heal\n", uint64(id))
 	} else {
-		s.nw.RemovePeer(i)
+		s.net.RemovePeer(i)
 		fmt.Printf("peer %016x left gracefully\n", uint64(id))
 	}
 	return nil

@@ -7,7 +7,7 @@ import (
 )
 
 func TestSessionExec(t *testing.T) {
-	s := &session{rng: rand.New(rand.NewSource(1))}
+	s := &session{backend: "goroutine", rng: rand.New(rand.NewSource(1))}
 	// Commands before build must fail (except build/help).
 	if err := s.exec("query (a, *)"); err == nil {
 		t.Error("query before build should fail")
@@ -43,12 +43,49 @@ func TestSessionExec(t *testing.T) {
 		"build", "load", "load x", "publish", "query", "keywords",
 		"leave", "leave 999", "kill abc", "nonsense",
 		"faults", "faults 2", "crash", "crash 99", "restart -1",
+		"scale", "scale 1",
 	} {
 		if err := s.exec(bad); err == nil {
 			t.Errorf("%q should fail", bad)
 		}
 	}
-	if !strings.Contains(helpText, "query") {
+	if !strings.Contains(helpText, "query") || !strings.Contains(helpText, "scale") {
 		t.Error("help text incomplete")
+	}
+}
+
+// TestSessionExecDES drives the same command set through the discrete-event
+// backend: every REPL command except balance (goroutine-only) must work
+// identically, and the scale command must run its planet-scale storm.
+func TestSessionExecDES(t *testing.T) {
+	s := &session{backend: "des", rng: rand.New(rand.NewSource(1))}
+	steps := []string{
+		"build 20",
+		"load 1000",
+		"publish alpha,beta demo-doc",
+		"query (alpha, *)",
+		"keywords alpha",
+		"join",
+		"stabilize 2",
+		"kill 3",
+		"stabilize 4",
+		"verify",
+		"loads",
+		"peers",
+		"check",
+		"crash 2",
+		"restart 2",
+		"faults 0",
+		"stats",
+		"trace",
+		"scale 300 50",
+	}
+	for _, cmd := range steps {
+		if err := s.exec(cmd); err != nil {
+			t.Fatalf("%q: %v", cmd, err)
+		}
+	}
+	if err := s.exec("balance 2"); err == nil {
+		t.Error("balance should be rejected on the des backend")
 	}
 }

@@ -1,7 +1,8 @@
 // Package nodeterminism forbids wall-clock and global-randomness calls in
 // the packages whose behaviour must replay bit-for-bit from a seed.
 //
-// The simulation substrate (internal/sim), the curve kernels
+// The simulation substrates (internal/sim and the discrete-event
+// internal/dessim, where virtual time is the only time), the curve kernels
 // (internal/sfc), the telemetry registry (internal/telemetry, whose
 // injectable clock is the whole point — reading the wall clock directly
 // would leak nondeterminism into every instrumented package) and the
@@ -32,7 +33,7 @@ import (
 // Analyzer is the nodeterminism pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "nondet",
-	Doc:  "forbids time.Now/timers and global math/rand in determinism-critical packages (sim, sfc, telemetry, wire, workload, transport's faulty layer, chord/squid invariant and churn files)",
+	Doc:  "forbids time.Now/timers and global math/rand in determinism-critical packages (sim, dessim, sfc, telemetry, wire, workload, transport's faulty layer, chord/squid invariant and churn files)",
 	Run:  run,
 }
 
@@ -40,9 +41,12 @@ var Analyzer = &analysis.Analyzer{
 // their entirety. wire is here because codecs must be pure functions of
 // their input (a timestamp in an encoder would break the gob/binary
 // equivalence suite); workload because generators must replay their
-// keyspaces and query mixes bit-for-bit from the configured seed.
+// keyspaces and query mixes bit-for-bit from the configured seed; dessim
+// because the discrete-event simulator's entire contract is that virtual
+// time is the only time — one wall-clock read or global draw and the
+// seed-reproducibility tests become flakes.
 var criticalPkgs = map[string]bool{
-	"sim": true, "sfc": true, "telemetry": true,
+	"sim": true, "dessim": true, "sfc": true, "telemetry": true,
 	"wire": true, "workload": true,
 }
 

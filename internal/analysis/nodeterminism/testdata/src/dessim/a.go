@@ -1,0 +1,35 @@
+// Fixture: packages with tail "dessim" are determinism-critical throughout
+// — the discrete-event core must advance only virtual time, so any wall
+// clock read or global random draw breaks seeded replay.
+package dessim
+
+import (
+	"math/rand"
+	"time"
+)
+
+type vclock struct{ now int64 }
+
+func (c *vclock) advance(d time.Duration) { c.now += int64(d) }
+
+func eventDelay() time.Duration {
+	return time.Since(time.Unix(0, 0)) // want `wall-clock`
+}
+
+func jitter() int64 {
+	return rand.Int63() // want `unseeded shared source`
+}
+
+func seededLink(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func sleepUntilQuiet() {
+	time.Sleep(time.Millisecond) // want `wall-clock`
+}
+
+func telemetryEpoch() time.Time {
+	//lint:allow-nondet fixed epoch mapping for operator-facing trace timestamps
+	return time.Now()
+}

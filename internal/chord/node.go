@@ -36,6 +36,11 @@ type Config struct {
 	// a private clock-less registry, so instrumentation always has one code
 	// path and Node.Counters keeps working standalone.
 	Telemetry *telemetry.Registry
+	// Clock supplies the node's timers (RPC timeouts, retry backoff). Nil
+	// uses the runtime timers (transport.RealClock); the discrete-event
+	// simulator injects its virtual clock so timeouts and backoff advance
+	// in virtual time.
+	Clock transport.Clock
 	// LegacyRules reverts membership to the original Chord pseudo-code:
 	// successors adopted without a reachability probe, predecessors cleared
 	// unilaterally when a probe fails, and joins that splice ownership before
@@ -49,6 +54,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.SuccListLen <= 0 {
 		c.SuccListLen = 4
+	}
+	if c.Clock == nil {
+		c.Clock = transport.RealClock{}
 	}
 	return c
 }
@@ -105,7 +113,7 @@ type Node struct {
 
 type pendingCall[T any] struct {
 	cb    func(T, error)
-	timer *time.Timer
+	timer transport.Timer
 }
 
 // NewNode creates a node with the given identifier. app may be nil (NopApp).
@@ -436,7 +444,7 @@ func (n *Node) retryAfter(attempt int, fn func()) {
 		fn()
 		return
 	}
-	time.AfterFunc(d, func() {
+	n.cfg.Clock.AfterFunc(d, func() {
 		_ = n.Invoke(fn) // endpoint closed: the retry dies with the node
 	})
 }
@@ -476,7 +484,7 @@ func (n *Node) findOnce(target ID, trace uint64, cb func(FoundMsg, error)) {
 	tok := n.token()
 	pc := &pendingCall[FoundMsg]{cb: cb}
 	if n.cfg.RPCTimeout > 0 {
-		pc.timer = time.AfterFunc(n.cfg.RPCTimeout, func() {
+		pc.timer = n.cfg.Clock.AfterFunc(n.cfg.RPCTimeout, func() {
 			_ = n.Invoke(func() { // endpoint closed: the node is detached, its pending map dies with it
 				if _, ok := n.pendingFinds[tok]; ok {
 					delete(n.pendingFinds, tok)
@@ -555,7 +563,7 @@ func (n *Node) stateOnce(peer transport.Addr, cb func(StateMsg, error)) {
 	tok := n.token()
 	pc := &pendingCall[StateMsg]{cb: cb}
 	if n.cfg.RPCTimeout > 0 {
-		pc.timer = time.AfterFunc(n.cfg.RPCTimeout, func() {
+		pc.timer = n.cfg.Clock.AfterFunc(n.cfg.RPCTimeout, func() {
 			_ = n.Invoke(func() { // endpoint closed: the node is detached, its pending map dies with it
 				if _, ok := n.pendingStates[tok]; ok {
 					delete(n.pendingStates, tok)

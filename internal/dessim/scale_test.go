@@ -1,0 +1,132 @@
+package dessim_test
+
+import (
+	"testing"
+	"time"
+
+	"squid/internal/chord"
+	"squid/internal/dessim"
+	"squid/internal/keyspace"
+	"squid/internal/squid"
+	"squid/internal/workload"
+)
+
+// paperScaleRun is the full planet-scale experiment at a given size:
+// bootstrap the ring, preload a Zipf corpus, run 10 stabilization rounds
+// with global invariant checks, then a 1 000-query churn storm over lossy
+// links. It returns the storm result and the network for assertions.
+func paperScaleRun(t *testing.T, nodes, keys int, seed int64) (dessim.StormResult, *dessim.Network) {
+	t.Helper()
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := dessim.Build(dessim.Config{
+		Nodes: nodes,
+		Space: space,
+		Seed:  seed,
+		Net: dessim.NetConfig{
+			Seed:       seed + 1,
+			MinLatency: 5 * time.Millisecond,
+			MaxLatency: 80 * time.Millisecond,
+			DropRate:   0.005,
+		},
+		Chord: chord.Config{
+			RPCTimeout: 400 * time.Millisecond,
+			RPCRetries: 3,
+			RPCBackoff: 10 * time.Millisecond,
+		},
+		Engine: squid.Options{
+			// The recovery deadline must comfortably exceed a deep range
+			// query's honest completion time (dozens of sequential hops at
+			// up to 80 ms each), or the engine re-dispatches subtrees that
+			// are still working and the duplicate storm quadruples the
+			// event count. Virtual seconds are free; spurious retries are
+			// not.
+			SubtreeTimeout: 8 * time.Second,
+			SubtreeRetries: 2,
+			QueryDeadline:  2 * time.Minute,
+		},
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := workload.NewVocabulary(seed+2, 2000, 1.2)
+	if err := nw.Preload(workload.Elements(workload.KeyTuples(vocab, seed+3, keys, 2))); err != nil {
+		t.Fatal(err)
+	}
+	nw.StabilizeAll(10) // invariant-checked: CheckRing runs every round
+	storm := nw.RunStorm(dessim.StormConfig{
+		Seed:            seed + 4,
+		Queries:         1000,
+		Vocab:           vocab,
+		Dims:            2,
+		Joins:           25,
+		Kills:           25,
+		StabilizeRounds: 10,
+	})
+	nw.CheckRing()
+	return storm, nw
+}
+
+// TestDesScale is the CI smoke for the event core's whole point: a
+// 5 000-node ring — 50× past where the goroutine backend tops out — runs
+// the full paper-scale experiment (bootstrap, 10 invariant-checked
+// stabilization rounds, a 1 000-query churn storm) inside a strict
+// wall-clock budget, single-threaded and race-free by construction.
+func TestDesScale(t *testing.T) {
+	start := time.Now()
+	storm, nw := paperScaleRun(t, 5000, 20000, 9001)
+	elapsed := time.Since(start)
+
+	if storm.Complete == 0 {
+		t.Error("no query completed")
+	}
+	if storm.Incomplete > storm.Complete/10 {
+		t.Errorf("too many stranded queries: %v", storm)
+	}
+	if v := nw.RingViolations(); v != 0 {
+		t.Errorf("hard ring violations = %d", v)
+	}
+	t.Logf("5k-node experiment: %v in %v (%d events, %.0f events/sec, virtual %v)",
+		storm, elapsed.Round(time.Millisecond), nw.Core.Steps(),
+		float64(nw.Core.Steps())/elapsed.Seconds(), nw.Core.Elapsed().Round(time.Second))
+
+	// The wall-clock budget is the acceptance bar: if the event core ever
+	// regresses to where planet scale takes minutes, this fails loudly.
+	if elapsed > 60*time.Second {
+		t.Fatalf("5k-node experiment took %v, budget 60s", elapsed)
+	}
+}
+
+// TestDesPaperScale is the 10⁴-node acceptance experiment, run twice to
+// pin seed-reproducibility at full scale. Skipped in -short runs: it is
+// the slowest test in the repository (though still well under a minute per
+// run — that is the tentpole).
+func TestDesPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁴-node paper-scale experiment skipped in short mode")
+	}
+	start := time.Now()
+	storm1, nw1 := paperScaleRun(t, 10_000, 40_000, 9101)
+	oneRun := time.Since(start)
+	if oneRun > 60*time.Second {
+		t.Fatalf("10⁴-node experiment took %v, budget 60s", oneRun)
+	}
+	if v := nw1.RingViolations(); v != 0 {
+		t.Errorf("hard ring violations = %d", v)
+	}
+
+	storm2, nw2 := paperScaleRun(t, 10_000, 40_000, 9101)
+	if storm1 != storm2 {
+		t.Fatalf("same seed diverged at 10⁴ nodes:\n run1 %v\n run2 %v", storm1, storm2)
+	}
+	if nw1.Core.Steps() != nw2.Core.Steps() || nw1.Core.Elapsed() != nw2.Core.Elapsed() {
+		t.Fatalf("event counts diverged: %d/%v vs %d/%v",
+			nw1.Core.Steps(), nw1.Core.Elapsed(), nw2.Core.Steps(), nw2.Core.Elapsed())
+	}
+	t.Logf("10⁴-node experiment: %v in %v (%d events, %.0f events/sec)",
+		storm1, oneRun.Round(time.Millisecond), nw1.Core.Steps(),
+		float64(nw1.Core.Steps())/oneRun.Seconds())
+}

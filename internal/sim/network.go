@@ -156,10 +156,18 @@ func newNetwork(cfg Config) *Network {
 }
 
 func (nw *Network) uniqueIDs(n int, space chord.Space) []uint64 {
+	return UniqueIDs(nw.rng, n, space)
+}
+
+// UniqueIDs draws n distinct ring identifiers from rng over space. It is
+// the single identifier-assignment rule shared by the goroutine and
+// discrete-event backends, so the same seed builds the same ring on either —
+// the property the cross-backend equivalence test pins.
+func UniqueIDs(rng *rand.Rand, n int, space chord.Space) []uint64 {
 	seen := make(map[uint64]bool, n)
 	out := make([]uint64, 0, n)
 	for len(out) < n {
-		id := nw.rng.Uint64() & space.Mask()
+		id := rng.Uint64() & space.Mask()
 		if !seen[id] {
 			seen[id] = true
 			out = append(out, id)
@@ -281,6 +289,21 @@ func (nw *Network) successorPeer(id chord.ID) *Peer {
 // SuccessorOf exposes the oracle owner of a curve index.
 func (nw *Network) SuccessorOf(idx uint64) *Peer { return nw.successorPeer(chord.ID(idx)) }
 
+// PeerList returns the live peers in ring order. Together with KeySpace,
+// Registry, and TraceStore it is the backend-independent accessor surface
+// through which squid-sim's REPL drives either simulator — this goroutine
+// backend or the discrete-event one — behind one interface.
+func (nw *Network) PeerList() []*Peer { return nw.Peers }
+
+// KeySpace returns the keyword space the network indexes.
+func (nw *Network) KeySpace() *keyspace.Space { return nw.Space }
+
+// Registry returns the network's telemetry registry.
+func (nw *Network) Registry() *telemetry.Registry { return nw.Telemetry }
+
+// TraceStore returns the query trace store, nil unless tracing was enabled.
+func (nw *Network) TraceStore() *telemetry.TraceStore { return nw.Traces }
+
 // Quiesce waits for the network to go idle: no message in flight (including
 // messages parked in the fault layer's delay queue, when one is installed)
 // and no refinement job pending on any peer's query scheduler. The loop
@@ -360,6 +383,19 @@ func (nw *Network) Query(via int, q keyspace.Query) (squid.Result, QueryMetrics)
 	res := <-resCh
 	nw.Quiesce() // let trailing replies settle so counts are exact
 	return res, nw.Metrics.ForQuery(qid)
+}
+
+// QueryKeywords runs a position-free keyword query (combination tuples)
+// from the given peer and waits for its complete result.
+func (nw *Network) QueryKeywords(via int, words []string) squid.Result {
+	p := nw.Peers[via]
+	resCh := make(chan squid.Result, 1)
+	MustInvoke(p, func() {
+		p.Engine.QueryKeywords(words, func(r squid.Result) { resCh <- r })
+	})
+	res := <-resCh
+	nw.Quiesce()
+	return res
 }
 
 // BruteForceMatches scans every peer's store directly — the ground truth

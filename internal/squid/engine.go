@@ -93,6 +93,11 @@ type Options struct {
 	// disables sampling for queries rooted here (subtrees of queries rooted
 	// at tracing peers are still recorded and shipped up).
 	Traces *telemetry.TraceStore
+	// Clock supplies the engine's recovery and deadline timers (subtree
+	// re-dispatch, overall query deadline). Nil uses the runtime timers
+	// (transport.RealClock); the discrete-event simulator injects its
+	// virtual clock so recovery runs in virtual time.
+	Clock transport.Clock
 }
 
 // ErrPartialResult marks a Result gathered under failures: some subtree of
@@ -175,7 +180,7 @@ type subtree struct {
 	dispatched  bool // all child messages have been sent
 	incomplete  bool // some part of the subtree was lost to failures
 	finished    bool // result already delivered; ignore stragglers
-	deadline    *time.Timer
+	deadline    transport.Timer
 	cb          func(Result)
 	cancelErr   error         // context cancellation cause; overrides ErrPartialResult
 	ctxStop     chan struct{} // closed on completion to release the context watcher
@@ -217,7 +222,7 @@ type childCall struct {
 	key      uint64       // curve index the re-dispatch routes to
 	attempts int
 	acked    bool
-	timer    *time.Timer
+	timer    transport.Timer
 }
 
 // NewEngine creates an engine over the given keyword space from an Options
@@ -251,6 +256,9 @@ func newEngine(space *keyspace.Space, opts Options) *Engine {
 	}
 	if opts.MaxInflight <= 0 {
 		opts.MaxInflight = max(64, 16*opts.Workers)
+	}
+	if opts.Clock == nil {
+		opts.Clock = transport.RealClock{}
 	}
 	e := &Engine{
 		space:    space,
@@ -639,7 +647,7 @@ func (e *Engine) armChild(c *childCall) {
 		return
 	}
 	tok := c.token
-	c.timer = time.AfterFunc(e.opts.SubtreeTimeout, func() {
+	c.timer = e.opts.Clock.AfterFunc(e.opts.SubtreeTimeout, func() {
 		_ = e.node.Invoke(func() { e.childExpired(tok) }) // node detached: no children left to expire
 	})
 }
@@ -710,7 +718,7 @@ func (e *Engine) startDeadline(st *subtree) {
 	if e.opts.QueryDeadline <= 0 || st.parent != "" {
 		return
 	}
-	st.deadline = time.AfterFunc(e.opts.QueryDeadline, func() {
+	st.deadline = e.opts.Clock.AfterFunc(e.opts.QueryDeadline, func() {
 		_ = e.node.Invoke(func() { e.queryExpired(st) }) // node detached: the query died with its node
 	})
 }

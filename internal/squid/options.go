@@ -7,6 +7,7 @@ import (
 
 	"squid/internal/keyspace"
 	"squid/internal/telemetry"
+	"squid/internal/transport"
 )
 
 // QueryID identifies one flexible query across the system. It is
@@ -137,4 +138,10 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // See Options.Traces.
 func WithTraces(store *telemetry.TraceStore) Option {
 	return func(o *Options) { o.Traces = store }
+}
+
+// WithClock supplies the engine's recovery and deadline timers.
+// See Options.Clock.
+func WithClock(c transport.Clock) Option {
+	return func(o *Options) { o.Clock = c }
 }

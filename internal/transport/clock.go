@@ -1,0 +1,43 @@
+package transport
+
+import "time"
+
+// Timer is a cancellable scheduled callback, the subset of *time.Timer the
+// protocol layers need. Stop and Reset report whether the timer was still
+// pending, with the same semantics as the time package.
+type Timer interface {
+	Stop() bool
+	Reset(d time.Duration) bool
+}
+
+// Clock schedules callbacks after a delay. Protocol code (chord RPC
+// timeouts and retry backoff, squid subtree recovery and query deadlines)
+// takes its timers from a Clock instead of the time package, so the same
+// code runs against the runtime timers in production and against the
+// discrete-event simulator's virtual clock in planet-scale experiments.
+//
+// AfterFunc runs fn after d elapses on the clock's timeline. Which
+// goroutine fn runs on is implementation-defined (the runtime's timer
+// goroutine for RealClock, the event loop for the simulator), so fn must
+// hand off to the owning goroutine itself — in this codebase always via
+// Node.Invoke, which is safe from anywhere.
+type Clock interface {
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// RealClock is the wall-clock Clock backed by the runtime's timers. The
+// zero value is ready to use; it is the default everywhere a Clock is
+// injectable.
+type RealClock struct{}
+
+// AfterFunc implements Clock via time.AfterFunc.
+func (RealClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return realTimer{time.AfterFunc(d, fn)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool                 { return rt.t.Stop() }
+func (rt realTimer) Reset(d time.Duration) bool { return rt.t.Reset(d) }
+
+var _ Clock = RealClock{}
