@@ -33,6 +33,7 @@ func main() {
 		schedJSON  = flag.String("sched-json", "", "run the concurrent-load scheduler benchmark (serial vs worker pool under deadline-bounded bursts) and write the snapshot (BENCH_2.json) to this file")
 		wireJSON   = flag.String("wire-json", "", "run the wire-codec benchmark (binary vs gob: encode cost, bytes per message, TCP throughput, ring bytes per query) and write the snapshot (BENCH_3.json) to this file")
 		desJSON    = flag.String("des-json", "", "run the discrete-event backend's planet-scale sweep (100 to 10000 nodes, full churn+query storms) and write the snapshot (BENCH_4.json) to this file")
+		streamJSON = flag.String("stream-json", "", "run the streaming scenarios (top-k early-termination savings, popular-cluster cache hit rate under a Zipf storm) and write the snapshot (BENCH_5.json) to this file")
 		traceDemo  = flag.Bool("trace-demo", false, "run one traced query under message drops and render its refinement tree (uses -nodes, -keys, -drop)")
 		drop       = flag.Float64("drop", 0.05, "message drop rate for -trace-demo")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
@@ -62,6 +63,9 @@ func main() {
 		}
 		if *desJSON != "" {
 			return runDesJSON(*desJSON)
+		}
+		if *streamJSON != "" {
+			return runStreamJSON(*streamJSON)
 		}
 		if *traceDemo {
 			return runTraceDemo(*nodes, *keys, *drop)

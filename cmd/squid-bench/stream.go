@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+	"squid/internal/workload"
+)
+
+// The streaming regression harness: -stream-json runs the two scenarios
+// the streaming redesign is accountable for — top-k early termination
+// (Limit(k) storms must cut cluster-query traffic versus draining the same
+// queries fully) and the popular-cluster result cache (a Zipf keyword
+// storm must mostly hit) — and writes the snapshot other PRs diff against
+// (BENCH_5.json). Both scenarios are seeded sim runs, so every count
+// except wall-clock is machine-independent, and the run fails outright
+// when a headline regresses past its floor.
+
+// streamTopK compares a Limit(k) query storm against a full drain of the
+// same queries on the same network.
+type streamTopK struct {
+	Nodes            int     `json:"nodes"`
+	Keys             int     `json:"keys"`
+	Queries          int     `json:"queries"`
+	K                int     `json:"k"`
+	FullClusterMsgs  int     `json:"full_cluster_msgs"`
+	LimitClusterMsgs int     `json:"limit_cluster_msgs"`
+	SavingsPct       float64 `json:"savings_pct"`
+	CancelMsgs       int     `json:"cancel_msgs"`
+	FullMatches      int     `json:"full_matches"`
+	LimitMatches     int     `json:"limit_matches"`
+}
+
+// streamCache measures the popular-cluster result cache under a
+// Zipf-repeated keyword storm.
+type streamCache struct {
+	Nodes      int     `json:"nodes"`
+	Keys       int     `json:"keys"`
+	Queries    int     `json:"queries"`
+	Pool       int     `json:"pool"`
+	CacheSize  int     `json:"cache_size"`
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	HitRatePct float64 `json:"hit_rate_pct"`
+	Matches    int     `json:"matches"`
+}
+
+type streamSnapshot struct {
+	Generated   string      `json:"generated"`
+	Go          string      `json:"go"`
+	WallSeconds float64     `json:"wall_seconds"`
+	TopK        streamTopK  `json:"topk"`
+	Cache       streamCache `json:"cache"`
+}
+
+func buildStreamNet(nodes, keys int, seed int64, opts squid.Options) (*sim.Network, *workload.Vocabulary, error) {
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		return nil, nil, err
+	}
+	nw, err := sim.Build(sim.Config{Nodes: nodes, Space: space, Seed: seed, Engine: opts})
+	if err != nil {
+		return nil, nil, err
+	}
+	vocab := workload.NewVocabulary(seed+1, 1200, 1.2)
+	if err := nw.Preload(workload.Elements(workload.KeyTuples(vocab, seed+2, keys, 2))); err != nil {
+		return nil, nil, err
+	}
+	return nw, vocab, nil
+}
+
+// runStreamTopK drains a Q1/Q2 query pool twice — full, then Limit(k) —
+// and totals cluster-query traffic. No caches are configured, so the
+// second pass pays full price and the delta is pure early termination.
+func runStreamTopK(seed int64) (streamTopK, error) {
+	const (
+		nodes = 120
+		keys  = 24000
+		pool  = 40
+		k     = 10
+	)
+	nw, vocab, err := buildStreamNet(nodes, keys, seed, squid.Options{})
+	if err != nil {
+		return streamTopK{}, err
+	}
+	// Browsing storms are broad by construction (the user wants "the first
+	// k of everything about X"), so the pool is the paper's Q1 class: one
+	// keyword or partial, rest wildcards. Selective Q2 lookups return fewer
+	// than k matches and drain fully either way.
+	gen := workload.NewQueryGen(vocab, seed+3, 2)
+	queries := make([]keyspace.Query, pool)
+	for i := range queries {
+		queries[i] = gen.Q1()
+	}
+	out := streamTopK{Nodes: nodes, Keys: keys, Queries: pool, K: k}
+	for i, q := range queries {
+		via := i % len(nw.Peers)
+		full, qmFull := nw.QueryStream(via, q)
+		if full.Err != nil {
+			return out, fmt.Errorf("full drain %d: %w", i, full.Err)
+		}
+		lim, qmLim := nw.QueryStream(via, q, squid.Limit(k))
+		if lim.Err != nil {
+			return out, fmt.Errorf("limited stream %d: %w", i, lim.Err)
+		}
+		out.FullClusterMsgs += qmFull.ClusterMessages
+		out.LimitClusterMsgs += qmLim.ClusterMessages
+		out.CancelMsgs += qmLim.CancelMessages
+		out.FullMatches += len(full.Matches)
+		out.LimitMatches += len(lim.Matches)
+	}
+	if out.FullClusterMsgs > 0 {
+		out.SavingsPct = 100 * (1 - float64(out.LimitClusterMsgs)/float64(out.FullClusterMsgs))
+	}
+	return out, nil
+}
+
+// runStreamCache replays a Zipf(1.0)-popular keyword storm against a
+// result-cached network and reads the hit/miss counters off telemetry.
+func runStreamCache(seed int64) (streamCache, error) {
+	const (
+		nodes     = 80
+		keys      = 16000
+		pool      = 48
+		storm     = 400
+		cacheSize = 1024
+	)
+	nw, vocab, err := buildStreamNet(nodes, keys, seed, squid.Options{ResultCacheSize: cacheSize})
+	if err != nil {
+		return streamCache{}, err
+	}
+	queries := workload.ZipfRepeats(
+		workload.NewQueryGen(vocab, seed+3, 2).Pool(pool), seed+4, 1.0, storm)
+	out := streamCache{Nodes: nodes, Keys: keys, Queries: storm, Pool: pool, CacheSize: cacheSize}
+	for i, q := range queries {
+		res, _ := nw.QueryStream(i%len(nw.Peers), q)
+		if res.Err != nil {
+			return out, fmt.Errorf("cache storm query %d: %w", i, res.Err)
+		}
+		out.Matches += len(res.Matches)
+	}
+	vec := nw.Telemetry.CounterVec("squid_result_cache_total",
+		"popular-cluster result-cache lookups on incoming cluster batches", "node", "outcome")
+	for _, p := range nw.PeerList() {
+		node := strconv.FormatUint(uint64(p.ID()), 16)
+		out.Hits += vec.With(node, "hit").Value()
+		out.Misses += vec.With(node, "miss").Value()
+	}
+	if total := out.Hits + out.Misses; total > 0 {
+		out.HitRatePct = 100 * float64(out.Hits) / float64(total)
+	}
+	return out, nil
+}
+
+func runStreamJSON(path string) error {
+	start := time.Now()
+	snap := streamSnapshot{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+	}
+	topk, err := runStreamTopK(11001)
+	if err != nil {
+		return fmt.Errorf("stream topk: %w", err)
+	}
+	snap.TopK = topk
+	fmt.Printf("stream topk: %d queries, k=%d: %d cluster msgs limited vs %d full (%.1f%% saved, %d cancels), %d/%d matches\n",
+		topk.Queries, topk.K, topk.LimitClusterMsgs, topk.FullClusterMsgs,
+		topk.SavingsPct, topk.CancelMsgs, topk.LimitMatches, topk.FullMatches)
+	if topk.SavingsPct < 30 {
+		return fmt.Errorf("stream topk: %.1f%% cluster-message savings, need >= 30%%", topk.SavingsPct)
+	}
+
+	cache, err := runStreamCache(12001)
+	if err != nil {
+		return fmt.Errorf("stream cache: %w", err)
+	}
+	snap.Cache = cache
+	fmt.Printf("stream cache: %d Zipf queries over %d-query pool: %d hits / %d misses (%.1f%% hit rate)\n",
+		cache.Queries, cache.Pool, cache.Hits, cache.Misses, cache.HitRatePct)
+	if cache.HitRatePct < 50 {
+		return fmt.Errorf("stream cache: %.1f%% hit rate, need >= 50%%", cache.HitRatePct)
+	}
+
+	snap.WallSeconds = time.Since(start).Seconds()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

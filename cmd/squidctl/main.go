@@ -36,7 +36,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 10*time.Second, "reply timeout")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: squidctl -node ADDR {publish -values a,b [-data NAME] | unpublish -values a,b [-data NAME] | query QUERY | status}\n")
+		fmt.Fprintf(os.Stderr, "usage: squidctl -node ADDR {publish -values a,b [-data NAME] | unpublish -values a,b [-data NAME] | query [-limit K] QUERY | status}\n")
 		fmt.Fprintf(os.Stderr, "       squidctl -http ADDR {metrics | trace [QID]}\n")
 		flag.PrintDefaults()
 	}
@@ -209,12 +209,15 @@ func run(node transport.Addr, timeout time.Duration, args []string) error {
 		return nil
 
 	case "query":
-		if len(args) < 2 {
+		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		limit := fs.Int("limit", 0, "stop after this many matches (top-k early termination; 0 = all)")
+		fs.Parse(args[1:])
+		if fs.NArg() < 1 {
 			return fmt.Errorf("query: missing query string")
 		}
-		q := strings.Join(args[1:], " ")
+		q := strings.Join(fs.Args(), " ")
 		msg := chord.AppMsg{From: ep.Addr(), Payload: squid.ClientQueryMsg{
-			Query: q, ReplyTo: ep.Addr(), Token: uint64(time.Now().UnixNano()),
+			Query: q, ReplyTo: ep.Addr(), Token: uint64(time.Now().UnixNano()), Limit: *limit,
 		}}
 		if err := ep.Send(node, msg); err != nil {
 			return err

@@ -1,0 +1,85 @@
+// Browsing: iterative neighborhood expansion over the keyword space, the
+// incremental-consumption workload behind streaming delivery. A browser
+// starts from a seed predicate, pulls one small page at a time via
+// Limit(k) + cursor resumption (each page pays only for the subtrees it
+// touches — QueryCancelMsg cuts the rest), and widens the predicate once a
+// neighborhood is exhausted.
+//
+//	go run ./examples/browsing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"squid/internal/keyspace"
+	"squid/internal/sim"
+	"squid/internal/squid"
+)
+
+const pageSize = 3
+
+func main() {
+	space, err := keyspace.NewWordSpace(2, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw, err := sim.Build(sim.Config{Nodes: 24, Space: space, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small media library tagged (subject, format). Curve locality keeps
+	// lexicographic neighbors ("bird", "bison", "boar") on nearby peers, so
+	// widening the subject prefix expands the query neighborhood instead of
+	// restarting it.
+	docs := []squid.Element{
+		{Values: []string{"bird", "photo"}, Data: "heron.jpg"},
+		{Values: []string{"bird", "video"}, Data: "murmuration.mp4"},
+		{Values: []string{"bird", "audio"}, Data: "dawn-chorus.ogg"},
+		{Values: []string{"bison", "photo"}, Data: "herd.jpg"},
+		{Values: []string{"boar", "photo"}, Data: "forest-cam.jpg"},
+		{Values: []string{"bear", "video"}, Data: "salmon-run.mp4"},
+		{Values: []string{"beaver", "photo"}, Data: "dam.jpg"},
+		{Values: []string{"badger", "audio"}, Data: "sett-night.ogg"},
+		{Values: []string{"bat", "audio"}, Data: "echolocation.ogg"},
+		{Values: []string{"wolf", "photo"}, Data: "pack.jpg"},
+		{Values: []string{"lynx", "video"}, Data: "pounce.mp4"},
+	}
+	for i, d := range docs {
+		if err := nw.Publish(i%len(nw.Peers), d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	nw.Quiesce()
+	fmt.Printf("published %d items across %d peers\n", len(docs), len(nw.Peers))
+
+	// Browse outward from the seed: exhaust one predicate page by page,
+	// then widen the prefix and continue. Each page is an independent
+	// streaming query resumed from the previous page's cursor, so a browser
+	// that stops after page one never pays for the tail.
+	for _, predicate := range []string{"(bi*, *)", "(b*, *)"} {
+		q := keyspace.MustParse(predicate)
+		fmt.Printf("\nbrowsing %s, %d per page:\n", predicate, pageSize)
+		var cursor squid.Cursor
+		for page := 1; ; page++ {
+			opts := []squid.QueryOption{squid.Limit(pageSize)}
+			if cursor != "" {
+				opts = append(opts, squid.WithCursor(cursor))
+			}
+			res, qm := nw.QueryStream(0, q, opts...)
+			if res.Err != nil {
+				log.Fatalf("%s page %d: %v", predicate, page, res.Err)
+			}
+			for _, m := range res.Matches {
+				fmt.Printf("    page %d  %-18s %v\n", page, m.Data, m.Values)
+			}
+			fmt.Printf("    page %d: %d items, %d messages\n", page, len(res.Matches), qm.Messages())
+			cursor = res.Cursor
+			if cursor.Exhausted() {
+				fmt.Printf("    neighborhood exhausted after %d pages — widening\n", page)
+				break
+			}
+		}
+	}
+}

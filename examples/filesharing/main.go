@@ -13,6 +13,7 @@ import (
 
 	"squid/internal/keyspace"
 	"squid/internal/sim"
+	"squid/internal/squid"
 	"squid/internal/workload"
 )
 
@@ -60,6 +61,17 @@ func main() {
 			qs, len(res.Matches), len(qm.ProcessingNodes), len(qm.DataNodes), qm.Messages(),
 			100*float64(len(qm.ProcessingNodes))/float64(peers))
 	}
+
+	// A user who wants "a few sources, fast" streams with Limit: the query
+	// stops after k matches and the remaining refinement is never sent.
+	broad := keyspace.MustParse(fmt.Sprintf("(%s*, *)", popular[:3]))
+	fullRes, fullQM := nw.QueryStream(3, broad)
+	topK, topQM := nw.QueryStream(3, broad, squid.Limit(10))
+	if fullRes.Err != nil || topK.Err != nil {
+		log.Fatal(fullRes.Err, topK.Err)
+	}
+	fmt.Printf("\ntop-10 stream for %s: %d of %d matches, %d cluster messages vs %d for the full drain\n",
+		broad, len(topK.Matches), len(fullRes.Matches), topQM.ClusterMessages, fullQM.ClusterMessages)
 
 	// The guarantee: a flexible query returns every matching file.
 	check := keyspace.MustParse(fmt.Sprintf("(%s*, *)", popular[:3]))

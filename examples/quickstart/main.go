@@ -66,4 +66,27 @@ func main() {
 			fmt.Printf("    %-28s %v\n", m.Data, m.Values)
 		}
 	}
+
+	// Streaming delivery: batches arrive as refinement subtrees complete,
+	// Limit(k) stops after k matches and cancels the outstanding subtrees,
+	// and the returned cursor resumes the next page where this one stopped.
+	q := keyspace.MustParse("(comp*, *)")
+	page, qm := nw.QueryStream(0, q, squid.Limit(2))
+	if page.Err != nil {
+		log.Fatalf("stream: %v", page.Err)
+	}
+	fmt.Printf("\nstreamed %-13s -> first %d matches in %d batches (messages: %d)\n",
+		q, len(page.Matches), len(page.Batches), qm.Messages())
+	for _, m := range page.Matches {
+		fmt.Printf("    %-28s %v\n", m.Data, m.Values)
+	}
+	next, _ := nw.QueryStream(0, q, squid.Limit(2), squid.WithCursor(page.Cursor))
+	if next.Err != nil {
+		log.Fatalf("resumed stream: %v", next.Err)
+	}
+	fmt.Printf("resumed via cursor       -> next %d matches (exhausted: %v)\n",
+		len(next.Matches), next.Cursor.Exhausted())
+	for _, m := range next.Matches {
+		fmt.Printf("    %-28s %v\n", m.Data, m.Values)
+	}
 }

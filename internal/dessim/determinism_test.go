@@ -69,6 +69,62 @@ func stormFixture(t *testing.T, seed int64) string {
 		nw.RingViolations())
 }
 
+// streamStormFixture runs a smaller storm where every other query streams
+// with Limit(TopK): delivery and batch counts fold into the fingerprint,
+// so any nondeterminism in the streaming path (windowed dispatch, cancel
+// teardown, partial forwarding) breaks replay equality.
+func streamStormFixture(t *testing.T, seed int64) (dessim.StormResult, string) {
+	t.Helper()
+	space, err := keyspace.NewWordSpace(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := dessim.Build(dessim.Config{
+		Nodes: 200,
+		Space: space,
+		Seed:  seed,
+		Net: dessim.NetConfig{
+			Seed:       seed + 1,
+			MinLatency: 5 * time.Millisecond,
+			MaxLatency: 60 * time.Millisecond,
+		},
+		Engine: squid.Options{QueryDeadline: 2 * time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := workload.NewVocabulary(seed+2, 300, 1.2)
+	if err := nw.Preload(workload.Elements(workload.KeyTuples(vocab, seed+3, 3000, 2))); err != nil {
+		t.Fatal(err)
+	}
+	storm := nw.RunStorm(dessim.StormConfig{
+		Seed:    seed + 4,
+		Queries: 120,
+		Vocab:   vocab,
+		Dims:    2,
+		TopK:    5,
+	})
+	return storm, fmt.Sprintf("storm{%v} steps=%d vtime=%v", storm, nw.Core.Steps(), nw.Core.Elapsed())
+}
+
+// TestStreamStormDeterminism extends the determinism contract to the
+// streaming mix: Limit(k) streams replay byte-identically, every query
+// resolves, and the streamed half is exactly half the storm.
+func TestStreamStormDeterminism(t *testing.T) {
+	sa, a := streamStormFixture(t, 9001)
+	_, b := streamStormFixture(t, 9001)
+	if a != b {
+		t.Fatalf("same seed diverged:\n run1 %s\n run2 %s", a, b)
+	}
+	if sa.Streamed != 60 {
+		t.Errorf("streamed %d of 120 queries, want 60", sa.Streamed)
+	}
+	if sa.Incomplete != 0 || sa.Partial != 0 {
+		t.Errorf("lossless streaming storm left partial=%d incomplete=%d", sa.Partial, sa.Incomplete)
+	}
+	t.Logf("stream storm transcript: %s", a)
+}
+
 // TestStormDeterminism is the virtual-time determinism contract: the same
 // 1k-node churn + query storm replays byte-identically from one seed, and
 // two different seeds produce observably different runs (if they did not,

@@ -1,6 +1,7 @@
 package dessim
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -32,6 +33,11 @@ type StormConfig struct {
 	// StabilizeRounds full stabilization sweeps are interleaved over Span
 	// so the ring heals around the churn while queries are in flight.
 	StabilizeRounds int
+	// TopK > 0 runs every other query as a streaming Limit(TopK) query
+	// (QueryStreamFunc) instead of a full drain — the browsing-style storm
+	// mix. Batch and delivery counts fold into the fingerprint, so a
+	// nondeterministic streaming path breaks replay equality.
+	TopK int
 	// Span is the virtual-time window everything is scheduled across
 	// (default 10 minutes of virtual time).
 	Span time.Duration
@@ -46,14 +52,15 @@ type StormResult struct {
 	Partial     int    // queries that finished with an error
 	Incomplete  int    // query callbacks that never fired (initiator died)
 	Matches     int    // total matches across completed queries
+	Streamed    int    // queries run as Limit(TopK) streams
 	JoinErrs    int    // protocol joins that failed (e.g. id collision)
 	Steps       uint64 // events executed during the storm
 	Fingerprint uint64
 }
 
 func (r StormResult) String() string {
-	return fmt.Sprintf("complete=%d partial=%d incomplete=%d matches=%d joinErrs=%d steps=%d fp=%016x",
-		r.Complete, r.Partial, r.Incomplete, r.Matches, r.JoinErrs, r.Steps, r.Fingerprint)
+	return fmt.Sprintf("complete=%d partial=%d incomplete=%d matches=%d streamed=%d joinErrs=%d steps=%d fp=%016x",
+		r.Complete, r.Partial, r.Incomplete, r.Matches, r.Streamed, r.JoinErrs, r.Steps, r.Fingerprint)
 }
 
 // RunStorm schedules the whole storm and runs the event loop to
@@ -109,6 +116,32 @@ func (nw *Network) RunStorm(cfg StormConfig) StormResult {
 				return
 			}
 			p := nw.Peers[rng.Intn(len(nw.Peers))]
+			if cfg.TopK > 0 && i%2 == 1 {
+				nw.invoke(p, func() {
+					res.Streamed++
+					batches, delivered := 0, 0
+					_, err := p.Engine.QueryStreamFunc(context.Background(), q, func(ev squid.StreamEvent) {
+						if !ev.Done {
+							batches++
+							delivered += len(ev.Matches)
+							return
+						}
+						if ev.Err != nil {
+							res.Partial++
+							fold(i, -1, batches)
+							return
+						}
+						res.Complete++
+						res.Matches += delivered
+						fold(i, delivered, batches)
+					}, squid.Limit(cfg.TopK))
+					if err != nil {
+						res.Partial++
+						fold(i, -1, -1)
+					}
+				})
+				return
+			}
 			nw.invoke(p, func() {
 				p.Engine.Query(q, func(r squid.Result) {
 					if r.Err != nil {
@@ -177,7 +210,7 @@ func (nw *Network) RunStorm(cfg StormConfig) StormResult {
 	nw.Run()
 	res.Incomplete = cfg.Queries - res.Complete - res.Partial
 	res.Steps = nw.Core.Steps() - startBase
-	fold(res.Complete, res.Partial, res.Incomplete, res.Matches, res.JoinErrs, int(res.Steps), len(nw.Peers))
+	fold(res.Complete, res.Partial, res.Incomplete, res.Matches, res.Streamed, res.JoinErrs, int(res.Steps), len(nw.Peers))
 	res.Fingerprint = h.Sum64()
 	return res
 }

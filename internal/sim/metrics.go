@@ -37,6 +37,13 @@ type QueryMetrics struct {
 	// batching; this counter measures transmissions saved (entries minus
 	// batches).
 	BatchMessages int
+	// PartialMessages counts PartialResultMsg transmissions — early result
+	// batches flowing up a streaming query's tree ahead of subtree
+	// completion.
+	PartialMessages int
+	// CancelMessages counts QueryCancelMsg transmissions — the teardown a
+	// top-k stream sends when Limit is reached before refinement finishes.
+	CancelMessages int
 
 	// RoutingNodes received at least one forwarded message for the query
 	// without necessarily processing it.
@@ -69,7 +76,8 @@ func (m *QueryMetrics) Messages() int {
 // TotalTransmissions counts every message transmission attributable to the
 // query, replies included.
 func (m *QueryMetrics) TotalTransmissions() int {
-	return m.Messages() + m.ProbeReplies + m.ResultMessages
+	return m.Messages() + m.ProbeReplies + m.ResultMessages +
+		m.PartialMessages + m.CancelMessages
 }
 
 // ClusteringRatio is the paper's measure of the Hilbert mapping's locality
@@ -199,8 +207,13 @@ func (ms *Metrics) Observe(from, to transport.Addr, msg any) {
 		ms.mu.Lock()
 		qm := ms.query(squid.QueryID(m.Trace))
 		qm.RouteMessages++
-		if _, ok := m.Payload.(squid.ClusterQueryMsg); ok {
+		switch m.Payload.(type) {
+		case squid.ClusterQueryMsg:
 			qm.PayloadHops++
+		case squid.QueryCancelMsg:
+			// Teardown rides the ring (the child's owner may have moved);
+			// count every hop as cancel traffic.
+			qm.CancelMessages++
 		}
 		qm.RoutingNodes[ms.idByAddr[to]] = true
 		ms.mu.Unlock()
@@ -244,6 +257,14 @@ func (ms *Metrics) Observe(from, to transport.Addr, msg any) {
 		case squid.SubResultMsg:
 			ms.mu.Lock()
 			ms.query(p.QID).ResultMessages++
+			ms.mu.Unlock()
+		case squid.PartialResultMsg:
+			ms.mu.Lock()
+			ms.query(p.QID).PartialMessages++
+			ms.mu.Unlock()
+		case squid.QueryCancelMsg:
+			ms.mu.Lock()
+			ms.query(p.QID).CancelMessages++
 			ms.mu.Unlock()
 		}
 	}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -377,12 +378,72 @@ func (nw *Network) Query(via int, q keyspace.Query) (squid.Result, QueryMetrics)
 	resCh := make(chan squid.Result, 1)
 	qidCh := make(chan squid.QueryID, 1)
 	MustInvoke(p, func() {
-		qidCh <- p.Engine.Query(q, func(r squid.Result) { resCh <- r })
+		qid, err := p.Engine.QueryCtx(context.Background(), q, func(r squid.Result) { resCh <- r })
+		if err != nil {
+			resCh <- squid.Result{QID: qid, Query: q, Err: err}
+		}
+		qidCh <- qid
 	})
 	qid := <-qidCh
 	res := <-resCh
 	nw.Quiesce() // let trailing replies settle so counts are exact
 	return res, nw.Metrics.ForQuery(qid)
+}
+
+// StreamResult captures one streaming query run end to end: the delivered
+// batches in arrival order (Matches is their concatenation), the terminal
+// error, and the resume cursor.
+type StreamResult struct {
+	QID     squid.QueryID
+	Batches [][]squid.Element
+	Matches []squid.Element
+	Err     error
+	Cursor  squid.Cursor
+}
+
+// QueryStream runs a streaming query from the given peer, drains it to
+// completion, and returns the delivered batches with the query's cost
+// metrics. Options pass through to the engine (Limit, WithCursor).
+func (nw *Network) QueryStream(via int, q keyspace.Query, opts ...squid.QueryOption) (StreamResult, QueryMetrics) {
+	p := nw.Peers[via]
+	done := make(chan StreamResult, 1)
+	qidCh := make(chan squid.QueryID, 1)
+	errCh := make(chan error, 1)
+	MustInvoke(p, func() {
+		var sr StreamResult
+		qid, err := p.Engine.QueryStreamFunc(nil, q, func(ev squid.StreamEvent) {
+			if ev.Done {
+				sr.Err = ev.Err
+				sr.Cursor = ev.Cursor
+				done <- sr
+				return
+			}
+			sr.Batches = append(sr.Batches, ev.Matches)
+			sr.Matches = append(sr.Matches, ev.Matches...)
+		}, opts...)
+		qidCh <- qid
+		errCh <- err
+	})
+	qid := <-qidCh
+	if err := <-errCh; err != nil {
+		return StreamResult{QID: qid, Err: err}, nw.Metrics.ForQuery(qid)
+	}
+	sr := <-done
+	sr.QID = qid
+	nw.Quiesce() // let teardown and trailing replies settle so counts are exact
+	return sr, nw.Metrics.ForQuery(qid)
+}
+
+// CancelQuery cancels an in-flight query rooted at the given peer and
+// reports whether it was still running. Quiesces so the teardown traffic is
+// fully counted before the caller inspects metrics.
+func (nw *Network) CancelQuery(via int, qid squid.QueryID) bool {
+	p := nw.Peers[via]
+	ch := make(chan bool, 1)
+	MustInvoke(p, func() { ch <- p.Engine.CancelQuery(qid) })
+	found := <-ch
+	nw.Quiesce()
+	return found
 }
 
 // QueryKeywords runs a position-free keyword query (combination tuples)

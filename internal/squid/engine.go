@@ -45,6 +45,13 @@ type Options struct {
 	// future work. Stale entries are harmless: a mis-directed batch is
 	// re-dispatched by its receiver, which always probes authoritatively.
 	ProbeCacheSize int
+	// ResultCacheSize bounds the popular-cluster result cache (0 disables):
+	// leaf subtrees — cluster batches resolved entirely against the local
+	// store — are remembered by (query, cluster set), so Zipf-popular repeat
+	// queries skip refinement and scanning. Entries are invalidated by the
+	// store's dirty-key signal the moment a covered index mutates; see
+	// resultcache.go for why only leaves are cached.
+	ResultCacheSize int
 	// Replicas is the number of successor copies kept of every stored
 	// item (0 disables replication). With r replicas the system tolerates
 	// up to r simultaneous adjacent-node failures without losing data,
@@ -144,9 +151,14 @@ type Engine struct {
 	node     *chord.Node
 	opts     Options
 
-	children  map[uint64]*childCall //lint:confine delivery
-	nextToken uint64                //lint:confine delivery
-	arcCache  []cachedArc           //lint:confine delivery
+	children map[uint64]*childCall //lint:confine delivery
+	// roots tracks in-flight queries rooted here; inbound tracks in-flight
+	// remote subtrees for cancel teardown.
+	roots     map[QueryID]*subtree    //lint:confine delivery
+	inbound   map[inboundKey]*subtree //lint:confine delivery
+	nextToken uint64                  //lint:confine delivery
+	arcCache  []cachedArc             //lint:confine delivery
+	rcache    *resultCache            // nil unless Options.ResultCacheSize > 0
 	met       engineMetrics
 	spanSeq   uint64     //lint:confine delivery
 	sched     *scheduler // nil in serial mode (Options.Workers < 0)
@@ -184,6 +196,43 @@ type subtree struct {
 	cb          func(Result)
 	cancelErr   error         // context cancellation cause; overrides ErrPartialResult
 	ctxStop     chan struct{} // closed on completion to release the context watcher
+
+	// Streaming state. A streaming root carries its sink; matches flow out
+	// through it as children report instead of accumulating in matches.
+	// Non-root subtrees of a streaming query set streamUp and forward each
+	// increment to the parent as a PartialResultMsg; forwarded counts the
+	// matches already shipped that way so the terminal SubResultMsg carries
+	// only the remainder.
+	stream    streamSink // non-nil at a streaming root
+	limit     int        // stop after this many delivered matches (0 = unlimited)
+	afterPos  uint64     // cursor restriction: deliver only curve indices >= afterPos
+	afterSkip int        // elements at afterPos already delivered (store order)
+	hasPos    bool
+	delivered int  // matches pushed to the stream so far
+	streamUp  bool // non-root: forward increments to the parent
+	forwarded int  // matches already shipped upstream in partials
+	cutLo     uint64
+	cutSkip   int  // elements at cutLo already delivered
+	cutSet    bool // (cutLo, cutSkip) is the lowest coordinate never delivered
+
+	// Ordered (paged) delivery state, used when limit > 0: arriving matches
+	// buffer here and flow out in curve order once every lower span has
+	// resolved, so the resume cursor advances strictly page over page.
+	// runIdx/runCount track how many elements at the highest delivered
+	// index went out, for the cursor's skip count. pending holds the
+	// coarse clusters (curve-sorted) not yet dispatched: a limited root
+	// sends only a window at a time, so clusters past the satisfied point
+	// are never dispatched at all — the paper's browsing-query economy.
+	buf      []bufferedMatch
+	runIdx   uint64
+	runCount int
+	runSet   bool
+	pending  []sfc.Refined
+
+	// Result-cache fill state: set on remote subtrees when the cache is
+	// enabled; a leaf completion stores its matches under cacheKey.
+	cacheKey   string
+	cacheSpans []sfc.Interval
 
 	// Tracing state. spanID is 0 when the query is not sampled; when set,
 	// this subtree records one span on completion (attached under ref's
@@ -266,12 +315,44 @@ func newEngine(space *keyspace.Space, opts Options) *Engine {
 		replicas: NewStore(chord.Space{Bits: space.IndexBits()}),
 		opts:     opts,
 		children: make(map[uint64]*childCall),
+		roots:    make(map[QueryID]*subtree),
+		inbound:  make(map[inboundKey]*subtree),
 	}
-	if opts.Replicas > 0 {
-		// Replication pushes deltas: track which keys change between ticks.
+	if opts.Replicas > 0 || opts.ResultCacheSize > 0 {
+		// Replication pushes deltas and the result cache invalidates by
+		// mutated key: both consume the store's dirty tracking.
 		e.store.TrackDirty()
 	}
+	if opts.ResultCacheSize > 0 {
+		e.rcache = newResultCache(opts.ResultCacheSize)
+	}
 	return e
+}
+
+// inboundKey addresses one remote subtree this node is processing: the
+// dispatcher plus the token it assigned. QueryCancelMsg carries the pair so
+// teardown finds the subtree even after riding the ring through
+// intermediate hops.
+type inboundKey struct {
+	from  transport.Addr
+	token uint64
+}
+
+// noteMutation feeds the result cache the dirty-key signal for one mutated
+// curve index: any cached leaf whose span covers it is now stale.
+func (e *Engine) noteMutation(idx uint64) {
+	if e.rcache != nil {
+		e.rcache.invalidate(idx)
+	}
+}
+
+// noteBulkMutation invalidates the whole result cache after a mutation
+// whose touched keys are not enumerated (handover, replica promotion,
+// batch preload).
+func (e *Engine) noteBulkMutation() {
+	if e.rcache != nil {
+		e.rcache.clear()
+	}
 }
 
 // Attach binds the engine to its ring node and resolves the engine's
@@ -425,6 +506,7 @@ func (e *Engine) StoreDirect(elem Element) error {
 		return err
 	}
 	e.store.Add(idx, elem)
+	e.noteMutation(idx)
 	e.syncKeys()
 	return nil
 }
@@ -442,6 +524,7 @@ func (e *Engine) StoreDirectBatch(elems []Element) error {
 		items = append(items, chord.Item{Key: chord.ID(idx), Value: []Element{elem}})
 	}
 	e.store.AddBatch(items)
+	e.noteBulkMutation()
 	e.syncKeys()
 	return nil
 }
@@ -485,23 +568,41 @@ func (e *Engine) QueryCtx(ctx context.Context, q keyspace.Query, cb func(Result)
 	if err := ctx.Err(); err != nil {
 		return qid, err
 	}
+	st := &subtree{qid: qid, q: q, cb: cb, kind: "root"}
+	return qid, e.startRoot(ctx, q, st)
+}
+
+// startRoot starts a prepared root subtree — callback-delivering
+// (QueryCtx) or streaming (QueryStream) — as the root of the distributed
+// refinement. A non-nil error means nothing was started and the subtree's
+// sink will never fire.
+func (e *Engine) startRoot(ctx context.Context, q keyspace.Query, st *subtree) error {
+	qid := st.qid
 	region, err := e.space.Region(q)
 	if err != nil {
-		return qid, err
+		return err
 	}
 	if region.Empty() {
-		if cb != nil {
-			cb(Result{QID: qid, Query: q})
-		}
-		return qid, nil
+		st.dispatched = true
+		e.sampleRoot(st)
+		e.finishSubtree(st)
+		return nil
 	}
 
 	// Exact queries identify one point: a plain DHT lookup (paper
 	// Section 3.4.1).
 	if pt, ok := region.IsPoint(); ok {
 		idx := e.space.Curve().Encode(pt)
-		st := &subtree{qid: qid, q: q, cb: cb, dispatched: true, kind: "root"}
+		if st.hasPos && idx < st.afterPos {
+			// Resuming past the point: everything was already delivered.
+			st.dispatched = true
+			e.sampleRoot(st)
+			e.finishSubtree(st)
+			return nil
+		}
+		st.dispatched = true
 		e.sampleRoot(st)
+		e.roots[qid] = st
 		e.startDeadline(st)
 		e.watchCtx(ctx, st)
 		tok := e.addChild(st, idx, nil)
@@ -509,7 +610,7 @@ func (e *Engine) QueryCtx(ctx context.Context, q keyspace.Query, cb func(Result)
 			QID: qid, Query: q, Key: idx, ReplyTo: e.node.Self().Addr, Token: tok,
 			Trace: st.childRef(),
 		}, uint64(qid))
-		return qid, nil
+		return nil
 	}
 
 	// Compute the first levels of the refinement tree locally, then act as
@@ -518,31 +619,398 @@ func (e *Engine) QueryCtx(ctx context.Context, q keyspace.Query, cb func(Result)
 	// the scheduler (inline in serial mode); everything that mutates the
 	// subtree happens back on the delivery goroutine.
 	e.coarse = sfc.CoarseClustersInto(e.coarse[:0], e.space.Curve(), region, e.opts.InitialClusters, &e.scratch)
-	cls := e.coarse
+	coarse := e.coarse
+	if st.hasPos {
+		// Cursor resume: clusters whose whole span was already delivered are
+		// skipped; the partially-delivered boundary cluster re-runs and the
+		// match filter in rootDeliver drops its already-seen indices.
+		kept := coarse[:0]
+		for _, c := range coarse {
+			if c.Span(e.space.Curve()).Hi >= st.afterPos {
+				kept = append(kept, c)
+			}
+		}
+		coarse = kept
+		if len(coarse) == 0 {
+			st.dispatched = true
+			e.sampleRoot(st)
+			e.finishSubtree(st)
+			return nil
+		}
+	}
+	cls := coarse
 	if e.sched != nil {
 		// The coarse buffer is reused by the next query; a pooled job needs
 		// its own copy.
-		cls = append([]sfc.Refined(nil), e.coarse...)
+		cls = append([]sfc.Refined(nil), coarse...)
 	}
-	st := &subtree{qid: qid, q: q, cb: cb, kind: "root", clustersIn: len(cls)}
+	st.clustersIn = len(cls)
 	e.sampleRoot(st)
 	admitted := e.submitClusters(qid, cls, q, region, func(matches []Element, remote []sfc.Refined, local int) {
+		if st.finished {
+			return // cancelled while the refinement job was in flight
+		}
 		e.noteProcessed(qid, local, len(matches), e.opts.Sink != nil && local > 0)
-		st.matches = matches
 		st.localDone = local
 		st.localMatches = len(matches)
+		if st.stream == nil {
+			st.matches = matches
+		} else {
+			// The local matches are held until the dispatch round has
+			// registered every child: a cancellation arriving before or
+			// during their delivery can then name both the buffered matches
+			// and the outstanding subtrees in the resume cursor, instead of
+			// reporting a falsely exhausted stream before any child existed.
+			e.bufferMatches(st, e.filterResumed(st, matches))
+		}
+		if st.stream != nil && st.limit > 0 && len(remote) > streamDispatchWindow {
+			// Windowed dispatch: only the lowest clusters go out now; the
+			// rest wait in pending and are never sent if the limit is
+			// satisfied first. The pending tail is copied out of the
+			// scheduler's reusable frontier buffer.
+			curve := e.space.Curve()
+			sort.Slice(remote, func(i, j int) bool {
+				return remote[i].Span(curve).Lo < remote[j].Span(curve).Lo
+			})
+			st.pending = append([]sfc.Refined(nil), remote[streamDispatchWindow:]...)
+			remote = remote[:streamDispatchWindow]
+		}
 		e.dispatchRemote(remote, q, qid, st, true, func() {
 			st.dispatched = true
+			if st.stream != nil && !st.finished {
+				if st.limit > 0 {
+					e.advanceOrdered(st)
+				} else {
+					e.drainBuffered(st)
+				}
+			}
 			e.checkSubtree(st)
 		})
 	})
 	if !admitted {
 		e.met.shedRoot.Inc()
-		return qid, &OverloadError{RetryAfter: e.retryAfterHint()}
+		return &OverloadError{RetryAfter: e.retryAfterHint()}
 	}
+	if st.finished {
+		// Serial refinement completed inline (all clusters local, or a
+		// streaming root satisfied its limit from the local scan): the
+		// sink already fired; registering the root would leak it.
+		return nil
+	}
+	e.roots[qid] = st
 	e.startDeadline(st)
 	e.watchCtx(ctx, st)
-	return qid, nil
+	return nil
+}
+
+// bufferedMatch is one match held back by a limited (ordered) stream until
+// every lower curve span has resolved.
+type bufferedMatch struct {
+	el  Element
+	idx uint64
+}
+
+// rootDeliver feeds one batch of arriving matches into a streaming root.
+// The cursor restriction drops already-delivered coordinates first. An
+// unlimited stream pushes the remainder straight out (completion order);
+// a limited stream buffers it and advances the ordered frontier — which
+// must happen even for an empty batch, because the arrival that carried it
+// may have completed a child and unblocked buffered lower positions.
+func (e *Engine) rootDeliver(st *subtree, batch []Element) {
+	batch = e.filterResumed(st, batch)
+	if st.limit > 0 {
+		e.bufferMatches(st, batch)
+		e.advanceOrdered(st)
+		return
+	}
+	if len(batch) == 0 {
+		return
+	}
+	st.delivered += len(batch)
+	st.stream.pushBatch(st.qid, batch)
+	e.met.streamBatches.Inc()
+}
+
+// bufferMatches appends already-filtered matches to the root's buffer with
+// their curve coordinates.
+func (e *Engine) bufferMatches(st *subtree, batch []Element) {
+	for _, m := range batch {
+		idx, err := e.space.Index(m.Values)
+		if err != nil {
+			idx = 0 // unindexable matches (none in practice) deliver first
+		}
+		st.buf = append(st.buf, bufferedMatch{el: m, idx: idx})
+	}
+}
+
+// drainBuffered pushes everything an unlimited stream buffered before its
+// dispatch round completed (the root's own local matches) as one batch.
+func (e *Engine) drainBuffered(st *subtree) {
+	if len(st.buf) == 0 {
+		return
+	}
+	batch := make([]Element, len(st.buf))
+	for i, b := range st.buf {
+		batch[i] = b.el
+	}
+	st.buf = nil
+	st.delivered += len(batch)
+	st.stream.pushBatch(st.qid, batch)
+	e.met.streamBatches.Inc()
+}
+
+// filterResumed drops the matches a resumed stream's earlier pages already
+// delivered: everything below the cursor position, and — at the boundary
+// position itself — the first afterSkip elements in batch order. Batch
+// order is the owner's store order (one curve index is scanned by exactly
+// one node, contiguously), which is what the cursor's skip count indexes.
+func (e *Engine) filterResumed(st *subtree, batch []Element) []Element {
+	if !st.hasPos || len(batch) == 0 {
+		return batch
+	}
+	kept := batch[:0:0]
+	rank := 0
+	for _, m := range batch {
+		idx, err := e.space.Index(m.Values)
+		if err != nil {
+			kept = append(kept, m)
+			continue
+		}
+		if idx < st.afterPos {
+			continue
+		}
+		if idx == st.afterPos {
+			rank++
+			if rank <= st.afterSkip {
+				continue
+			}
+		}
+		kept = append(kept, m)
+	}
+	return kept
+}
+
+// frontierOf returns the lowest curve position of st's outstanding work —
+// dispatched children still in flight and pending clusters not yet
+// dispatched. Buffered matches below it can no longer be preceded by
+// anything unresolved.
+func (e *Engine) frontierOf(st *subtree) (uint64, bool) {
+	var lo uint64
+	found := false
+	for _, c := range e.children {
+		if c.st != st {
+			continue
+		}
+		if !found || c.key < lo {
+			lo, found = c.key, true
+		}
+	}
+	if len(st.pending) > 0 {
+		if p := st.pending[0].Span(e.space.Curve()).Lo; !found || p < lo {
+			lo, found = p, true
+		}
+	}
+	return lo, found
+}
+
+// skipFor computes the cursor skip count for a cut at curve position idx:
+// the elements at idx this stream delivered (tracked by the run counter),
+// plus the carry from the resume cursor when the page never got past its
+// own boundary position.
+func (st *subtree) skipFor(idx uint64) int {
+	s := 0
+	if st.runSet && st.runIdx == idx {
+		s += st.runCount
+	}
+	if st.hasPos && idx == st.afterPos {
+		s += st.afterSkip
+	}
+	return s
+}
+
+// advanceOrdered delivers the deliverable prefix of a limited stream's
+// buffer: everything below the frontier of outstanding children, up to the
+// limit. Runs after every arrival and after the dispatch round completes
+// (delivery before then could precede a child not yet registered).
+func (e *Engine) advanceOrdered(st *subtree) {
+	if st.finished || !st.dispatched {
+		return
+	}
+	frontier, bounded := e.frontierOf(st)
+	sort.SliceStable(st.buf, func(i, j int) bool { return st.buf[i].idx < st.buf[j].idx })
+	n := 0
+	for n < len(st.buf) && (!bounded || st.buf[n].idx < frontier) {
+		n++
+	}
+	if st.delivered+n > st.limit {
+		n = st.limit - st.delivered
+	}
+	if n > 0 {
+		batch := make([]Element, n)
+		for i := range batch {
+			batch[i] = st.buf[i].el
+		}
+		last := st.buf[n-1].idx
+		cnt := 0
+		for i := n - 1; i >= 0 && st.buf[i].idx == last; i-- {
+			cnt++
+		}
+		if st.runSet && st.runIdx == last {
+			st.runCount += cnt
+		} else {
+			st.runIdx, st.runCount, st.runSet = last, cnt, true
+		}
+		st.buf = st.buf[n:]
+		st.delivered += n
+		st.stream.pushBatch(st.qid, batch)
+		e.met.streamBatches.Inc()
+		if st.finished {
+			return // consumer cancelled reentrantly from the callback
+		}
+	}
+	if st.delivered >= st.limit {
+		if len(st.buf) > 0 {
+			st.noteCutSkip(st.buf[0].idx, st.skipFor(st.buf[0].idx))
+		}
+		e.completeEarly(st)
+		return
+	}
+	e.refillWindow(st)
+}
+
+// streamDispatchWindow bounds how many clusters a limited stream keeps in
+// flight: small enough that a satisfied limit leaves most of the curve
+// undispatched (top-k queries usually resolve within the lowest spans),
+// large enough to overlap some network latency.
+const streamDispatchWindow = 2
+
+// refillWindow dispatches the next pending clusters of a limited stream
+// once the in-flight window has drained below its bound and the limit is
+// still unmet. Clusters never dispatched this way are the top-k message
+// saving: a full-drain query would have sent them all.
+func (e *Engine) refillWindow(st *subtree) {
+	if st.finished || !st.dispatched || len(st.pending) == 0 {
+		return
+	}
+	out := 0
+	for _, c := range e.children {
+		if c.st == st {
+			out++
+		}
+	}
+	if out >= streamDispatchWindow {
+		return
+	}
+	// If the matches already buffered below the first pending cluster cover
+	// the rest of the limit, they will deliver as the outstanding children
+	// complete — dispatching more clusters would be pure waste. With no
+	// children outstanding advanceOrdered has already delivered everything
+	// below the pending frontier, so avail is zero and refill proceeds.
+	if need := st.limit - st.delivered; need > 0 {
+		lo := st.pending[0].Span(e.space.Curve()).Lo
+		avail := 0
+		for _, b := range st.buf {
+			if b.idx < lo {
+				avail++
+			}
+		}
+		if avail >= need {
+			return
+		}
+	}
+	n := min(streamDispatchWindow-out, len(st.pending))
+	next := st.pending[:n]
+	st.pending = st.pending[n:]
+	st.dispatched = false
+	e.dispatchRemote(next, st.q, st.qid, st, true, func() {
+		st.dispatched = true
+		if !st.finished {
+			e.advanceOrdered(st)
+		}
+		e.checkSubtree(st)
+	})
+}
+
+// dropPending folds a limited stream's never-dispatched clusters into the
+// resume cursor and forgets them (the lowest comes first — pending is
+// curve-sorted).
+func (e *Engine) dropPending(st *subtree) {
+	if len(st.pending) == 0 {
+		return
+	}
+	st.noteCut(st.pending[0].Span(e.space.Curve()).Lo)
+	st.pending = nil
+}
+
+// completeEarly finishes a streaming root whose limit was satisfied:
+// outstanding children are torn down with QueryCancelMsg (so the tail of
+// refinement messages is never sent) and the stream completes cleanly —
+// early termination is a successful top-k result, not a partial one.
+func (e *Engine) completeEarly(st *subtree) {
+	if st.finished {
+		return
+	}
+	e.dropPending(st)
+	e.teardownChildren(st)
+	st.dispatched = true
+	e.finishSubtree(st)
+}
+
+// teardownChildren cancels every outstanding child of st, sending each a
+// downstream QueryCancelMsg, and folds the children's curve positions into
+// st's resume-cursor cut point.
+func (e *Engine) teardownChildren(st *subtree) {
+	for tok, c := range e.children {
+		if c.st != st {
+			continue
+		}
+		delete(e.children, tok)
+		if c.timer != nil {
+			c.timer.Stop()
+		}
+		st.noteCut(c.key)
+		e.sendCancel(st, c)
+	}
+}
+
+// noteCut folds an undelivered curve position into the subtree's
+// resume-cursor cut point (the minimum such position, skip 0: nothing at
+// it was delivered this page).
+func (st *subtree) noteCut(pos uint64) { st.noteCutSkip(pos, 0) }
+
+// noteCutSkip folds an undelivered (position, skip) coordinate into the
+// cut point, keeping the lexicographic minimum — the cursor must not point
+// past any undelivered element, and over-covering only costs re-delivery.
+func (st *subtree) noteCutSkip(pos uint64, skip int) {
+	if !st.cutSet || pos < st.cutLo || (pos == st.cutLo && skip < st.cutSkip) {
+		st.cutLo, st.cutSkip, st.cutSet = pos, skip, true
+	}
+}
+
+// sendCancel routes a QueryCancelMsg to the current owner of a cancelled
+// child's curve position.
+func (e *Engine) sendCancel(st *subtree, c *childCall) {
+	e.met.cancelsSent.Inc()
+	e.node.Route(chord.ID(c.key), QueryCancelMsg{
+		QID: st.qid, Token: c.token, ReplyTo: e.node.Self().Addr,
+	}, uint64(st.qid))
+}
+
+// rootCursor derives a finished root's resume cursor: exhausted when every
+// dispatched subtree delivered, else the lowest coordinate that was
+// cancelled or never dispatched. The cut is clamped to the cursor this
+// page resumed from — a boundary cluster's span can start below the resume
+// position, and a cursor that regressed would re-deliver whole pages and
+// stall paginated browsing.
+func (st *subtree) rootCursor() Cursor {
+	if !st.cutSet {
+		return encodeCursor(st.q, 0, 0, true)
+	}
+	pos, skip := st.cutLo, st.cutSkip
+	if st.hasPos && (pos < st.afterPos || (pos == st.afterPos && skip < st.afterSkip)) {
+		pos, skip = st.afterPos, st.afterSkip
+	}
+	return encodeCursor(st.q, pos, skip, false)
 }
 
 // submitClusters hands one batch of clusters to the scheduler (or runs it
@@ -739,6 +1207,28 @@ func (e *Engine) cancelQuery(st *subtree, cause error) {
 		return
 	}
 	st.cancelErr = cause
+	if st.stream != nil {
+		// Streaming queries tear outstanding subtrees down actively: the
+		// consumer walked away, so the refinement tail is cancelled instead
+		// of left to finish into a void. Matches still buffered by an
+		// ordered (limited) stream were found but never delivered — their
+		// lowest coordinate feeds the resume cursor.
+		if len(st.buf) > 0 {
+			lo := st.buf[0].idx
+			for _, b := range st.buf[1:] {
+				if b.idx < lo {
+					lo = b.idx
+				}
+			}
+			st.noteCutSkip(lo, st.skipFor(lo))
+		}
+		e.dropPending(st)
+		e.teardownChildren(st)
+		st.incomplete = true
+		st.dispatched = true
+		e.finishSubtree(st)
+		return
+	}
 	for tok, c := range e.children {
 		if c.st == st {
 			delete(e.children, tok)
@@ -756,9 +1246,17 @@ func (e *Engine) cancelQuery(st *subtree, cause error) {
 	e.finishSubtree(st)
 }
 
-// checkSubtree completes a subtree whose children have all reported.
+// checkSubtree completes a subtree whose children have all reported. A
+// limited stream with pending (windowed) clusters is not complete — the
+// refill path dispatches them when the window drains.
 func (e *Engine) checkSubtree(st *subtree) {
 	if st.finished || !st.dispatched || st.done < st.sent {
+		return
+	}
+	if len(st.pending) > 0 {
+		// The in-flight window drained with clusters still pending: refill
+		// (a no-op when buffered matches already cover the limit).
+		e.refillWindow(st)
 		return
 	}
 	e.finishSubtree(st)
@@ -783,6 +1281,7 @@ func (e *Engine) finishSubtree(st *subtree) {
 		st.spans = append(st.spans, e.span(st))
 	}
 	if st.parent == "" {
+		delete(e.roots, st.qid)
 		var err error
 		if st.incomplete {
 			// A context cancellation is reported as its own cause; a plain
@@ -800,13 +1299,37 @@ func (e *Engine) finishSubtree(st *subtree) {
 		if st.spanID != 0 && e.opts.Traces != nil {
 			e.opts.Traces.Add(telemetry.Trace{QID: st.qid, Partial: st.incomplete, Spans: st.spans})
 		}
+		if st.stream != nil {
+			st.stream.finishStream(st.qid, err, st.rootCursor())
+			return
+		}
 		if st.cb != nil {
 			st.cb(Result{QID: st.qid, Query: st.q, Matches: st.matches, Err: err})
 		}
 		return
 	}
+	delete(e.inbound, inboundKey{from: st.parent, token: st.parentToken})
+	if e.rcache != nil && st.cacheKey != "" {
+		if st.sent == 0 && !st.incomplete {
+			// A leaf subtree's matches depend only on the local store inside
+			// its spans: remember them for the next popular repeat. This was
+			// a cacheable lookup that missed.
+			e.met.cacheMisses.Inc()
+			e.rcache.put(st.cacheKey, st.cacheSpans, st.matches)
+		} else {
+			// Subtrees with remote children aggregate other nodes' data,
+			// which local dirty-key tracking cannot invalidate — never
+			// cacheable, so they count as bypasses, not misses.
+			e.met.cacheBypass.Inc()
+		}
+	}
+	tail := st.matches
+	if st.forwarded > 0 && st.forwarded <= len(tail) {
+		// Streaming subtrees already shipped this prefix as partials.
+		tail = tail[st.forwarded:]
+	}
 	e.send(st.parent, SubResultMsg{
-		QID: st.qid, Token: st.parentToken, Matches: st.matches, Incomplete: st.incomplete,
+		QID: st.qid, Token: st.parentToken, Matches: tail, Incomplete: st.incomplete,
 		Spans: st.spans,
 	})
 }
@@ -874,13 +1397,21 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid Quer
 	curve := e.space.Curve()
 	self := e.node.Self().Addr
 	ack := e.opts.SubtreeTimeout > 0
-	// routeOne blind-routes a single cluster as its own tracked child.
+	stream := st.stream != nil || st.streamUp
+	// routeOne blind-routes a single cluster as its own tracked child. A
+	// subtree that finished while dispatch was in flight (streaming root hit
+	// its limit, remote subtree cancelled) dispatches nothing more — the
+	// undelivered curve position feeds the resume cursor instead.
 	routeOne := func(c sfc.Refined) {
 		lo := c.Span(curve).Lo
+		if st.finished {
+			st.noteCut(lo)
+			return
+		}
 		refs := toRefs([]sfc.Refined{c})
 		tok := e.addChild(st, lo, refs)
 		e.node.Route(chord.ID(lo), ClusterQueryMsg{
-			QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack,
+			QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack, Stream: stream,
 			Trace: st.childRef(),
 		}, uint64(qid))
 	}
@@ -903,6 +1434,21 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid Quer
 		byDest[dest] = append(byDest[dest], pendingDispatch{msg: msg, clusters: cls})
 	}
 	flush := func() {
+		if st.finished {
+			// The subtree completed while probes were in flight (limit hit,
+			// cancelled): the buffered children were already torn down —
+			// drop the round instead of dispatching work nobody will read.
+			for _, dest := range dests {
+				for _, p := range byDest[dest] {
+					e.dropChild(p.msg.Token)
+					for _, c := range p.clusters {
+						st.noteCut(c.Span(curve).Lo)
+					}
+				}
+			}
+			done()
+			return
+		}
 		if debugDispatch != nil {
 			debugDispatch(e.node.Self().ID, dests, byDest)
 		}
@@ -940,7 +1486,12 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid Quer
 	sort.Slice(remote, func(i, j int) bool { return remote[i].Span(curve).Lo < remote[j].Span(curve).Lo })
 	var step func(rem []sfc.Refined)
 	step = func(rem []sfc.Refined) {
-		if len(rem) == 0 {
+		if len(rem) == 0 || st.finished {
+			// Finished mid-probe (limit satisfied by an earlier batch): the
+			// sorted tail starts at rem[0], the lowest undispatched position.
+			if len(rem) > 0 {
+				st.noteCut(rem[0].Span(curve).Lo)
+			}
 			flush()
 			return
 		}
@@ -956,13 +1507,19 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid Quer
 				}
 				refs := toRefs(rem[:n])
 				tok := e.addChild(st, uint64(head), refs)
-				enqueue(arc.owner.Addr, ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack, Trace: st.childRef()}, rem[:n])
+				enqueue(arc.owner.Addr, ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack, Stream: stream, Trace: st.childRef()}, rem[:n])
 				step(rem[n:])
 				return
 			}
 			e.met.probeMisses.Inc()
 		}
 		e.node.FindSuccessor(head, uint64(qid), func(m chord.FoundMsg, err error) {
+			if st.finished {
+				// Finished while this probe was in flight.
+				st.noteCut(rem[0].Span(curve).Lo)
+				flush()
+				return
+			}
 			if err != nil {
 				// Ring unstable: fall back to blind routing for the head
 				// cluster and keep going.
@@ -982,7 +1539,7 @@ func (e *Engine) dispatchRemote(remote []sfc.Refined, q keyspace.Query, qid Quer
 			}
 			refs := toRefs(rem[:n])
 			tok := e.addChild(st, uint64(chord.ID(rem[0].Span(curve).Lo)), refs)
-			enqueue(m.Owner.Addr, ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack, Trace: st.childRef()}, rem[:n])
+			enqueue(m.Owner.Addr, ClusterQueryMsg{QID: qid, Query: q, Clusters: refs, ReplyTo: self, Token: tok, Ack: ack, Stream: stream, Trace: st.childRef()}, rem[:n])
 			step(rem[n:])
 		})
 	}
@@ -1014,6 +1571,7 @@ func (e *Engine) Deliver(from transport.Addr, key chord.ID, payload any) {
 			return
 		}
 		e.store.Add(idx, m.Elem)
+		e.noteMutation(idx)
 		e.syncKeys()
 		e.replicate([]chord.Item{{Key: chord.ID(idx), Value: []Element{m.Elem}}})
 	case UnpublishMsg:
@@ -1034,6 +1592,10 @@ func (e *Engine) Deliver(from transport.Addr, key chord.ID, payload any) {
 		e.handleShed(m)
 	case SubResultMsg:
 		e.handleSubResult(m)
+	case PartialResultMsg:
+		e.handlePartialResult(m)
+	case QueryCancelMsg:
+		e.handleQueryCancel(m)
 	case ReplicaMsg:
 		e.handleReplica(m)
 	case ClientPublishMsg:
@@ -1058,10 +1620,12 @@ func (e *Engine) handleUnpublish(m UnpublishMsg) {
 		// The arc may have shifted since replication: clear a promoted copy
 		// too so owner changes cannot resurrect the element.
 		e.store.Remove(idx, m.Elem)
+		e.noteMutation(idx)
 		e.syncKeys()
 		return
 	}
 	e.store.Remove(idx, m.Elem)
+	e.noteMutation(idx)
 	e.syncKeys()
 	if e.opts.Replicas > 0 {
 		fanned := 0
@@ -1080,20 +1644,40 @@ func (e *Engine) handleUnpublish(m UnpublishMsg) {
 }
 
 // handleClientQuery serves a non-member client: parse, run the query as
-// root, and ship the complete result back.
+// root — a Limit(k) stream when the client asked for top-k, so the tail of
+// refinement is never dispatched — and ship the assembled result back.
 func (e *Engine) handleClientQuery(m ClientQueryMsg) {
 	q, err := keyspace.Parse(m.Query)
 	if err != nil {
 		e.send(m.ReplyTo, ClientResultMsg{Token: m.Token, Err: err.Error()})
 		return
 	}
-	e.Query(q, func(r Result) {
-		out := ClientResultMsg{Token: m.Token, QID: r.QID, Matches: r.Matches}
-		if r.Err != nil {
-			out.Err = r.Err.Error()
+	reply := func(qid QueryID, matches []Element, qerr error) {
+		out := ClientResultMsg{Token: m.Token, QID: qid, Matches: matches}
+		if qerr != nil {
+			out.Err = qerr.Error()
 		}
 		e.send(m.ReplyTo, out)
-	})
+	}
+	if m.Limit > 0 {
+		var got []Element
+		_, err := e.QueryStreamFunc(context.Background(), q, func(ev StreamEvent) {
+			if ev.Done {
+				reply(ev.QID, got, ev.Err)
+				return
+			}
+			got = append(got, ev.Matches...)
+		}, Limit(m.Limit))
+		if err != nil {
+			reply(0, nil, err)
+		}
+		return
+	}
+	if _, err := e.QueryCtx(context.Background(), q, func(r Result) {
+		reply(r.QID, r.Matches, r.Err)
+	}); err != nil {
+		reply(0, nil, err)
+	}
 }
 
 func (e *Engine) handleLookup(m LookupMsg) {
@@ -1124,9 +1708,33 @@ func (e *Engine) handleClusterQuery(m ClusterQueryMsg) {
 		e.send(m.ReplyTo, SubResultMsg{QID: m.QID, Token: m.Token})
 		return
 	}
+	var cacheKey string
+	if e.rcache != nil {
+		cacheKey = resultCacheKey(m.Query, m.Clusters)
+		if matches, ok := e.rcache.get(cacheKey); ok {
+			// Popular-cluster hit: this exact batch previously resolved as a
+			// leaf against a store that has not mutated under it since. Skip
+			// refinement entirely and answer now — the result supersedes any
+			// requested ack.
+			e.met.cacheHits.Inc()
+			e.send(m.ReplyTo, SubResultMsg{QID: m.QID, Token: m.Token, Matches: matches})
+			return
+		}
+		// Not counted as a miss yet: whether this lookup was cacheable at
+		// all is only known once the subtree completes (leaf vs inner) —
+		// finishSubtree records it as a miss or a bypass.
+	}
 	st := &subtree{
 		qid: m.QID, q: m.Query, parent: m.ReplyTo, parentToken: m.Token,
 		kind: "cluster", clustersIn: len(m.Clusters),
+		streamUp: m.Stream, cacheKey: cacheKey,
+	}
+	if cacheKey != "" {
+		curve := e.space.Curve()
+		st.cacheSpans = make([]sfc.Interval, len(m.Clusters))
+		for i, c := range m.Clusters {
+			st.cacheSpans[i] = sfc.Cluster{Prefix: c.Prefix, Level: c.Level}.Span(curve)
+		}
 	}
 	if len(m.Clusters) > 0 {
 		st.prefix = m.Clusters[0].Prefix
@@ -1137,7 +1745,11 @@ func (e *Engine) handleClusterQuery(m ClusterQueryMsg) {
 		st.ref = ref
 		st.startNS = e.nowNS()
 	}
+	e.inbound[inboundKey{from: m.ReplyTo, token: m.Token}] = st
 	admitted := e.submitClusters(m.QID, fromRefs(m.Clusters), m.Query, region, func(matches []Element, remote []sfc.Refined, local int) {
+		if st.finished {
+			return // cancelled while the refinement job was in flight
+		}
 		e.noteProcessed(m.QID, local, len(matches), e.opts.Sink != nil)
 		st.matches = matches
 		st.localDone = local
@@ -1149,6 +1761,14 @@ func (e *Engine) handleClusterQuery(m ClusterQueryMsg) {
 			e.finishSubtree(st)
 			return
 		}
+		if st.streamUp && len(matches) > 0 && len(remote) > 0 {
+			// Stream the local matches up right away: the initiator can act
+			// on them (fill a page, satisfy a limit) while this subtree's
+			// children are still refining. A leaf (no remote children)
+			// completes immediately — its terminal SubResultMsg carries the
+			// matches, so a separate partial would only double the traffic.
+			e.forwardPartial(st, matches)
+		}
 		e.dispatchRemote(remote, m.Query, m.QID, st, false, func() {
 			st.dispatched = true
 			e.checkSubtree(st)
@@ -1157,6 +1777,7 @@ func (e *Engine) handleClusterQuery(m ClusterQueryMsg) {
 	if !admitted {
 		// Shed before acking: confirming receipt of work we refuse would
 		// suppress the dispatcher's recovery instead of engaging it.
+		delete(e.inbound, inboundKey{from: m.ReplyTo, token: m.Token})
 		e.met.shedRemote.Inc()
 		e.send(m.ReplyTo, QueryShedMsg{QID: m.QID, Token: m.Token, RetryAfterMS: e.retryAfterHint().Milliseconds()})
 		return
@@ -1213,7 +1834,6 @@ func (e *Engine) handleSubResult(m SubResultMsg) {
 	if st.finished {
 		return
 	}
-	st.matches = append(st.matches, m.Matches...)
 	if st.spanID != 0 {
 		st.spans = append(st.spans, m.Spans...)
 	}
@@ -1221,7 +1841,73 @@ func (e *Engine) handleSubResult(m SubResultMsg) {
 		st.incomplete = true
 	}
 	st.done++
+	if st.stream != nil {
+		// Streaming root: the child's matches flow straight out (possibly
+		// completing the query early); nothing accumulates in st.matches.
+		e.rootDeliver(st, m.Matches)
+		if st.finished {
+			return
+		}
+	} else {
+		last := st.dispatched && st.done >= st.sent
+		if st.streamUp && len(m.Matches) > 0 && !last {
+			// Relay the increment upward now — unless this report completes
+			// the subtree, in which case the terminal SubResultMsg about to
+			// go out carries it (matches stays a forwarded-prefix + tail).
+			e.forwardPartial(st, m.Matches)
+		}
+		st.matches = append(st.matches, m.Matches...)
+	}
 	e.checkSubtree(st)
+}
+
+// forwardPartial ships one increment of a streaming subtree's matches to
+// its parent and records it as forwarded, so the terminal SubResultMsg
+// excludes it.
+func (e *Engine) forwardPartial(st *subtree, batch []Element) {
+	e.met.partialsSent.Inc()
+	e.send(st.parent, PartialResultMsg{QID: st.qid, Token: st.parentToken, Matches: batch})
+	st.forwarded += len(batch)
+}
+
+// handlePartialResult folds one streamed increment from a child subtree in:
+// a streaming root delivers it to the consumer immediately, an inner
+// streaming subtree relays it upward. Completion accounting is untouched —
+// only the terminal SubResultMsg advances it.
+func (e *Engine) handlePartialResult(m PartialResultMsg) {
+	c, ok := e.children[m.Token]
+	if !ok {
+		return // straggler: child already answered, abandoned, or cancelled
+	}
+	st := c.st
+	if st.finished || len(m.Matches) == 0 {
+		return
+	}
+	if st.stream != nil {
+		e.rootDeliver(st, m.Matches)
+		return
+	}
+	if st.streamUp {
+		e.forwardPartial(st, m.Matches)
+	}
+	st.matches = append(st.matches, m.Matches...)
+}
+
+// handleQueryCancel tears down the addressed remote subtree: it stops
+// reporting (no SubResultMsg will be sent), any still-queued refinement
+// completes into a no-op, and its own outstanding children are cancelled
+// recursively. Unknown subtrees — already finished, never arrived, or torn
+// down by an earlier cancel — are ignored; cancellation is best effort.
+func (e *Engine) handleQueryCancel(m QueryCancelMsg) {
+	key := inboundKey{from: m.ReplyTo, token: m.Token}
+	st, ok := e.inbound[key]
+	if !ok || st.finished {
+		return
+	}
+	e.met.cancelsRecv.Inc()
+	delete(e.inbound, key)
+	st.finished = true
+	e.teardownChildren(st)
 }
 
 // HandoverOut implements chord.App. When replication is enabled the
@@ -1234,6 +1920,7 @@ func (e *Engine) HandoverOut(a, b chord.ID) []chord.Item {
 	if e.opts.Replicas > 0 {
 		e.replicas.AddBatchUnique(items)
 	}
+	e.noteBulkMutation()
 	e.syncKeys()
 	return items
 }
@@ -1243,6 +1930,7 @@ func (e *Engine) HandoverOut(a, b chord.ID) []chord.Item {
 //lint:entry delivery
 func (e *Engine) HandoverIn(items []chord.Item) {
 	e.store.HandoverIn(items)
+	e.noteBulkMutation()
 	e.syncKeys()
 }
 

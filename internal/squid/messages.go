@@ -78,6 +78,12 @@ type ClusterQueryMsg struct {
 	// processing. Dispatchers running a recovery deadline set it so a
 	// slow-but-alive subtree can be told apart from a lost one.
 	Ack bool
+	// Stream marks a subtree of a streaming query: the receiver forwards
+	// matches toward ReplyTo incrementally (PartialResultMsg) as its own
+	// children complete, instead of holding everything for the terminal
+	// SubResultMsg, and propagates the flag to its own dispatches. The final
+	// SubResultMsg then carries only the not-yet-forwarded remainder.
+	Stream bool
 	// Trace is the tracing context of the dispatching subtree (see
 	// LookupMsg.Trace for the old-format default).
 	Trace telemetry.TraceRef
@@ -133,6 +139,36 @@ type SubResultMsg struct {
 	Spans []telemetry.Span
 }
 
+// PartialResultMsg streams one increment of a subtree's matches toward the
+// query root before the subtree completes: the dispatching subtree's local
+// matches as soon as its own refinement finishes, and each child batch as
+// it reports. Token names the parent's child call, exactly as in
+// SubResultMsg; the parent appends the matches without advancing its
+// completion accounting (only the terminal SubResultMsg does that), so
+// streaming rides the existing Dijkstra-Scholten termination unchanged.
+// Sent only inside subtrees flagged ClusterQueryMsg.Stream; stragglers
+// arriving after the child completed or was abandoned are dropped like
+// straggler SubResultMsgs.
+type PartialResultMsg struct {
+	QID     QueryID
+	Token   uint64
+	Matches []Element
+}
+
+// QueryCancelMsg tears down an in-flight remote subtree: the dispatcher no
+// longer needs its result (top-k satisfied, context cancelled, consumer
+// stopped a stream). Token is the receiver's parentToken — the token the
+// dispatcher assigned the child — and ReplyTo identifies the dispatcher, so
+// the pair addresses the subtree even when the message rode the ring
+// through intermediate hops. The receiver abandons the subtree, sends no
+// SubResultMsg, and recursively cancels its own outstanding children. Best
+// effort: a lost cancel only costs the work it would have saved.
+type QueryCancelMsg struct {
+	QID     QueryID
+	Token   uint64
+	ReplyTo transport.Addr
+}
+
 // ClientPublishMsg lets a non-member client (squidctl) publish through any
 // ring node: the receiving engine indexes and routes the element.
 type ClientPublishMsg struct {
@@ -147,11 +183,14 @@ type ClientUnpublishMsg struct {
 
 // ClientQueryMsg lets a client run a flexible query through any ring node;
 // the node acts as the query root and answers ReplyTo with a
-// ClientResultMsg carrying Token.
+// ClientResultMsg carrying Token. Limit > 0 asks for top-k: the node runs
+// the query as a Limit(k) stream, so refinement past the k-th match is
+// never dispatched.
 type ClientQueryMsg struct {
 	Query   string // keyspace query syntax, e.g. "(comp*, *)"
 	ReplyTo transport.Addr
 	Token   uint64
+	Limit   int
 }
 
 // ClientResultMsg answers a ClientQueryMsg. QID is the ring-side query
@@ -172,6 +211,8 @@ func init() {
 	transport.Register(QueryAckMsg{})
 	transport.Register(QueryShedMsg{})
 	transport.Register(SubResultMsg{})
+	transport.Register(PartialResultMsg{})
+	transport.Register(QueryCancelMsg{})
 	transport.Register(ClientPublishMsg{})
 	transport.Register(ClientUnpublishMsg{})
 	transport.Register(ClientQueryMsg{})

@@ -110,6 +110,13 @@ func WithProbeCache(size int) Option {
 	return func(o *Options) { o.ProbeCacheSize = size }
 }
 
+// WithResultCache bounds the popular-cluster result cache: completed leaf
+// subtrees are remembered by (query, cluster set) and repeat queries answer
+// from the cache until a covered key mutates. See Options.ResultCacheSize.
+func WithResultCache(size int) Option {
+	return func(o *Options) { o.ResultCacheSize = size }
+}
+
 // WithInitialClusters caps the initiator's local refinement breadth.
 // See Options.InitialClusters.
 func WithInitialClusters(n int) Option {

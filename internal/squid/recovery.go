@@ -62,6 +62,18 @@ type engineMetrics struct {
 	keysHeld     *telemetry.Gauge
 	replicaItems *telemetry.Counter
 	replicaFulls *telemetry.Counter
+
+	// Streaming-delivery instruments: streams opened, batches pushed to
+	// consumers, increments forwarded upstream, cancel teardown traffic in
+	// both directions, and popular-cluster result-cache outcomes.
+	streams       *telemetry.Counter
+	streamBatches *telemetry.Counter
+	partialsSent  *telemetry.Counter
+	cancelsSent   *telemetry.Counter
+	cancelsRecv   *telemetry.Counter
+	cacheHits     *telemetry.Counter
+	cacheMisses   *telemetry.Counter
+	cacheBypass   *telemetry.Counter
 }
 
 // schedWaitBounds buckets scheduler queue wait in nanoseconds: 100µs, 1ms,
@@ -79,6 +91,12 @@ func newEngineMetrics(reg *telemetry.Registry, id uint64) engineMetrics {
 	shed := reg.CounterVec("squid_sched_shed_total",
 		"refinement jobs refused under admission control: root (local query), remote (incoming subtree), child (shed notice received for a dispatched child)",
 		"node", "kind")
+	cancel := reg.CounterVec("squid_stream_cancels_total",
+		"QueryCancelMsg teardown traffic: sent (this node cut a child subtree) and recv (a dispatcher cut a subtree running here)",
+		"node", "dir")
+	rcache := reg.CounterVec("squid_result_cache_total",
+		"popular-cluster result-cache lookups on incoming cluster batches: hit (answered from cache), miss (cacheable leaf, now cached), bypass (inner subtree, never cacheable)",
+		"node", "outcome")
 	return engineMetrics{
 		queries: reg.CounterVec("squid_engine_queries_total",
 			"flexible queries initiated at this node", "node").With(node),
@@ -111,6 +129,17 @@ func newEngineMetrics(reg *telemetry.Registry, id uint64) engineMetrics {
 			"items pushed to successor replicas (delta and full pushes)", "node").With(node),
 		replicaFulls: reg.CounterVec("squid_replication_full_pushes_total",
 			"full replica-set pushes (replica membership changed)", "node").With(node),
+		streams: reg.CounterVec("squid_stream_queries_total",
+			"streaming queries (QueryStream/QueryStreamFunc) initiated at this node", "node").With(node),
+		streamBatches: reg.CounterVec("squid_stream_batches_total",
+			"partial match batches delivered to local stream consumers", "node").With(node),
+		partialsSent: reg.CounterVec("squid_stream_partials_sent_total",
+			"PartialResultMsg increments forwarded toward a remote query root", "node").With(node),
+		cancelsSent: cancel.With(node, "sent"),
+		cancelsRecv: cancel.With(node, "recv"),
+		cacheHits:   rcache.With(node, "hit"),
+		cacheMisses: rcache.With(node, "miss"),
+		cacheBypass: rcache.With(node, "bypass"),
 	}
 }
 

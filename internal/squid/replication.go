@@ -123,6 +123,9 @@ func (e *Engine) handleReplica(m ReplicaMsg) {
 		}
 	}
 	e.store.AddBatchUnique(owned)
+	if len(owned) > 0 {
+		e.noteBulkMutation()
+	}
 	e.replicas.AddBatchUnique(held)
 	e.syncKeys()
 }
@@ -150,6 +153,7 @@ func (e *Engine) ArcChanged(oldPred, newPred chord.NodeRef) {
 	}
 	// Demote: everything outside (newPred, self] stops being primary.
 	e.replicas.AddBatchUnique(e.store.HandoverOut(e.node.Self().ID, newPred.ID))
+	e.noteBulkMutation()
 	e.syncKeys()
 	// Promote: replicas inside the (possibly grown) arc become primary.
 	if e.replicas.Keys() == 0 {

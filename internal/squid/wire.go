@@ -40,6 +40,8 @@ const (
 	tagElements
 	tagKeyspaceQuery
 	tagKeyspaceTerm
+	tagPartialResultMsg
+	tagQueryCancelMsg
 )
 
 //lint:allocfree
@@ -193,6 +195,7 @@ func encodeClusterQuery(e *wire.Encoder, m ClusterQueryMsg) {
 	e.String(string(m.ReplyTo))
 	e.Uvarint(m.Token)
 	e.Bool(m.Ack)
+	e.Bool(m.Stream)
 	encodeTraceRef(e, m.Trace)
 }
 
@@ -213,6 +216,7 @@ func decodeClusterQuery(d *wire.Decoder) ClusterQueryMsg {
 	m.ReplyTo = transport.Addr(d.String())
 	m.Token = d.Uvarint()
 	m.Ack = d.Bool()
+	m.Stream = d.Bool()
 	m.Trace = decodeTraceRef(d)
 	return m
 }
@@ -349,12 +353,14 @@ func init() {
 			e.String(m.Query)
 			e.String(string(m.ReplyTo))
 			e.Uvarint(m.Token)
+			e.Uvarint(uint64(m.Limit))
 		},
 		func(d *wire.Decoder) any {
 			var m ClientQueryMsg
 			m.Query = d.String()
 			m.ReplyTo = transport.Addr(d.String())
 			m.Token = d.Uvarint()
+			m.Limit = int(d.Uvarint())
 			return m
 		})
 	wire.Register(tagClientResultMsg, ClientResultMsg{},
@@ -385,4 +391,32 @@ func init() {
 	wire.Register(tagKeyspaceTerm, keyspace.Term{},
 		func(e *wire.Encoder, v any) { encodeTerm(e, v.(keyspace.Term)) },
 		func(d *wire.Decoder) any { return decodeTerm(d) })
+	wire.Register(tagPartialResultMsg, PartialResultMsg{},
+		func(e *wire.Encoder, v any) {
+			m := v.(PartialResultMsg)
+			e.Uvarint(uint64(m.QID))
+			e.Uvarint(m.Token)
+			encodeElements(e, m.Matches)
+		},
+		func(d *wire.Decoder) any {
+			var m PartialResultMsg
+			m.QID = QueryID(d.Uvarint())
+			m.Token = d.Uvarint()
+			m.Matches = decodeElements(d)
+			return m
+		})
+	wire.Register(tagQueryCancelMsg, QueryCancelMsg{},
+		func(e *wire.Encoder, v any) {
+			m := v.(QueryCancelMsg)
+			e.Uvarint(uint64(m.QID))
+			e.Uvarint(m.Token)
+			e.String(string(m.ReplyTo))
+		},
+		func(d *wire.Decoder) any {
+			var m QueryCancelMsg
+			m.QID = QueryID(d.Uvarint())
+			m.Token = d.Uvarint()
+			m.ReplyTo = transport.Addr(d.String())
+			return m
+		})
 }

@@ -155,7 +155,8 @@ func genClusterQuery(r *rand.Rand) squid.ClusterQueryMsg {
 	return squid.ClusterQueryMsg{
 		QID: telemetry.QueryID(r.Intn(1 << 20)), Query: genQuery(r),
 		Clusters: genClusters(r), ReplyTo: genAddr(r),
-		Token: uint64(r.Intn(1 << 20)), Ack: r.Intn(2) == 0, Trace: genTraceRef(r),
+		Token: uint64(r.Intn(1 << 20)), Ack: r.Intn(2) == 0, Stream: r.Intn(2) == 0,
+		Trace: genTraceRef(r),
 	}
 }
 
@@ -248,6 +249,14 @@ var wireGens = map[reflect.Type]wireGen{
 			Token: uint64(r.Intn(1 << 20)), Matches: genElements(r),
 			Incomplete: r.Intn(4) == 0, Spans: genSpans(r)}
 	},
+	reflect.TypeOf(squid.PartialResultMsg{}): func(r *rand.Rand) any {
+		return squid.PartialResultMsg{QID: telemetry.QueryID(r.Intn(1 << 20)),
+			Token: uint64(r.Intn(1 << 20)), Matches: genElements(r)}
+	},
+	reflect.TypeOf(squid.QueryCancelMsg{}): func(r *rand.Rand) any {
+		return squid.QueryCancelMsg{QID: telemetry.QueryID(r.Intn(1 << 20)),
+			Token: uint64(r.Intn(1 << 20)), ReplyTo: genAddr(r)}
+	},
 	reflect.TypeOf(squid.ReplicaMsg{}): func(r *rand.Rand) any {
 		return squid.ReplicaMsg{Items: genItems(r)}
 	},
@@ -258,7 +267,7 @@ var wireGens = map[reflect.Type]wireGen{
 		return squid.ClientUnpublishMsg{Elem: genElement(r)}
 	},
 	reflect.TypeOf(squid.ClientQueryMsg{}): func(r *rand.Rand) any {
-		return squid.ClientQueryMsg{Query: "(comp*, *)", ReplyTo: genAddr(r), Token: uint64(r.Intn(1 << 20))}
+		return squid.ClientQueryMsg{Query: "(comp*, *)", ReplyTo: genAddr(r), Token: uint64(r.Intn(1 << 20)), Limit: r.Intn(16)}
 	},
 	reflect.TypeOf(squid.ClientResultMsg{}): func(r *rand.Rand) any {
 		return squid.ClientResultMsg{Token: uint64(r.Intn(1 << 20)),
@@ -337,6 +346,8 @@ func TestWireEncodeZeroAlloc(t *testing.T) {
 		genClusterQuery(r),
 		squid.BatchMsg{Queries: []squid.ClusterQueryMsg{genClusterQuery(r), genClusterQuery(r)}},
 		squid.SubResultMsg{QID: 9, Token: 4, Matches: genElements(r)},
+		squid.PartialResultMsg{QID: 9, Token: 4, Matches: genElements(r)},
+		squid.QueryCancelMsg{QID: 9, Token: 4, ReplyTo: "10.0.0.1:4000"},
 		chord.AppMsg{From: "10.0.0.1:4000", Payload: genClusterQuery(r)},
 		chord.StateMsg{Token: 1, Self: genNodeRef(r), Pred: genNodeRef(r), Succs: genNodeRefs(r), Load: 12},
 	}

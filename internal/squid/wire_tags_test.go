@@ -1,0 +1,52 @@
+package squid_test
+
+import (
+	"testing"
+
+	"squid/internal/wire"
+)
+
+// TestWireTagRegistry pins the squid tag block's tag ↔ type binding.
+// Mixed-version interop (see the TCP mixed-wire test) depends on these
+// numbers never moving: a renumbered tag decodes as the wrong type on an
+// older peer. Adding a message appends a row here; reordering or deleting
+// one is a wire break and must fail loudly.
+func TestWireTagRegistry(t *testing.T) {
+	want := map[uint64]string{
+		wire.TagSquidBase + 0:  "squid.PublishMsg",
+		wire.TagSquidBase + 1:  "squid.UnpublishMsg",
+		wire.TagSquidBase + 2:  "squid.LookupMsg",
+		wire.TagSquidBase + 3:  "squid.ClusterQueryMsg",
+		wire.TagSquidBase + 4:  "squid.QueryAckMsg",
+		wire.TagSquidBase + 5:  "squid.BatchMsg",
+		wire.TagSquidBase + 6:  "squid.QueryShedMsg",
+		wire.TagSquidBase + 7:  "squid.SubResultMsg",
+		wire.TagSquidBase + 8:  "squid.ReplicaMsg",
+		wire.TagSquidBase + 9:  "squid.ClientPublishMsg",
+		wire.TagSquidBase + 10: "squid.ClientUnpublishMsg",
+		wire.TagSquidBase + 11: "squid.ClientQueryMsg",
+		wire.TagSquidBase + 12: "squid.ClientResultMsg",
+		wire.TagSquidBase + 13: "squid.Element",
+		wire.TagSquidBase + 14: "[]squid.Element",
+		wire.TagSquidBase + 15: "keyspace.Query",
+		wire.TagSquidBase + 16: "keyspace.Term",
+		wire.TagSquidBase + 17: "squid.PartialResultMsg",
+		wire.TagSquidBase + 18: "squid.QueryCancelMsg",
+	}
+	got := map[uint64]string{}
+	for _, c := range wire.Codecs() {
+		if c.Tag >= wire.TagSquidBase {
+			got[c.Tag] = c.Type.String()
+		}
+	}
+	for tag, typ := range want {
+		if got[tag] != typ {
+			t.Errorf("tag %d: bound to %q, want %q", tag, got[tag], typ)
+		}
+	}
+	for tag, typ := range got {
+		if _, ok := want[tag]; !ok {
+			t.Errorf("tag %d (%s) is not in the pinned registry — append it (never renumber)", tag, typ)
+		}
+	}
+}
